@@ -1,0 +1,42 @@
+// Ablation A2 — coordinate-space dimensionality.
+//
+// The paper uses 2-d spaces throughout and explicitly defers "quantifying
+// the precision of distance maps obtained using coordinate spaces of
+// different dimensions, and their impact on clustering" to future work
+// (§6.1). This bench answers that question on our substrate.
+#include <iostream>
+
+#include "bench/common.h"
+#include "core/experiment.h"
+#include "coords/gnp.h"
+#include "topology/shortest_paths.h"
+
+int main() {
+  using namespace hfc;
+  const std::size_t requests = benchutil::env_size(
+      "HFC_REQUESTS", benchutil::full_scale() ? 500 : 150);
+  const Environment env{300, 10, 250, 40};
+
+  std::cout << "Ablation A2: coordinate-space dimension (250 proxies)\n";
+  std::cout << format_row({"dim", "median rel err", "p90 rel err", "clusters",
+                           "avg path (ms)"})
+            << "\n";
+  for (std::size_t dim : {1u, 2u, 3u, 5u, 7u}) {
+    FrameworkConfig config = config_for(env, 7200);
+    config.gnp.dimensions = dim;
+    const auto fw = HfcFramework::build(config);
+    const SymMatrix<double> truth = pairwise_delays(
+        fw->underlay().network, fw->placement().proxy_routers);
+    const EmbeddingQuality q =
+        evaluate_embedding(fw->distance_map().proxy_coords, truth);
+    const PathEfficiencySample eff =
+        measure_path_efficiency(*fw, requests, 7300);
+    std::cout << format_row({std::to_string(dim),
+                             benchutil::fmt(q.median_rel_error, 3),
+                             benchutil::fmt(q.p90_rel_error, 3),
+                             std::to_string(fw->topology().cluster_count()),
+                             benchutil::fmt(eff.hfc_agg_avg)})
+              << "\n";
+  }
+  return 0;
+}

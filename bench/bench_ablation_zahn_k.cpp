@@ -1,0 +1,38 @@
+// Ablation A1 — the Zahn inconsistency factor k (paper §3.2: "k is a
+// selected number, e.g., 2, 3, ...").
+//
+// Sweeps k and reports how cluster granularity trades state overhead
+// against path efficiency: small k over-segments (many clusters, borders
+// everywhere, overhead back up), large k under-segments (few giant
+// clusters, per-cluster state back up).
+#include <iostream>
+
+#include "bench/common.h"
+#include "core/experiment.h"
+
+int main() {
+  using namespace hfc;
+  const std::size_t requests = benchutil::env_size(
+      "HFC_REQUESTS", benchutil::full_scale() ? 500 : 150);
+  const Environment env{600, 10, 500, 90};
+
+  std::cout << "Ablation A1: Zahn inconsistency factor k (500 proxies)\n";
+  std::cout << format_row({"k", "clusters", "coord states", "svc states",
+                           "avg path (ms)"})
+            << "\n";
+  for (double k : {1.5, 2.0, 3.0, 4.0, 6.0, 10.0}) {
+    FrameworkConfig config = config_for(env, 7000);
+    config.zahn.inconsistency_factor = k;
+    const auto fw = HfcFramework::build(config);
+    const OverheadSample overhead = measure_state_overhead(*fw);
+    const PathEfficiencySample eff =
+        measure_path_efficiency(*fw, requests, 7100);
+    std::cout << format_row({benchutil::fmt(k, 1),
+                             std::to_string(overhead.clusters),
+                             benchutil::fmt(overhead.hfc_coordinate, 1),
+                             benchutil::fmt(overhead.hfc_service, 1),
+                             benchutil::fmt(eff.hfc_agg_avg)})
+              << "\n";
+  }
+  return 0;
+}

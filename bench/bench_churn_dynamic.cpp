@@ -1,0 +1,91 @@
+// Extension bench — dynamic membership under churn (paper §7).
+//
+// Starting from a built framework, proxies leave and rejoin in waves
+// (joins follow the paper's nearest-neighbour rule, no re-clustering).
+// After each wave we report the clustering-quality ratio versus a fresh
+// Zahn run, the average routed path length over a fixed request batch,
+// and what a full re-structuring recovers at the end.
+#include <iostream>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/experiment.h"
+#include "dynamic/dynamic_overlay.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace hfc;
+  const std::size_t requests = benchutil::env_size(
+      "HFC_REQUESTS", benchutil::full_scale() ? 400 : 150);
+  const std::size_t waves = benchutil::env_size("HFC_WAVES", 6);
+
+  const Environment env{300, 10, 250, 40};
+  const auto fw = HfcFramework::build(config_for(env, 8100));
+  const OverlayDistance truth = fw->true_distance();
+
+  // Rebuild the same overlay as a dynamic one.
+  ServicePlacement placement;
+  for (NodeId p : fw->overlay().all_nodes()) {
+    placement.push_back(fw->overlay().services_at(p));
+  }
+  DynamicHfcOverlay overlay(fw->distance_map().proxy_coords, placement,
+                            fw->config().zahn, fw->config().border_selection);
+
+  Rng rng(8200);
+  Rng request_rng = rng.fork(1);
+  const auto batch = fw->generate_requests(requests, request_rng);
+
+  const auto measure = [&](DynamicHfcOverlay& o) {
+    RunningStat lengths;
+    std::size_t failures = 0;
+    for (const ServiceRequest& request : batch) {
+      if (!o.is_active(request.source) || !o.is_active(request.destination)) {
+        continue;  // endpoint currently offline
+      }
+      const ServicePath path = o.route(request);
+      if (!path.found) {
+        ++failures;
+        continue;
+      }
+      lengths.add(path_length(path, truth));
+    }
+    return std::pair<double, std::size_t>(lengths.mean(), failures);
+  };
+
+  std::cout << "Dynamic membership under churn (250-proxy universe, "
+            << requests << " fixed requests)\n";
+  std::cout << format_row({"wave", "active", "clusters", "quality",
+                           "avg path (ms)", "unroutable"})
+            << "\n";
+  const auto report = [&](const std::string& tag) {
+    const auto [avg, failures] = measure(overlay);
+    std::cout << format_row({tag, std::to_string(overlay.active_count()),
+                             std::to_string(overlay.cluster_count()),
+                             benchutil::fmt(overlay.clustering_quality(), 3),
+                             benchutil::fmt(avg), std::to_string(failures)})
+              << "\n";
+  };
+  report("initial");
+
+  // Churn waves: 15% of the universe leaves, then rejoins one by one.
+  for (std::size_t w = 0; w < waves; ++w) {
+    std::vector<NodeId> wave;
+    const std::size_t wave_size = overlay.universe_size() * 15 / 100;
+    while (wave.size() < wave_size) {
+      const NodeId candidate(static_cast<std::int32_t>(
+          rng.pick_index(overlay.universe_size())));
+      if (overlay.is_active(candidate) && overlay.active_count() > 2) {
+        overlay.deactivate(candidate);
+        wave.push_back(candidate);
+      }
+    }
+    for (NodeId n : wave) overlay.activate(n);
+    report("after wave " + std::to_string(w + 1));
+  }
+
+  overlay.restructure();
+  report("restructured");
+  std::cout << "\nquality = fresh-clustering intra-distance / maintained "
+               "intra-distance (1.0 = as tight as fresh).\n";
+  return 0;
+}

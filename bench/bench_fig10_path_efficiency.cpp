@@ -1,0 +1,57 @@
+// Figure 10 — service path efficiency comparison.
+//
+// For each overlay size, the average true-delay length of service paths
+// found by: (1) a single-level mesh with global state, (2) the HFC
+// framework with topology/state aggregation, and (3) the HFC topology
+// without aggregation (full global state). The paper runs up to 5
+// underlays x 1000 requests per size; defaults here are 2 x 300
+// (HFC_FULL=1 restores the paper's scale).
+#include <iostream>
+
+#include "bench/common.h"
+#include "core/experiment.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace hfc;
+  const bool full = benchutil::full_scale();
+  const std::size_t runs = benchutil::env_size("HFC_RUNS", full ? 5 : 2);
+  const std::size_t requests =
+      benchutil::env_size("HFC_REQUESTS", full ? 1000 : 300);
+
+  std::cout << "Figure 10: average service path length (ms of true delay)\n";
+  std::cout << "(" << runs << " underlays x " << requests
+            << " client requests per size)\n";
+  std::cout << format_row({"proxies", "mesh", "HFC w/ agg", "HFC w/o agg",
+                           "agg/noagg", "mesh/agg"})
+            << "\n";
+  for (const Environment& env : paper_environments()) {
+    RunningStat mesh;
+    RunningStat agg;
+    RunningStat noagg;
+    std::size_t failures = 0;
+    for (std::size_t r = 0; r < runs; ++r) {
+      const auto fw = HfcFramework::build(config_for(env, 3000 + 31 * r));
+      const PathEfficiencySample s =
+          measure_path_efficiency(*fw, requests, 4000 + r);
+      mesh.add(s.mesh_avg);
+      agg.add(s.hfc_agg_avg);
+      noagg.add(s.hfc_noagg_avg);
+      failures += s.failures;
+    }
+    std::cout << format_row(
+                     {std::to_string(env.proxies), benchutil::fmt(mesh.mean()),
+                      benchutil::fmt(agg.mean()),
+                      benchutil::fmt(noagg.mean()),
+                      benchutil::fmt(agg.mean() / noagg.mean(), 3),
+                      benchutil::fmt(mesh.mean() / agg.mean(), 3)})
+              << "\n";
+    if (failures > 0) {
+      std::cout << "  (" << failures << " requests failed to route)\n";
+    }
+  }
+  std::cout << "\nExpected shape (paper): HFC w/ aggregation comparable to "
+               "(slightly better than) mesh;\nHFC w/o aggregation best; the "
+               "agg/noagg gap is the cost of state aggregation.\n";
+  return 0;
+}

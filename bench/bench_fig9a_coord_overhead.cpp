@@ -1,0 +1,46 @@
+// Figure 9(a) — coordinates-related state maintenance overhead.
+//
+// For overlay sizes 250/500/750/1000, the number of coordinate node-states
+// a single proxy maintains: n for a flat topology versus |own cluster| +
+// |all border nodes| for the HFC topology, averaged over proxies and over
+// several independently generated underlays (the paper uses 10; default
+// here is 3, HFC_FULL=1 restores 10).
+#include <iostream>
+
+#include "bench/common.h"
+#include "core/experiment.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace hfc;
+  const std::size_t topologies = benchutil::env_size(
+      "HFC_TOPOLOGIES", benchutil::full_scale() ? 10 : 3);
+
+  std::cout << "Figure 9(a): coordinates-related node-states per proxy\n";
+  std::cout << "(averaged over " << topologies << " underlays per size)\n";
+  std::cout << format_row({"proxies", "flat", "HFC", "HFC stddev",
+                           "clusters(avg)"})
+            << "\n";
+  for (const Environment& env : paper_environments()) {
+    RunningStat hfc_stat;
+    RunningStat cluster_stat;
+    double flat = 0.0;
+    for (std::size_t t = 0; t < topologies; ++t) {
+      const auto fw =
+          HfcFramework::build(config_for(env, 1000 + 17 * t));
+      const OverheadSample s = measure_state_overhead(*fw);
+      flat = s.flat_coordinate;
+      hfc_stat.add(s.hfc_coordinate);
+      cluster_stat.add(static_cast<double>(s.clusters));
+    }
+    std::cout << format_row({std::to_string(env.proxies),
+                             benchutil::fmt(flat, 0),
+                             benchutil::fmt(hfc_stat.mean()),
+                             benchutil::fmt(hfc_stat.stddev()),
+                             benchutil::fmt(cluster_stat.mean(), 1)})
+              << "\n";
+  }
+  std::cout << "\nExpected shape (paper): flat grows linearly with slope 1; "
+               "HFC grows much slower.\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 9(b) — service-capability-related state maintenance overhead.
+//
+// Same setup as Figure 9(a), but counting service-capability node-states:
+// n for flat topologies versus |own cluster| + #clusters (SCT_P + SCT_C)
+// for the HFC framework.
+#include <iostream>
+
+#include "bench/common.h"
+#include "core/experiment.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace hfc;
+  const std::size_t topologies = benchutil::env_size(
+      "HFC_TOPOLOGIES", benchutil::full_scale() ? 10 : 3);
+
+  std::cout << "Figure 9(b): service-capability node-states per proxy\n";
+  std::cout << "(averaged over " << topologies << " underlays per size)\n";
+  std::cout << format_row({"proxies", "flat", "HFC", "HFC stddev",
+                           "clusters(avg)"})
+            << "\n";
+  for (const Environment& env : paper_environments()) {
+    RunningStat hfc_stat;
+    RunningStat cluster_stat;
+    double flat = 0.0;
+    for (std::size_t t = 0; t < topologies; ++t) {
+      const auto fw =
+          HfcFramework::build(config_for(env, 2000 + 23 * t));
+      const OverheadSample s = measure_state_overhead(*fw);
+      flat = s.flat_service;
+      hfc_stat.add(s.hfc_service);
+      cluster_stat.add(static_cast<double>(s.clusters));
+    }
+    std::cout << format_row({std::to_string(env.proxies),
+                             benchutil::fmt(flat, 0),
+                             benchutil::fmt(hfc_stat.mean()),
+                             benchutil::fmt(hfc_stat.stddev()),
+                             benchutil::fmt(cluster_stat.mean(), 1)})
+              << "\n";
+  }
+  std::cout << "\nExpected shape (paper): flat grows linearly with slope 1; "
+               "HFC grows much slower.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Extension bench — service multicast sharing (authors' mc-SPF line,
+// refs [3]/[6] of the paper).
+//
+// One source streams through a 3-service chain to growing destination
+// fan-outs; the greedy prefix-sharing tree is compared against
+// independent unicasts (cost ratio < 1 = bandwidth saved by sharing the
+// processed stream).
+#include <iostream>
+
+#include "bench/common.h"
+#include "core/experiment.h"
+#include "multicast/service_multicast.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace hfc;
+  const std::size_t trials = benchutil::env_size(
+      "HFC_TRIALS", benchutil::full_scale() ? 40 : 15);
+  const Environment env{300, 10, 250, 40};
+  const auto fw = HfcFramework::build(config_for(env, 8900));
+  const OverlayDistance truth = fw->true_distance();
+
+  const ServiceMulticastBuilder builder(
+      [&fw](NodeId src, NodeId dst, const std::vector<ServiceId>& chain) {
+        ServiceRequest request;
+        request.source = src;
+        request.destination = dst;
+        request.graph = ServiceGraph::linear(chain);
+        return fw->route(request);
+      },
+      fw->estimated_distance());
+
+  std::cout << "Service multicast: greedy prefix-sharing trees vs unicasts "
+               "(250 proxies, 3-service chain, " << trials
+            << " trials per fan-out)\n";
+  std::cout << format_row({"fan-out", "tree (ms)", "unicasts (ms)",
+                           "tree/unicast"})
+            << "\n";
+  (void)truth;
+  for (std::size_t fanout : {2u, 4u, 8u, 16u, 32u}) {
+    RunningStat tree_cost;
+    RunningStat unicast_cost;
+    Rng rng(9000 + fanout);
+    for (std::size_t t = 0; t < trials; ++t) {
+      MulticastRequest request;
+      const auto& pool = fw->client_proxies();
+      request.source = rng.pick(pool);
+      for (std::size_t d = 0; d < fanout; ++d) {
+        request.destinations.push_back(rng.pick(pool));
+      }
+      std::vector<ServiceId> chain;
+      for (std::size_t s :
+           rng.sample_indices(fw->config().workload.catalog_size, 3)) {
+        chain.push_back(ServiceId(static_cast<std::int32_t>(s)));
+      }
+      request.graph = ServiceGraph::linear(chain);
+      const MulticastTree tree = builder.build(request);
+      if (!tree.found) continue;
+      tree_cost.add(tree.cost);
+      unicast_cost.add(builder.unicast_total(request));
+    }
+    std::cout << format_row(
+                     {std::to_string(fanout),
+                      benchutil::fmt(tree_cost.mean()),
+                      benchutil::fmt(unicast_cost.mean()),
+                      benchutil::fmt(tree_cost.mean() / unicast_cost.mean(),
+                                     3)})
+              << "\n";
+  }
+  std::cout << "\nExpected: the tree/unicast ratio falls as fan-out grows "
+               "(more upstream sharing).\n";
+  return 0;
+}

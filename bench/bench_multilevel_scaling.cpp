@@ -1,0 +1,75 @@
+// Extension bench — multi-level HFC hierarchies.
+//
+// The paper's topology is bi-level (one clustering level under a virtual
+// root). This bench compares 1, 2 and 3 clustering levels on the Table 1
+// environments: per-proxy coordinate state (the Figure 9a metric under
+// generalised visibility) against the average service path length (the
+// Figure 10 metric) — deeper hierarchies trade path stretch for state.
+#include <iostream>
+
+#include "bench/common.h"
+#include "core/experiment.h"
+#include "multilevel/multilevel_hierarchy.h"
+#include "multilevel/multilevel_router.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace hfc;
+  const std::size_t requests = benchutil::env_size(
+      "HFC_REQUESTS", benchutil::full_scale() ? 500 : 150);
+
+  std::cout << "Multi-level HFC: state vs path length ("
+            << requests << " requests per cell)\n";
+  std::cout << format_row({"proxies", "levels", "groups L1/L2/L3",
+                           "coord states", "avg path (ms)"})
+            << "\n";
+  for (const Environment& env : paper_environments()) {
+    const auto fw = HfcFramework::build(config_for(env, 8500));
+    const OverlayDistance truth = fw->true_distance();
+    Rng rng(8600);
+    const auto batch = fw->generate_requests(requests, rng);
+
+    for (std::size_t levels : {1u, 2u, 3u}) {
+      MultiLevelParams params;
+      params.levels = levels;
+      // Equal eagerness at every level: the factor-growth default is
+      // conservative and rarely splits the (fairly uniform) centroid
+      // clouds transit-stub coordinate spaces produce.
+      params.factor_growth = 1.0;
+      const MultiLevelHierarchy hierarchy(fw->distance_map().proxy_coords,
+                                          params);
+      const MultiLevelRouter router(fw->overlay(), hierarchy,
+                                    fw->estimated_distance());
+      RunningStat coord;
+      for (NodeId n : fw->overlay().all_nodes()) {
+        coord.add(static_cast<double>(hierarchy.coordinate_state_count(n)));
+      }
+      RunningStat lengths;
+      std::size_t failures = 0;
+      for (const ServiceRequest& request : batch) {
+        const ServicePath path = router.route(request);
+        if (!path.found) {
+          ++failures;
+          continue;
+        }
+        lengths.add(path_length(path, truth));
+      }
+      std::string shape;
+      for (std::size_t l = 1; l <= hierarchy.levels(); ++l) {
+        if (l > 1) shape += "/";
+        shape += std::to_string(hierarchy.groups_at(l).size());
+      }
+      std::cout << format_row({std::to_string(env.proxies),
+                               std::to_string(hierarchy.levels()),
+                               shape, benchutil::fmt(coord.mean(), 1),
+                               benchutil::fmt(lengths.mean())})
+                << "\n";
+      if (failures > 0) {
+        std::cout << "  (" << failures << " requests unroutable)\n";
+      }
+    }
+  }
+  std::cout << "\nExpected: more levels -> fewer coordinate states per "
+               "proxy, slightly longer paths.\n";
+  return 0;
+}

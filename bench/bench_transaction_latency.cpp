@@ -1,0 +1,50 @@
+// Extension bench — hierarchical routing transaction cost (§5, Figure 5).
+//
+// Divide-and-conquer is not free: the destination proxy dispatches child
+// requests to resolver proxies in other clusters and waits for replies.
+// This bench reports the setup latency (slowest child round-trip over
+// true delays) and control message count per request across the Table 1
+// sizes — the price paid for routing with aggregated state.
+#include <iostream>
+
+#include "bench/common.h"
+#include "core/experiment.h"
+#include "sim/transaction.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace hfc;
+  const std::size_t requests = benchutil::env_size(
+      "HFC_REQUESTS", benchutil::full_scale() ? 500 : 200);
+
+  std::cout << "Hierarchical routing transaction cost (" << requests
+            << " requests per size)\n";
+  std::cout << format_row({"proxies", "children(avg)", "msgs(avg)",
+                           "setup ms(avg)", "setup ms(p95)"})
+            << "\n";
+  for (const Environment& env : paper_environments()) {
+    const auto fw = HfcFramework::build(config_for(env, 9100));
+    Rng rng(9200);
+    RunningStat children;
+    RunningStat messages;
+    std::vector<double> latencies;
+    for (const ServiceRequest& request :
+         fw->generate_requests(requests, rng)) {
+      const RoutingTransaction txn = simulate_routing_transaction(
+          fw->router(), fw->topology(), request, fw->true_distance());
+      if (!txn.path.found) continue;
+      children.add(static_cast<double>(txn.child_requests));
+      messages.add(static_cast<double>(txn.control_messages));
+      latencies.push_back(txn.setup_latency_ms);
+    }
+    std::cout << format_row({std::to_string(env.proxies),
+                             benchutil::fmt(children.mean()),
+                             benchutil::fmt(messages.mean()),
+                             benchutil::fmt(mean_of(latencies)),
+                             benchutil::fmt(percentile(latencies, 95.0))})
+              << "\n";
+  }
+  std::cout << "\nSetup latency is a one-time session cost; flat global-"
+               "state routing avoids it by paying O(n) state per proxy.\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Shared helpers for the benchmark binaries.
+//
+// Every figure bench runs a reduced-but-faithful configuration by default
+// so the whole suite finishes in minutes; set HFC_FULL=1 to reproduce the
+// paper's full scale (10 underlays for Figure 9, 5 underlays x 1000
+// requests for Figure 10).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hfc::benchutil {
+
+inline bool full_scale() {
+  const char* v = std::getenv("HFC_FULL");
+  return v != nullptr && std::string(v) == "1";
+}
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+inline std::string fmt(double value, int decimals = 2) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << value;
+  return os.str();
+}
+
+}  // namespace hfc::benchutil

@@ -1,0 +1,44 @@
+// A condensed rerun of the paper's §6 evaluation: for each Table 1
+// environment, build the framework once and print the state overhead
+// (Figure 9) and path efficiency (Figure 10) side by side. Smaller request
+// counts than the benches, intended as a human-readable overview.
+//
+//   $ example_scalability_study [requests_per_size]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace hfc;
+  const std::size_t requests =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100;
+
+  std::cout << "HFC scalability study (" << requests
+            << " requests per size)\n\n";
+  std::cout << format_row({"proxies", "clusters", "coord st.", "svc st.",
+                           "mesh(ms)", "HFC agg", "HFC full"})
+            << "\n";
+  for (const Environment& env : paper_environments()) {
+    const auto fw = HfcFramework::build(config_for(env, 55));
+    const OverheadSample overhead = measure_state_overhead(*fw);
+    const PathEfficiencySample eff =
+        measure_path_efficiency(*fw, requests, 56);
+    const auto fmt = [](double v) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.1f", v);
+      return std::string(buf);
+    };
+    std::cout << format_row({std::to_string(env.proxies),
+                             std::to_string(overhead.clusters),
+                             fmt(overhead.hfc_coordinate),
+                             fmt(overhead.hfc_service), fmt(eff.mesh_avg),
+                             fmt(eff.hfc_agg_avg), fmt(eff.hfc_noagg_avg)})
+              << "\n";
+  }
+  std::cout << "\ncoord st. / svc st. = per-proxy node-states under HFC "
+               "(flat topologies need n of each).\n";
+  std::cout << "mesh / HFC agg / HFC full = average true-delay service path "
+               "length of the three §6.2 competitors.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+#include "cluster/mst.h"
+
+#include <limits>
+
+#include "util/require.h"
+
+namespace hfc {
+
+std::vector<MstEdge> mst_dense(std::size_t n, const DistanceFn& distance) {
+  std::vector<MstEdge> edges;
+  if (n <= 1) return edges;
+  edges.reserve(n - 1);
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<bool> in_tree(n, false);
+  std::vector<double> best(n, kInf);     // cheapest edge into the tree
+  std::vector<std::size_t> parent(n, 0);
+
+  in_tree[0] = true;
+  for (std::size_t v = 1; v < n; ++v) {
+    best[v] = distance(0, v);
+    parent[v] = 0;
+  }
+  for (std::size_t added = 1; added < n; ++added) {
+    std::size_t next = n;
+    double next_cost = kInf;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!in_tree[v] && best[v] < next_cost) {
+        next = v;
+        next_cost = best[v];
+      }
+    }
+    ensure(next < n, "mst_dense: graph distance returned infinity");
+    in_tree[next] = true;
+    edges.push_back(MstEdge{parent[next], next, next_cost});
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!in_tree[v]) {
+        const double d = distance(next, v);
+        if (d < best[v]) {
+          best[v] = d;
+          parent[v] = next;
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+std::vector<MstEdge> euclidean_mst(const std::vector<Point>& points) {
+  return mst_dense(points.size(), [&points](std::size_t i, std::size_t j) {
+    return euclidean(points[i], points[j]);
+  });
+}
+
+double total_length(const std::vector<MstEdge>& edges) {
+  double sum = 0.0;
+  for (const MstEdge& e : edges) sum += e.length;
+  return sum;
+}
+
+}  // namespace hfc

@@ -1,0 +1,39 @@
+// Minimum spanning tree over a dense distance function.
+//
+// The Zahn clustering (paper §3.2) works on the Euclidean MST of the proxy
+// coordinates. Prim's algorithm with a linear scan is O(n^2), which is
+// optimal for a complete graph and comfortably fast at the paper's scales
+// (n <= 1000).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "coords/point.h"
+
+namespace hfc {
+
+/// An undirected MST edge between node indices.
+struct MstEdge {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  double length = 0.0;
+};
+
+/// Distance callback over node indices; must be symmetric and non-negative.
+using DistanceFn = std::function<double(std::size_t, std::size_t)>;
+
+/// Prim MST over the complete graph on n nodes. Returns n-1 edges
+/// (empty for n <= 1).
+[[nodiscard]] std::vector<MstEdge> mst_dense(std::size_t n,
+                                             const DistanceFn& distance);
+
+/// Convenience: MST of points under Euclidean distance.
+[[nodiscard]] std::vector<MstEdge> euclidean_mst(
+    const std::vector<Point>& points);
+
+/// Total length of an edge set.
+[[nodiscard]] double total_length(const std::vector<MstEdge>& edges);
+
+}  // namespace hfc

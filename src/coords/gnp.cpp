@@ -1,0 +1,159 @@
+#include "coords/gnp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+#include "util/stats.h"
+
+namespace hfc {
+
+namespace {
+
+/// Delays below this (ms) are clamped in relative-error denominators so a
+/// pair of co-located endpoints cannot dominate the objective.
+constexpr double kMinDelayMs = 1.0;
+
+double max_entry(const SymMatrix<double>& m) {
+  double best = 0.0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) best = std::max(best, m.at(i, j));
+  }
+  return best;
+}
+
+double squared_rel_error(double estimated, double measured) {
+  const double e = (estimated - measured) / std::max(measured, kMinDelayMs);
+  return e * e;
+}
+
+}  // namespace
+
+CoordinateSystem embed_landmarks(const SymMatrix<double>& landmark_delays,
+                                 const GnpParams& params, Rng& rng) {
+  const std::size_t m = landmark_delays.size();
+  require(m >= 2, "embed_landmarks: need >= 2 landmarks");
+  require(params.dimensions >= 1, "embed_landmarks: zero dimensions");
+  const std::size_t k = params.dimensions;
+  const double scale = std::max(max_entry(landmark_delays), kMinDelayMs);
+
+  // Variables: the m*k landmark coordinates, flattened landmark-major.
+  const Objective objective = [&](const std::vector<double>& x) {
+    double cost = 0.0;
+    for (std::size_t i = 0; i + 1 < m; ++i) {
+      for (std::size_t j = i + 1; j < m; ++j) {
+        double sum = 0.0;
+        for (std::size_t d = 0; d < k; ++d) {
+          const double delta = x[i * k + d] - x[j * k + d];
+          sum += delta * delta;
+        }
+        cost += squared_rel_error(std::sqrt(sum), landmark_delays.at(i, j));
+      }
+    }
+    return cost;
+  };
+
+  NelderMeadParams solver = params.solver;
+  solver.initial_step = scale / 4.0;
+  const NelderMeadResult best = nelder_mead_multistart(
+      objective, m * k, 0.0, scale, params.landmark_restarts, rng, solver);
+
+  CoordinateSystem system;
+  system.dimensions = k;
+  system.landmark_coords.resize(m, Point(k, 0.0));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t d = 0; d < k; ++d) {
+      system.landmark_coords[i][d] = best.argmin[i * k + d];
+    }
+  }
+  return system;
+}
+
+Point solve_host(const CoordinateSystem& system,
+                 const std::vector<double>& delays_to_landmarks,
+                 const GnpParams& params, Rng& rng) {
+  require(system.dimensions >= 1, "solve_host: empty coordinate system");
+  require(delays_to_landmarks.size() == system.landmark_coords.size(),
+          "solve_host: one delay per landmark required");
+  const std::size_t k = system.dimensions;
+
+  double scale = kMinDelayMs;
+  for (double d : delays_to_landmarks) scale = std::max(scale, d);
+
+  const Objective objective = [&](const std::vector<double>& x) {
+    double cost = 0.0;
+    for (std::size_t l = 0; l < delays_to_landmarks.size(); ++l) {
+      double sum = 0.0;
+      for (std::size_t d = 0; d < k; ++d) {
+        const double delta = x[d] - system.landmark_coords[l][d];
+        sum += delta * delta;
+      }
+      cost += squared_rel_error(std::sqrt(sum), delays_to_landmarks[l]);
+    }
+    return cost;
+  };
+
+  NelderMeadParams solver = params.solver;
+  solver.initial_step = scale / 4.0;
+  const NelderMeadResult best = nelder_mead_multistart(
+      objective, k, -scale, scale, params.host_restarts, rng, solver);
+  return best.argmin;
+}
+
+DistanceMap build_distance_map(LatencyOracle& oracle,
+                               std::size_t landmark_count,
+                               const GnpParams& params, Rng& rng) {
+  require(landmark_count >= 2, "build_distance_map: need >= 2 landmarks");
+  require(oracle.endpoint_count() > landmark_count,
+          "build_distance_map: oracle must hold landmarks plus proxies");
+  const std::size_t proxies = oracle.endpoint_count() - landmark_count;
+  const std::size_t probes_before = oracle.probe_count();
+
+  // Step 1: landmarks measure one another (minimum of several probes).
+  SymMatrix<double> landmark_delays(landmark_count, 0.0);
+  for (std::size_t i = 0; i + 1 < landmark_count; ++i) {
+    for (std::size_t j = i + 1; j < landmark_count; ++j) {
+      landmark_delays.at(i, j) =
+          oracle.measure_min_of(i, j, params.probes_per_measurement);
+    }
+  }
+
+  DistanceMap map;
+  // Step 2: embed the landmarks into S.
+  map.system = embed_landmarks(landmark_delays, params, rng);
+
+  // Step 3: each proxy measures the landmarks and solves its coordinates.
+  map.proxy_coords.reserve(proxies);
+  for (std::size_t p = 0; p < proxies; ++p) {
+    std::vector<double> to_landmarks(landmark_count);
+    for (std::size_t l = 0; l < landmark_count; ++l) {
+      to_landmarks[l] = oracle.measure_min_of(landmark_count + p, l,
+                                              params.probes_per_measurement);
+    }
+    map.proxy_coords.push_back(solve_host(map.system, to_landmarks, params, rng));
+  }
+  map.probes_used = oracle.probe_count() - probes_before;
+  return map;
+}
+
+EmbeddingQuality evaluate_embedding(const std::vector<Point>& coords,
+                                    const SymMatrix<double>& true_delays) {
+  require(coords.size() == true_delays.size(),
+          "evaluate_embedding: size mismatch");
+  std::vector<double> errors;
+  for (std::size_t i = 0; i + 1 < coords.size(); ++i) {
+    for (std::size_t j = i + 1; j < coords.size(); ++j) {
+      const double truth = true_delays.at(i, j);
+      if (truth <= 0.0) continue;
+      errors.push_back(std::abs(euclidean(coords[i], coords[j]) - truth) /
+                       truth);
+    }
+  }
+  EmbeddingQuality q;
+  q.mean_rel_error = mean_of(errors);
+  q.median_rel_error = percentile(errors, 50.0);
+  q.p90_rel_error = percentile(std::move(errors), 90.0);
+  return q;
+}
+
+}  // namespace hfc

@@ -1,0 +1,87 @@
+// GNP-style network coordinates (Ng & Zhang, "Predicting Internet Network
+// Distance with Coordinates-Based Approaches", INFOCOM 2002) — the
+// distance-map mechanism the paper adopts in §3.1.
+//
+// Pipeline:
+//   1. m landmarks measure the O(m^2) delays among themselves (minimum of
+//      several probes) and are embedded into a k-dimensional space by
+//      Nelder-Mead minimisation of relative embedding error.
+//   2. Each host measures its delays to the m landmarks only, and solves
+//      its own coordinates against the fixed landmark positions.
+// The complete n-host distance map then costs O(m^2 + nm) measurements and
+// O(kn) storage instead of O(n^2) for direct measurement.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "coords/nelder_mead.h"
+#include "coords/point.h"
+#include "topology/shortest_paths.h"
+#include "util/rng.h"
+#include "util/sym_matrix.h"
+
+namespace hfc {
+
+struct GnpParams {
+  std::size_t dimensions = 2;  ///< the paper uses 2-d spaces throughout §6
+  std::size_t probes_per_measurement = 3;  ///< "minimum of several" (§3.1)
+  std::size_t landmark_restarts = 8;
+  std::size_t host_restarts = 4;
+  NelderMeadParams solver;  ///< initial_step is rescaled to the delay range
+};
+
+/// The shared coordinate space: dimension plus fixed landmark positions.
+struct CoordinateSystem {
+  std::size_t dimensions = 0;
+  std::vector<Point> landmark_coords;
+};
+
+/// Relative-error quality of an embedding against ground truth.
+struct EmbeddingQuality {
+  double mean_rel_error = 0.0;
+  double median_rel_error = 0.0;
+  double p90_rel_error = 0.0;
+};
+
+/// Embed landmarks given their measured pairwise delays. Minimises the sum
+/// of squared relative errors over all landmark pairs.
+[[nodiscard]] CoordinateSystem embed_landmarks(
+    const SymMatrix<double>& landmark_delays, const GnpParams& params,
+    Rng& rng);
+
+/// Solve one host's coordinates from its measured delays to the landmarks.
+[[nodiscard]] Point solve_host(const CoordinateSystem& system,
+                               const std::vector<double>& delays_to_landmarks,
+                               const GnpParams& params, Rng& rng);
+
+/// Result of the full distance-map pipeline for n proxies.
+struct DistanceMap {
+  CoordinateSystem system;
+  /// proxy_coords[i] is the coordinate of proxy i (the i-th proxy endpoint
+  /// handed to build_distance_map).
+  std::vector<Point> proxy_coords;
+  /// Total measurement probes consumed (O(m^2 + nm) * probes).
+  std::size_t probes_used = 0;
+
+  /// Predicted delay between proxies i and j (geometric distance).
+  [[nodiscard]] double distance(std::size_t i, std::size_t j) const {
+    return euclidean(proxy_coords[i], proxy_coords[j]);
+  }
+};
+
+/// Run the full §3.1 pipeline against a latency oracle whose endpoints are
+/// laid out as [landmarks..., proxies...]: `landmark_count` landmarks first,
+/// then the proxies. Returns the coordinate map for the proxies.
+[[nodiscard]] DistanceMap build_distance_map(LatencyOracle& oracle,
+                                             std::size_t landmark_count,
+                                             const GnpParams& params,
+                                             Rng& rng);
+
+/// Measure embedding quality of arbitrary points against a ground-truth
+/// delay matrix of the same size (relative error per pair; pairs with zero
+/// true delay are skipped).
+[[nodiscard]] EmbeddingQuality evaluate_embedding(
+    const std::vector<Point>& coords, const SymMatrix<double>& true_delays);
+
+}  // namespace hfc

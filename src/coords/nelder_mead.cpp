@@ -1,0 +1,165 @@
+#include "coords/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/require.h"
+
+namespace hfc {
+
+namespace {
+
+struct Vertex {
+  std::vector<double> x;
+  double value;
+};
+
+std::vector<double> centroid_excluding_worst(const std::vector<Vertex>& simplex) {
+  const std::size_t dim = simplex.front().x.size();
+  std::vector<double> c(dim, 0.0);
+  for (std::size_t v = 0; v + 1 < simplex.size(); ++v) {
+    for (std::size_t i = 0; i < dim; ++i) c[i] += simplex[v].x[i];
+  }
+  for (double& ci : c) ci /= static_cast<double>(simplex.size() - 1);
+  return c;
+}
+
+std::vector<double> affine(const std::vector<double>& base,
+                           const std::vector<double>& dir, double t) {
+  std::vector<double> out(base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    out[i] = base[i] + t * (dir[i] - base[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+NelderMeadResult nelder_mead(const Objective& f,
+                             const std::vector<double>& start,
+                             const NelderMeadParams& params) {
+  require(!start.empty(), "nelder_mead: empty start vector");
+  require(params.tolerance > 0.0, "nelder_mead: non-positive tolerance");
+  const std::size_t dim = start.size();
+
+  // Initial simplex: start point plus one vertex displaced along each axis.
+  std::vector<Vertex> simplex;
+  simplex.reserve(dim + 1);
+  simplex.push_back({start, f(start)});
+  for (std::size_t i = 0; i < dim; ++i) {
+    std::vector<double> x = start;
+    x[i] += params.initial_step;
+    simplex.push_back({x, f(x)});
+  }
+
+  const auto by_value = [](const Vertex& a, const Vertex& b) {
+    return a.value < b.value;
+  };
+
+  const auto diameter = [&simplex, dim]() {
+    double d = 0.0;
+    for (std::size_t v = 1; v < simplex.size(); ++v) {
+      for (std::size_t i = 0; i < dim; ++i) {
+        d = std::max(d, std::abs(simplex[v].x[i] - simplex.front().x[i]));
+      }
+    }
+    return d;
+  };
+  const double x_tol =
+      params.x_tolerance * std::max(1.0, std::abs(params.initial_step));
+
+  NelderMeadResult result;
+  for (result.iterations = 0; result.iterations < params.max_iterations;
+       ++result.iterations) {
+    std::sort(simplex.begin(), simplex.end(), by_value);
+    const double spread = simplex.back().value - simplex.front().value;
+    if (spread < params.tolerance) {
+      if (diameter() < x_tol) {
+        result.converged = true;
+        break;
+      }
+      // Flat but wide: shrink toward the best vertex and keep going.
+      for (std::size_t v = 1; v < simplex.size(); ++v) {
+        simplex[v].x = affine(simplex.front().x, simplex[v].x, params.shrink);
+        simplex[v].value = f(simplex[v].x);
+      }
+      continue;
+    }
+
+    const std::vector<double> c = centroid_excluding_worst(simplex);
+    Vertex& worst = simplex.back();
+    const double best_value = simplex.front().value;
+    const double second_worst = simplex[simplex.size() - 2].value;
+
+    // Reflection: mirror the worst vertex through the centroid.
+    std::vector<double> xr = affine(c, worst.x, -params.reflection);
+    const double fr = f(xr);
+    if (fr < best_value) {
+      // Expansion: keep going in the promising direction.
+      std::vector<double> xe = affine(c, worst.x, -params.expansion);
+      const double fe = f(xe);
+      if (fe < fr) {
+        worst = {std::move(xe), fe};
+      } else {
+        worst = {std::move(xr), fr};
+      }
+      continue;
+    }
+    if (fr < second_worst) {
+      worst = {std::move(xr), fr};
+      continue;
+    }
+    // Contraction, toward the better of (worst, reflected).
+    if (fr < worst.value) {
+      std::vector<double> xoc = affine(c, xr, params.contraction);
+      const double foc = f(xoc);
+      if (foc <= fr) {
+        worst = {std::move(xoc), foc};
+        continue;
+      }
+    } else {
+      std::vector<double> xic = affine(c, worst.x, params.contraction);
+      const double fic = f(xic);
+      if (fic < worst.value) {
+        worst = {std::move(xic), fic};
+        continue;
+      }
+    }
+    // Shrink the whole simplex toward the best vertex.
+    for (std::size_t v = 1; v < simplex.size(); ++v) {
+      simplex[v].x = affine(simplex.front().x, simplex[v].x, params.shrink);
+      simplex[v].value = f(simplex[v].x);
+    }
+  }
+
+  std::sort(simplex.begin(), simplex.end(), by_value);
+  result.argmin = simplex.front().x;
+  result.value = simplex.front().value;
+  return result;
+}
+
+NelderMeadResult nelder_mead_multistart(const Objective& f, std::size_t dim,
+                                        double lo, double hi,
+                                        std::size_t restarts, Rng& rng,
+                                        const NelderMeadParams& params) {
+  require(dim > 0, "nelder_mead_multistart: zero dimension");
+  require(restarts >= 1, "nelder_mead_multistart: need >= 1 restart");
+  require(lo <= hi, "nelder_mead_multistart: empty box");
+
+  NelderMeadResult best;
+  best.value = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < restarts; ++r) {
+    std::vector<double> start(dim);
+    if (r == 0) {
+      std::fill(start.begin(), start.end(), (lo + hi) / 2.0);
+    } else {
+      for (double& s : start) s = rng.uniform_real(lo, hi);
+    }
+    NelderMeadResult attempt = nelder_mead(f, start, params);
+    if (attempt.value < best.value) best = std::move(attempt);
+  }
+  return best;
+}
+
+}  // namespace hfc

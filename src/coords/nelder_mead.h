@@ -1,0 +1,56 @@
+// Nelder-Mead simplex function minimisation (Nelder & Mead, Computer
+// Journal 1965) — the method the paper cites ([23]) for both embedding the
+// landmarks into the coordinate space and solving each host's coordinates.
+//
+// Derivative-free, so it works directly on the non-smooth relative-error
+// objectives used by GNP-style embeddings.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hfc {
+
+/// Objective: maps a parameter vector to a scalar cost.
+using Objective = std::function<double(const std::vector<double>&)>;
+
+struct NelderMeadParams {
+  std::size_t max_iterations = 2000;
+  /// Converged when the span of simplex values is below this.
+  double tolerance = 1e-9;
+  /// ... and the simplex diameter is below x_tolerance * max(1,
+  /// initial_step). A flat-valued but wide simplex shrinks and continues
+  /// instead of stopping early (symmetric starts can otherwise stall with
+  /// two equal-valued vertices straddling the minimum).
+  double x_tolerance = 1e-7;
+  double reflection = 1.0;
+  double expansion = 2.0;
+  double contraction = 0.5;
+  double shrink = 0.5;
+  /// Initial simplex step added to each coordinate of the start point.
+  double initial_step = 1.0;
+};
+
+struct NelderMeadResult {
+  std::vector<double> argmin;
+  double value = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Minimise `f` starting from `start`. Throws on an empty start vector.
+[[nodiscard]] NelderMeadResult nelder_mead(const Objective& f,
+                                           const std::vector<double>& start,
+                                           const NelderMeadParams& params = {});
+
+/// Run `restarts` independent minimisations from random starts drawn
+/// uniformly from [lo, hi]^dim (plus one from the midpoint) and keep the
+/// best. Used for the landmark embedding, whose objective has local minima.
+[[nodiscard]] NelderMeadResult nelder_mead_multistart(
+    const Objective& f, std::size_t dim, double lo, double hi,
+    std::size_t restarts, Rng& rng, const NelderMeadParams& params = {});
+
+}  // namespace hfc

@@ -1,0 +1,27 @@
+// k-dimensional geometric points for the network coordinate space.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/require.h"
+
+namespace hfc {
+
+/// A point in the k-dimensional coordinate space S (paper §3.1). The
+/// dimension is a runtime property so experiments can sweep it.
+using Point = std::vector<double>;
+
+/// Euclidean distance between two points of equal dimension.
+[[nodiscard]] inline double euclidean(const Point& a, const Point& b) {
+  require(a.size() == b.size(), "euclidean: dimension mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace hfc

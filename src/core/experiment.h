@@ -1,0 +1,84 @@
+// Experiment harness: the paper's simulation environments (Table 1) and
+// the measurements behind Figures 9 and 10. Benches and examples call
+// these; tests pin their semantics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+
+namespace hfc {
+
+/// One row of Table 1.
+struct Environment {
+  std::size_t physical_routers = 300;
+  std::size_t landmarks = 10;
+  std::size_t proxies = 250;
+  std::size_t clients = 40;
+};
+
+/// The four environments of Table 1 (services/proxy and request lengths of
+/// 4-10 are carried by the default WorkloadParams).
+[[nodiscard]] std::vector<Environment> paper_environments();
+
+/// FrameworkConfig for an environment and seed.
+[[nodiscard]] FrameworkConfig config_for(const Environment& env,
+                                         std::uint64_t seed);
+
+/// Per-proxy state maintenance overhead, in node-states (Figure 9). Values
+/// are averages over all proxies of one built framework.
+struct OverheadSample {
+  double flat_coordinate = 0.0;  ///< flat topology: n node-states
+  double hfc_coordinate = 0.0;   ///< own cluster + all borders (Fig 9a)
+  double flat_service = 0.0;     ///< flat topology: n node-states
+  double hfc_service = 0.0;      ///< own cluster + #clusters (Fig 9b)
+  std::size_t clusters = 0;
+};
+[[nodiscard]] OverheadSample measure_state_overhead(const HfcFramework& fw);
+
+/// Average true-delay service path lengths of the three §6.2 competitors
+/// on one shared batch of requests (Figure 10).
+struct PathEfficiencySample {
+  double mesh_avg = 0.0;        ///< single-level mesh, global state
+  double hfc_agg_avg = 0.0;     ///< HFC with topology/state aggregation
+  double hfc_noagg_avg = 0.0;   ///< HFC topology, full global state
+  std::size_t requests = 0;
+  std::size_t failures = 0;  ///< requests any competitor failed to route
+};
+[[nodiscard]] PathEfficiencySample measure_path_efficiency(
+    const HfcFramework& fw, std::size_t request_count, std::uint64_t seed);
+
+/// Relay/transit load concentration over a request batch: how unevenly
+/// hierarchical paths load individual proxies (the paper's §3 load-
+/// balancing argument for closest-pair borders). Shares are fractions of
+/// all hop appearances across the batch.
+struct RelayLoadSample {
+  double max_share = 0.0;   ///< busiest single proxy
+  double top5_share = 0.0;  ///< five busiest proxies combined
+  std::size_t loaded_proxies = 0;  ///< proxies appearing in any path
+};
+[[nodiscard]] RelayLoadSample measure_relay_load(const HfcFramework& fw,
+                                                 std::size_t request_count,
+                                                 std::uint64_t seed);
+
+/// One-time construction cost of the HFC topology (§3.1-§3.3): the
+/// measurement probes of the distance-map stage, the coordinate reports
+/// every proxy sends to the elected coordinator P, and the Figure-4
+/// topology-information messages P sends back (payload counted in
+/// node-states: membership + border table + coordinate set).
+struct ConstructionCost {
+  std::size_t measurement_probes = 0;
+  std::size_t report_messages = 0;  ///< one per proxy, to P
+  std::size_t info_messages = 0;    ///< one per proxy, from P
+  std::size_t info_node_states = 0;  ///< total payload across proxies
+};
+[[nodiscard]] ConstructionCost measure_construction_cost(
+    const HfcFramework& fw);
+
+/// Format helper: fixed-width table row printing used by the benches.
+[[nodiscard]] std::string format_row(const std::vector<std::string>& cells,
+                                     std::size_t width = 14);
+
+}  // namespace hfc

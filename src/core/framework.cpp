@@ -1,0 +1,109 @@
+#include "core/framework.h"
+
+#include <limits>
+#include <utility>
+
+#include "topology/shortest_paths.h"
+#include "util/require.h"
+
+namespace hfc {
+
+std::unique_ptr<HfcFramework> HfcFramework::build(
+    const FrameworkConfig& config) {
+  require(config.proxies >= 2, "HfcFramework: need >= 2 proxies");
+  require(config.landmarks >= 2, "HfcFramework: need >= 2 landmarks");
+
+  auto fw = std::unique_ptr<HfcFramework>(new HfcFramework());
+  fw->config_ = config;
+  const Rng master(config.seed);
+
+  // 1. Underlay: transit-stub physical topology (§6, via [26]).
+  Rng topo_rng = master.fork(1);
+  fw->underlay_ = generate_transit_stub(
+      TransitStubParams::for_total_routers(config.physical_routers), topo_rng);
+
+  // 2. Attachment of landmarks, proxies and clients to stub routers.
+  Rng place_rng = master.fork(2);
+  PlacementParams placement_params;
+  placement_params.proxies = config.proxies;
+  placement_params.landmarks = config.landmarks;
+  placement_params.clients = config.clients;
+  fw->placement_ =
+      place_overlay(fw->underlay_, placement_params, place_rng);
+
+  // 3. Distance map via landmarks + coordinates (§3.1). The oracle's
+  //    endpoint list is [landmarks..., proxies...].
+  std::vector<RouterId> endpoints = fw->placement_.landmark_routers;
+  endpoints.insert(endpoints.end(), fw->placement_.proxy_routers.begin(),
+                   fw->placement_.proxy_routers.end());
+  LatencyOracle oracle(fw->underlay_.network, std::move(endpoints),
+                       config.measurement_noise, master.fork(3));
+  Rng gnp_rng = master.fork(4);
+  fw->distance_map_ =
+      build_distance_map(oracle, config.landmarks, config.gnp, gnp_rng);
+
+  // Ground-truth proxy-pairwise delays, for evaluation only.
+  fw->true_delays_ = std::make_shared<const SymMatrix<double>>(
+      pairwise_delays(fw->underlay_.network, fw->placement_.proxy_routers));
+
+  // 4. Service placement (Table 1: 4-10 services per proxy) and overlay.
+  Rng workload_rng = master.fork(5);
+  fw->overlay_ = std::make_unique<OverlayNetwork>(
+      fw->distance_map_.proxy_coords,
+      assign_services(config.proxies, config.workload, workload_rng));
+
+  // 5. Clustering by MST + inconsistent-edge removal (§3.2) and the HFC
+  //    topology with border selection (§3.3).
+  Clustering clustering =
+      cluster_points(fw->distance_map_.proxy_coords, config.zahn);
+  fw->topology_ = std::make_unique<HfcTopology>(
+      std::move(clustering), fw->estimated_distance(),
+      config.border_selection);
+
+  // 6. Hierarchical router over the aggregate state (§5).
+  fw->router_ = std::make_unique<HierarchicalServiceRouter>(
+      *fw->overlay_, *fw->topology_, fw->estimated_distance(),
+      config.routing);
+
+  // 7. Client endpoint pool: each client's nearest proxy by true delay.
+  fw->client_proxies_.reserve(config.clients);
+  for (RouterId client : fw->placement_.client_routers) {
+    const ShortestPathTree tree = dijkstra(fw->underlay_.network, client);
+    double best = std::numeric_limits<double>::infinity();
+    NodeId nearest;
+    for (std::size_t p = 0; p < fw->placement_.proxy_routers.size(); ++p) {
+      const double d = tree.delay_ms[fw->placement_.proxy_routers[p].idx()];
+      if (d < best) {
+        best = d;
+        nearest = NodeId(static_cast<std::int32_t>(p));
+      }
+    }
+    ensure(nearest.valid(), "HfcFramework: client cannot reach any proxy");
+    fw->client_proxies_.push_back(nearest);
+  }
+  return fw;
+}
+
+OverlayDistance HfcFramework::estimated_distance() const {
+  // Captures `this`; the framework is neither copyable nor movable, so the
+  // pointer stays valid for the framework's lifetime.
+  return [this](NodeId a, NodeId b) {
+    return euclidean(distance_map_.proxy_coords[a.idx()],
+                     distance_map_.proxy_coords[b.idx()]);
+  };
+}
+
+OverlayDistance HfcFramework::true_distance() const {
+  return [delays = true_delays_](NodeId a, NodeId b) {
+    return delays->at(a.idx(), b.idx());
+  };
+}
+
+std::vector<ServiceRequest> HfcFramework::generate_requests(std::size_t count,
+                                                            Rng& rng) const {
+  const std::vector<NodeId>& pool =
+      client_proxies_.empty() ? overlay_->all_nodes() : client_proxies_;
+  return make_requests(count, pool, config_.workload, rng);
+}
+
+}  // namespace hfc

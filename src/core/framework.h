@@ -1,0 +1,113 @@
+// The HFC framework façade: one call builds the entire stack the paper
+// describes — underlay, measurement, coordinates, clustering, HFC topology
+// and the hierarchical router — and exposes the pieces experiments need.
+//
+//   FrameworkConfig config;
+//   config.proxies = 250;
+//   auto hfc = HfcFramework::build(config);
+//   ServicePath path = hfc->route(request);
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/zahn.h"
+#include "coords/gnp.h"
+#include "overlay/hfc_topology.h"
+#include "overlay/overlay_network.h"
+#include "routing/hierarchical_router.h"
+#include "services/workload.h"
+#include "topology/overlay_placement.h"
+#include "topology/transit_stub.h"
+#include "util/rng.h"
+#include "util/sym_matrix.h"
+
+namespace hfc {
+
+struct FrameworkConfig {
+  /// Approximate router count of the generated underlay (Table 1 column
+  /// "physical topology"). Rounded down to whole transit domains.
+  std::size_t physical_routers = 300;
+  std::size_t proxies = 250;
+  std::size_t landmarks = 10;
+  std::size_t clients = 40;
+
+  /// Maximum relative inflation of one latency probe (§3.1 noise model).
+  double measurement_noise = 0.10;
+
+  GnpParams gnp;
+  ZahnParams zahn;
+  BorderSelection border_selection = BorderSelection::kClosestPair;
+  WorkloadParams workload;
+  HierarchicalRoutingParams routing;
+
+  /// Master seed; every stochastic stage forks its own stream from it.
+  std::uint64_t seed = 1;
+};
+
+class HfcFramework {
+ public:
+  /// Run the full construction pipeline. Throws std::invalid_argument on
+  /// inconsistent configuration.
+  [[nodiscard]] static std::unique_ptr<HfcFramework> build(
+      const FrameworkConfig& config);
+
+  HfcFramework(const HfcFramework&) = delete;
+  HfcFramework& operator=(const HfcFramework&) = delete;
+
+  [[nodiscard]] const FrameworkConfig& config() const { return config_; }
+  [[nodiscard]] const TransitStubTopology& underlay() const {
+    return underlay_;
+  }
+  [[nodiscard]] const OverlayPlacement& placement() const {
+    return placement_;
+  }
+  [[nodiscard]] const DistanceMap& distance_map() const {
+    return distance_map_;
+  }
+  [[nodiscard]] const OverlayNetwork& overlay() const { return *overlay_; }
+  [[nodiscard]] const HfcTopology& topology() const { return *topology_; }
+  [[nodiscard]] const HierarchicalServiceRouter& router() const {
+    return *router_;
+  }
+
+  /// What proxies believe: coordinate-space distance (the system's own
+  /// estimate). Valid while the framework lives.
+  [[nodiscard]] OverlayDistance estimated_distance() const;
+
+  /// Ground truth: shortest underlay delay between proxy attachment
+  /// routers — what experiments measure final paths with.
+  [[nodiscard]] OverlayDistance true_distance() const;
+
+  /// The proxy nearest (in true delay) to each configured client; the
+  /// endpoint pool requests are drawn from.
+  [[nodiscard]] const std::vector<NodeId>& client_proxies() const {
+    return client_proxies_;
+  }
+
+  /// Route hierarchically (aggregate state), paper §5.
+  [[nodiscard]] ServicePath route(const ServiceRequest& request) const {
+    return router_->route(request);
+  }
+
+  /// A request batch over the client endpoint pool, using the configured
+  /// workload parameters.
+  [[nodiscard]] std::vector<ServiceRequest> generate_requests(
+      std::size_t count, Rng& rng) const;
+
+ private:
+  HfcFramework() = default;
+
+  FrameworkConfig config_;
+  TransitStubTopology underlay_;
+  OverlayPlacement placement_;
+  DistanceMap distance_map_;
+  std::shared_ptr<const SymMatrix<double>> true_delays_;  // proxy-pairwise
+  std::unique_ptr<OverlayNetwork> overlay_;
+  std::unique_ptr<HfcTopology> topology_;
+  std::unique_ptr<HierarchicalServiceRouter> router_;
+  std::vector<NodeId> client_proxies_;
+};
+
+}  // namespace hfc

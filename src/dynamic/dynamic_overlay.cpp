@@ -1,0 +1,218 @@
+#include "dynamic/dynamic_overlay.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+
+#include "util/require.h"
+
+namespace hfc {
+
+namespace {
+
+/// Mean intra-cluster pairwise coordinate distance over active nodes with
+/// the given labels (label < 0 = inactive). 0 when no intra pair exists.
+double intra_cluster_cost(const std::vector<Point>& coords,
+                          const std::vector<std::int32_t>& labels) {
+  double sum = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    if (labels[i] < 0) continue;
+    for (std::size_t j = i + 1; j < coords.size(); ++j) {
+      if (labels[j] != labels[i]) continue;
+      sum += euclidean(coords[i], coords[j]);
+      ++pairs;
+    }
+  }
+  return pairs == 0 ? 0.0 : sum / static_cast<double>(pairs);
+}
+
+}  // namespace
+
+DynamicHfcOverlay::DynamicHfcOverlay(std::vector<Point> coords,
+                                     ServicePlacement placement,
+                                     ZahnParams zahn,
+                                     BorderSelection selection)
+    : coords_(std::move(coords)),
+      placement_(std::move(placement)),
+      zahn_(zahn),
+      selection_(selection) {
+  require(coords_.size() == placement_.size(),
+          "DynamicHfcOverlay: coords/placement size mismatch");
+  require(!coords_.empty(), "DynamicHfcOverlay: empty universe");
+  active_.assign(coords_.size(), true);
+  active_count_ = coords_.size();
+  labels_.assign(coords_.size(), -1);
+  restructure();
+}
+
+bool DynamicHfcOverlay::is_active(NodeId node) const {
+  require(node.valid() && node.idx() < active_.size(),
+          "DynamicHfcOverlay::is_active: bad node");
+  return active_[node.idx()];
+}
+
+void DynamicHfcOverlay::deactivate(NodeId node) {
+  require(is_active(node), "DynamicHfcOverlay::deactivate: node not active");
+  require(active_count_ > 1,
+          "DynamicHfcOverlay::deactivate: cannot empty the overlay");
+  active_[node.idx()] = false;
+  labels_[node.idx()] = -1;
+  --active_count_;
+  ++mutations_since_restructure_;
+  dirty_ = true;
+}
+
+void DynamicHfcOverlay::activate(NodeId node) {
+  require(node.valid() && node.idx() < active_.size(),
+          "DynamicHfcOverlay::activate: bad node");
+  require(!active_[node.idx()],
+          "DynamicHfcOverlay::activate: node already active");
+  // Paper's join rule: enter the cluster of the nearest active proxy.
+  double best = std::numeric_limits<double>::infinity();
+  std::int32_t label = -1;
+  for (std::size_t v = 0; v < coords_.size(); ++v) {
+    if (!active_[v]) continue;
+    const double d = euclidean(coords_[node.idx()], coords_[v]);
+    if (d < best) {
+      best = d;
+      label = labels_[v];
+    }
+  }
+  ensure(label >= 0, "DynamicHfcOverlay::activate: no active neighbour");
+  active_[node.idx()] = true;
+  labels_[node.idx()] = label;
+  ++active_count_;
+  ++mutations_since_restructure_;
+  dirty_ = true;
+}
+
+NodeId DynamicHfcOverlay::add_proxy(Point coords,
+                                    std::vector<ServiceId> services) {
+  require(coords.size() == coords_.front().size(),
+          "DynamicHfcOverlay::add_proxy: dimension mismatch");
+  require(std::is_sorted(services.begin(), services.end()),
+          "DynamicHfcOverlay::add_proxy: services must be sorted");
+  coords_.push_back(std::move(coords));
+  placement_.push_back(std::move(services));
+  active_.push_back(false);
+  labels_.push_back(-1);
+  const NodeId node(static_cast<std::int32_t>(coords_.size() - 1));
+  activate(node);
+  return node;
+}
+
+double DynamicHfcOverlay::clustering_quality() const {
+  // Fresh Zahn over the active set.
+  std::vector<Point> active_coords;
+  std::vector<std::size_t> dense_to_universe;
+  for (std::size_t v = 0; v < coords_.size(); ++v) {
+    if (active_[v]) {
+      active_coords.push_back(coords_[v]);
+      dense_to_universe.push_back(v);
+    }
+  }
+  const Clustering fresh = cluster_points(active_coords, zahn_);
+  std::vector<std::int32_t> fresh_labels(coords_.size(), -1);
+  for (std::size_t d = 0; d < dense_to_universe.size(); ++d) {
+    fresh_labels[dense_to_universe[d]] = fresh.assignment[d].value();
+  }
+  const double fresh_cost = intra_cluster_cost(coords_, fresh_labels);
+  const double current_cost = intra_cluster_cost(coords_, labels_);
+  if (current_cost == 0.0) return 1.0;  // singleton clusters everywhere
+  return fresh_cost / current_cost;
+}
+
+void DynamicHfcOverlay::restructure() {
+  std::vector<Point> active_coords;
+  std::vector<std::size_t> dense_to_universe;
+  for (std::size_t v = 0; v < coords_.size(); ++v) {
+    if (active_[v]) {
+      active_coords.push_back(coords_[v]);
+      dense_to_universe.push_back(v);
+    }
+  }
+  const Clustering fresh = cluster_points(active_coords, zahn_);
+  for (std::size_t d = 0; d < dense_to_universe.size(); ++d) {
+    labels_[dense_to_universe[d]] = fresh.assignment[d].value();
+  }
+  mutations_since_restructure_ = 0;
+  dirty_ = true;
+}
+
+void DynamicHfcOverlay::rebuild_if_dirty() {
+  if (!dirty_) return;
+  // Dense view of the active set.
+  dense_to_universe_.clear();
+  universe_to_dense_.assign(coords_.size(), -1);
+  std::vector<Point> view_coords;
+  ServicePlacement view_placement;
+  for (std::size_t v = 0; v < coords_.size(); ++v) {
+    if (!active_[v]) continue;
+    universe_to_dense_[v] =
+        static_cast<std::int32_t>(dense_to_universe_.size());
+    dense_to_universe_.push_back(NodeId(static_cast<std::int32_t>(v)));
+    view_coords.push_back(coords_[v]);
+    view_placement.push_back(placement_[v]);
+  }
+
+  // Densify the maintained cluster labels (universe labels can have holes
+  // after leaves empty a cluster).
+  Clustering clustering;
+  clustering.assignment.resize(dense_to_universe_.size());
+  std::unordered_map<std::int32_t, std::int32_t> label_to_dense;
+  for (std::size_t d = 0; d < dense_to_universe_.size(); ++d) {
+    const std::int32_t label = labels_[dense_to_universe_[d].idx()];
+    const auto it =
+        label_to_dense
+            .try_emplace(label,
+                         static_cast<std::int32_t>(label_to_dense.size()))
+            .first;
+    clustering.assignment[d] = ClusterId(it->second);
+  }
+  clustering.members.resize(label_to_dense.size());
+  for (std::size_t d = 0; d < clustering.assignment.size(); ++d) {
+    clustering.members[clustering.assignment[d].idx()].push_back(
+        NodeId(static_cast<std::int32_t>(d)));
+  }
+
+  view_net_ = std::make_unique<OverlayNetwork>(std::move(view_coords),
+                                               std::move(view_placement));
+  view_topo_ = std::make_unique<HfcTopology>(
+      std::move(clustering), view_net_->coord_distance_fn(), selection_);
+  view_router_ = std::make_unique<HierarchicalServiceRouter>(
+      *view_net_, *view_topo_, view_net_->coord_distance_fn());
+  dirty_ = false;
+}
+
+ServicePath DynamicHfcOverlay::route(const ServiceRequest& request) {
+  require(is_active(request.source) && is_active(request.destination),
+          "DynamicHfcOverlay::route: endpoints must be active");
+  rebuild_if_dirty();
+  ServiceRequest dense = request;
+  dense.source = NodeId(universe_to_dense_[request.source.idx()]);
+  dense.destination = NodeId(universe_to_dense_[request.destination.idx()]);
+  ServicePath path = view_router_->route(dense);
+  for (ServiceHop& hop : path.hops) {
+    hop.proxy = dense_to_universe_[hop.proxy.idx()];
+  }
+  return path;
+}
+
+std::size_t DynamicHfcOverlay::cluster_count() {
+  rebuild_if_dirty();
+  return view_topo_->cluster_count();
+}
+
+const HfcTopology& DynamicHfcOverlay::view_topology() {
+  rebuild_if_dirty();
+  return *view_topo_;
+}
+
+const OverlayNetwork& DynamicHfcOverlay::view_network() {
+  rebuild_if_dirty();
+  return *view_net_;
+}
+
+}  // namespace hfc

@@ -1,0 +1,105 @@
+// Dynamic membership for the HFC overlay — the paper's §7 future work:
+// "we should allow proxies to join and leave dynamically. While we can let
+// future proxies join clusters of their nearest neighbors, multiple joins
+// and leaves may deteriorate the quality of clustering. Thus some kind of
+// re-structuring mechanism needs to be devised."
+//
+// `DynamicHfcOverlay` manages a universe of proxies with stable NodeIds
+// that can be deactivated (leave) and re-activated (join). Joins follow
+// the paper's nearest-neighbour rule: the joining proxy enters the cluster
+// of its nearest active proxy — no global re-clustering. The quality of
+// the maintained clustering relative to a fresh Zahn run is observable
+// (`clustering_quality`), and `restructure()` is the re-structuring
+// mechanism: a full re-cluster of the active set.
+//
+// After every mutation the dense view (overlay network, HFC topology,
+// hierarchical router) is rebuilt lazily on first use; the public API
+// speaks universe NodeIds throughout.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "cluster/zahn.h"
+#include "overlay/hfc_topology.h"
+#include "overlay/overlay_network.h"
+#include "routing/hierarchical_router.h"
+#include "routing/service_path.h"
+
+namespace hfc {
+
+class DynamicHfcOverlay {
+ public:
+  /// The universe of potential proxies, all initially active, clustered by
+  /// a fresh Zahn run. Throws on inconsistent inputs.
+  DynamicHfcOverlay(std::vector<Point> coords, ServicePlacement placement,
+                    ZahnParams zahn = {},
+                    BorderSelection selection = BorderSelection::kClosestPair);
+
+  [[nodiscard]] std::size_t universe_size() const { return coords_.size(); }
+  [[nodiscard]] std::size_t active_count() const { return active_count_; }
+  [[nodiscard]] bool is_active(NodeId node) const;
+
+  /// Proxy leaves the overlay. Its cluster shrinks (and disappears when it
+  /// empties). Throws if the node is not active or the last active node.
+  void deactivate(NodeId node);
+
+  /// Proxy (re)joins: it enters the cluster of its nearest active proxy,
+  /// per the paper's join rule — no re-clustering. Throws if already
+  /// active.
+  void activate(NodeId node);
+
+  /// Extend the universe with a brand-new proxy (returns its NodeId) and
+  /// activate it by the join rule.
+  NodeId add_proxy(Point coords, std::vector<ServiceId> services);
+
+  /// Quality of the maintained clustering: mean intra-cluster pairwise
+  /// distance of a fresh Zahn clustering divided by the same statistic of
+  /// the maintained one. 1.0 = as tight as fresh; below 1 = decayed by
+  /// churn; above 1 = churn left the maintained partition finer than a
+  /// fresh clustering would be.
+  [[nodiscard]] double clustering_quality() const;
+
+  /// The paper's re-structuring mechanism: re-cluster the active set from
+  /// scratch.
+  void restructure();
+  [[nodiscard]] std::size_t mutations_since_restructure() const {
+    return mutations_since_restructure_;
+  }
+
+  /// Route hierarchically over the current active set. Request endpoints
+  /// are universe NodeIds and must be active; the returned hops are
+  /// universe NodeIds too.
+  [[nodiscard]] ServicePath route(const ServiceRequest& request);
+
+  /// Current number of clusters over the active set.
+  [[nodiscard]] std::size_t cluster_count();
+
+  /// Dense-view accessors (rebuilt after mutations; ids in these objects
+  /// are dense view indices, NOT universe NodeIds — exposed for metrics).
+  [[nodiscard]] const HfcTopology& view_topology();
+  [[nodiscard]] const OverlayNetwork& view_network();
+
+ private:
+  void rebuild_if_dirty();
+  /// Universe-level cluster label per node (-1 for inactive).
+  std::vector<std::int32_t> labels_;
+
+  std::vector<Point> coords_;
+  ServicePlacement placement_;
+  std::vector<bool> active_;
+  std::size_t active_count_ = 0;
+  ZahnParams zahn_;
+  BorderSelection selection_;
+  std::size_t mutations_since_restructure_ = 0;
+
+  bool dirty_ = true;
+  std::vector<NodeId> dense_to_universe_;
+  std::vector<std::int32_t> universe_to_dense_;
+  std::unique_ptr<OverlayNetwork> view_net_;
+  std::unique_ptr<HfcTopology> view_topo_;
+  std::unique_ptr<HierarchicalServiceRouter> view_router_;
+};
+
+}  // namespace hfc

@@ -1,0 +1,171 @@
+#include "multicast/service_multicast.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/require.h"
+
+namespace hfc {
+
+std::vector<ServiceHop> MulticastTree::branch_to(std::size_t node) const {
+  require(node < nodes.size(), "MulticastTree::branch_to: bad node");
+  std::vector<ServiceHop> hops;
+  for (std::size_t at = node; at != TreeNode::kNoParent;
+       at = nodes[at].parent) {
+    hops.push_back(ServiceHop{nodes[at].proxy, nodes[at].service});
+  }
+  std::reverse(hops.begin(), hops.end());
+  return hops;
+}
+
+ServiceMulticastBuilder::ServiceMulticastBuilder(UnicastRouteFn route,
+                                                 OverlayDistance distance)
+    : route_(std::move(route)), distance_(std::move(distance)) {
+  require(static_cast<bool>(route_), "ServiceMulticastBuilder: null router");
+  require(static_cast<bool>(distance_),
+          "ServiceMulticastBuilder: null distance");
+}
+
+namespace {
+
+/// Chain of services of a linear SG, in order.
+std::vector<ServiceId> linear_chain(const ServiceGraph& graph) {
+  std::vector<ServiceId> chain;
+  const auto configs = graph.configurations();
+  if (configs.empty()) return chain;
+  for (std::size_t v : configs.front()) chain.push_back(graph.label(v));
+  return chain;
+}
+
+}  // namespace
+
+MulticastTree ServiceMulticastBuilder::build(
+    const MulticastRequest& request) const {
+  require(request.source.valid(), "multicast: invalid source");
+  require(!request.destinations.empty(), "multicast: no destinations");
+  require(request.graph.is_linear(),
+          "multicast: service graph must be linear (one configuration)");
+  const std::vector<ServiceId> chain = linear_chain(request.graph);
+
+  MulticastTree tree;
+  tree.nodes.push_back(
+      MulticastTree::TreeNode{request.source, ServiceId{},
+                              MulticastTree::TreeNode::kNoParent});
+  tree.destination_leaf.assign(request.destinations.size(), 0);
+
+  // applied[i] = how many chain services have been applied at tree node i
+  // along its root path.
+  std::vector<std::size_t> applied{0};
+
+  // Nearest destinations first: early branches become shareable backbone.
+  std::vector<std::size_t> order(request.destinations.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return distance_(request.source, request.destinations[a]) <
+           distance_(request.source, request.destinations[b]);
+  });
+
+  for (std::size_t dest_index : order) {
+    const NodeId destination = request.destinations[dest_index];
+    // Try every distinct (proxy, applied-prefix) attach candidate and keep
+    // the cheapest completion.
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::size_t best_attach = 0;
+    ServicePath best_path;
+    std::vector<std::pair<NodeId, std::size_t>> seen;
+    for (std::size_t t = 0; t < tree.nodes.size(); ++t) {
+      const std::pair<NodeId, std::size_t> key{tree.nodes[t].proxy,
+                                               applied[t]};
+      if (std::find(seen.begin(), seen.end(), key) != seen.end()) continue;
+      seen.push_back(key);
+      const std::vector<ServiceId> remaining(chain.begin() +
+                                                 static_cast<long>(applied[t]),
+                                             chain.end());
+      const ServicePath completion =
+          route_(tree.nodes[t].proxy, destination, remaining);
+      if (!completion.found) continue;
+      const double cost = path_length(completion, distance_);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_attach = t;
+        best_path = completion;
+      }
+    }
+    if (!best_path.found) return MulticastTree{};  // unsatisfiable
+
+    // Graft the completion under the attach node (its first hop repeats
+    // the attach proxy; skip it unless it applies a service there).
+    std::size_t parent = best_attach;
+    std::size_t parent_applied = applied[best_attach];
+    for (std::size_t h = 0; h < best_path.hops.size(); ++h) {
+      const ServiceHop& hop = best_path.hops[h];
+      if (h == 0 && hop.is_relay()) continue;  // the attach point itself
+      tree.nodes.push_back(MulticastTree::TreeNode{
+          hop.proxy, hop.service, parent});
+      if (!hop.is_relay()) ++parent_applied;
+      applied.push_back(parent_applied);
+      parent = tree.nodes.size() - 1;
+    }
+    tree.destination_leaf[dest_index] = parent;
+  }
+
+  tree.found = true;
+  for (std::size_t t = 1; t < tree.nodes.size(); ++t) {
+    const NodeId a = tree.nodes[tree.nodes[t].parent].proxy;
+    const NodeId b = tree.nodes[t].proxy;
+    if (a != b) tree.cost += distance_(a, b);
+  }
+  return tree;
+}
+
+double ServiceMulticastBuilder::unicast_total(
+    const MulticastRequest& request) const {
+  require(request.graph.is_linear(),
+          "multicast: service graph must be linear");
+  const std::vector<ServiceId> chain = linear_chain(request.graph);
+  double total = 0.0;
+  for (NodeId destination : request.destinations) {
+    const ServicePath path = route_(request.source, destination, chain);
+    if (!path.found) return std::numeric_limits<double>::infinity();
+    total += path_length(path, distance_);
+  }
+  return total;
+}
+
+bool tree_satisfies(const MulticastTree& tree, const MulticastRequest& request,
+                    const OverlayNetwork& net) {
+  if (!tree.found) return false;
+  if (tree.nodes.empty() || tree.nodes.front().proxy != request.source) {
+    return false;
+  }
+  std::vector<ServiceId> chain;
+  {
+    const auto configs = request.graph.configurations();
+    if (configs.size() != 1 && !request.graph.empty()) return false;
+    if (!configs.empty()) {
+      for (std::size_t v : configs.front()) {
+        chain.push_back(request.graph.label(v));
+      }
+    }
+  }
+  if (tree.destination_leaf.size() != request.destinations.size()) {
+    return false;
+  }
+  for (std::size_t d = 0; d < request.destinations.size(); ++d) {
+    const auto branch = tree.branch_to(tree.destination_leaf[d]);
+    if (branch.empty() || branch.back().proxy != request.destinations[d]) {
+      return false;
+    }
+    std::vector<ServiceId> performed;
+    for (const ServiceHop& hop : branch) {
+      if (hop.is_relay()) continue;
+      if (!net.hosts(hop.proxy, hop.service)) return false;
+      performed.push_back(hop.service);
+    }
+    if (performed != chain) return false;
+  }
+  return true;
+}
+
+}  // namespace hfc

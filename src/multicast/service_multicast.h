@@ -1,0 +1,91 @@
+// Service multicast trees over the HFC overlay.
+//
+// The paper's introduction motivates service overlays with multimedia
+// delivery, and its reference line ([3] mc-SPF, [6] "On Construction of
+// Service Multicast Trees") extends service routing to one-source,
+// many-destination sessions: every destination must receive the stream
+// after the full service chain has been applied, and tree branches may
+// share the upstream, already-processed portion of the path.
+//
+// This module builds such trees greedily on top of any unicast service
+// router: destinations are attached nearest-first; each new destination
+// grafts onto the existing tree node whose *applied service prefix*
+// leaves the cheapest completion (the remaining chain suffix routed by
+// the unicast router from that node).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "overlay/overlay_network.h"
+#include "routing/service_path.h"
+#include "services/service_graph.h"
+#include "util/ids.h"
+
+namespace hfc {
+
+/// One-to-many service request. The service graph must be linear (one
+/// configuration): branching SGs would let different destinations receive
+/// differently-processed streams.
+struct MulticastRequest {
+  NodeId source;
+  std::vector<NodeId> destinations;
+  ServiceGraph graph;
+};
+
+/// A service multicast tree. Nodes form a forest rooted at node 0 (the
+/// source); each node records the proxy, the service applied there (or
+/// invalid for relays) and its parent index.
+struct MulticastTree {
+  struct TreeNode {
+    NodeId proxy;
+    ServiceId service;  ///< invalid => relay
+    std::size_t parent = kNoParent;
+    static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+  };
+  bool found = false;
+  std::vector<TreeNode> nodes;
+  /// destination_leaf[i] = tree node index delivering to destinations[i].
+  std::vector<std::size_t> destination_leaf;
+  /// Sum of edge lengths under the builder's decision metric.
+  double cost = 0.0;
+
+  /// The root-to-node proxy/service hop sequence (for validation).
+  [[nodiscard]] std::vector<ServiceHop> branch_to(std::size_t node) const;
+};
+
+/// Unicast routing callback: full service path from src to dst through a
+/// linear chain (empty chain = relay-only path). Must return found=false
+/// only when some service has no provider.
+using UnicastRouteFn = std::function<ServicePath(
+    NodeId src, NodeId dst, const std::vector<ServiceId>& chain)>;
+
+class ServiceMulticastBuilder {
+ public:
+  /// `route` is typically a wrapper over HierarchicalServiceRouter (or the
+  /// flat router for baselines); `distance` is the decision metric used
+  /// to order destinations and account tree cost.
+  ServiceMulticastBuilder(UnicastRouteFn route, OverlayDistance distance);
+
+  /// Build the tree. Throws on a non-linear SG, an invalid source, or an
+  /// empty destination list. Returns found=false when the chain cannot be
+  /// satisfied for some destination.
+  [[nodiscard]] MulticastTree build(const MulticastRequest& request) const;
+
+  /// Sum of independent unicast path costs for the same request — the
+  /// no-sharing baseline the tree is compared against.
+  [[nodiscard]] double unicast_total(const MulticastRequest& request) const;
+
+ private:
+  UnicastRouteFn route_;
+  OverlayDistance distance_;
+};
+
+/// Validation helper: every destination's branch applies exactly the
+/// request's service chain, in order, on hosting proxies.
+[[nodiscard]] bool tree_satisfies(const MulticastTree& tree,
+                                  const MulticastRequest& request,
+                                  const OverlayNetwork& net);
+
+}  // namespace hfc

@@ -1,0 +1,247 @@
+#include "multilevel/multilevel_hierarchy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/require.h"
+
+namespace hfc {
+
+MultiLevelHierarchy::MultiLevelHierarchy(const std::vector<Point>& coords,
+                                         const MultiLevelParams& params) {
+  require(!coords.empty(), "MultiLevelHierarchy: empty coordinate set");
+  require(params.levels >= 1, "MultiLevelHierarchy: need >= 1 level");
+  require(params.factor_growth >= 1.0,
+          "MultiLevelHierarchy: factor growth must be >= 1");
+  node_leaf_.assign(coords.size(), HierarchyGroup::kNoGroup);
+
+  // Level 1: Zahn clusters of the proxies.
+  const Clustering leaves = cluster_points(coords, params.leaf_zahn);
+  level_groups_.emplace_back();
+  for (std::size_t c = 0; c < leaves.cluster_count(); ++c) {
+    HierarchyGroup g;
+    g.level = 1;
+    g.nodes = leaves.members[c];
+    for (NodeId n : g.nodes) node_leaf_[n.idx()] = groups_.size();
+    level_groups_[0].push_back(groups_.size());
+    groups_.push_back(std::move(g));
+  }
+  levels_ = 1;
+
+  // Higher levels: cluster the centroids of the previous level's groups.
+  ZahnParams zahn = params.leaf_zahn;
+  for (std::size_t level = 2; level <= params.levels; ++level) {
+    // Copy: the emplace_back below would invalidate a reference.
+    const std::vector<std::size_t> below = level_groups_.back();
+    if (below.size() <= 1) break;  // nothing left to group
+    zahn.inconsistency_factor *= params.factor_growth;
+
+    std::vector<Point> centroids;
+    centroids.reserve(below.size());
+    const std::size_t dim = coords.front().size();
+    for (std::size_t gid : below) {
+      Point centroid(dim, 0.0);
+      for (NodeId n : groups_[gid].nodes) {
+        for (std::size_t d = 0; d < dim; ++d) {
+          centroid[d] += coords[n.idx()][d];
+        }
+      }
+      for (double& c : centroid) {
+        c /= static_cast<double>(groups_[gid].nodes.size());
+      }
+      centroids.push_back(std::move(centroid));
+    }
+    const Clustering grouped = cluster_points(centroids, zahn);
+    if (grouped.cluster_count() == below.size()) {
+      // No coarsening happened; a further level would be pure overhead.
+      break;
+    }
+    level_groups_.emplace_back();
+    for (std::size_t c = 0; c < grouped.cluster_count(); ++c) {
+      HierarchyGroup g;
+      g.level = level;
+      for (NodeId member : grouped.members[c]) {
+        const std::size_t child = below[member.idx()];
+        g.children.push_back(child);
+        groups_[child].parent = groups_.size();
+        g.nodes.insert(g.nodes.end(), groups_[child].nodes.begin(),
+                       groups_[child].nodes.end());
+      }
+      std::sort(g.nodes.begin(), g.nodes.end());
+      level_groups_.back().push_back(groups_.size());
+      groups_.push_back(std::move(g));
+    }
+    levels_ = level;
+  }
+
+  // Virtual root holding the top level's groups.
+  HierarchyGroup root;
+  root.level = levels_ + 1;
+  for (std::size_t gid : level_groups_.back()) {
+    root.children.push_back(gid);
+    groups_[gid].parent = groups_.size();
+    root.nodes.insert(root.nodes.end(), groups_[gid].nodes.begin(),
+                      groups_[gid].nodes.end());
+  }
+  std::sort(root.nodes.begin(), root.nodes.end());
+  root_ = groups_.size();
+  groups_.push_back(std::move(root));
+
+  select_borders(coords);
+}
+
+void MultiLevelHierarchy::select_borders(const std::vector<Point>& coords) {
+  // For every parent, connect its children pairwise by the closest
+  // cross-group node pair (§3.3 applied at every level).
+  for (const HierarchyGroup& parent : groups_) {
+    for (std::size_t i = 0; i + 1 < parent.children.size(); ++i) {
+      for (std::size_t j = i + 1; j < parent.children.size(); ++j) {
+        const std::size_t a = parent.children[i];
+        const std::size_t b = parent.children[j];
+        double best = std::numeric_limits<double>::infinity();
+        NodeId xa;
+        NodeId xb;
+        for (NodeId x : groups_[a].nodes) {
+          for (NodeId y : groups_[b].nodes) {
+            const double d = euclidean(coords[x.idx()], coords[y.idx()]);
+            if (d < best) {
+              best = d;
+              xa = x;
+              xb = y;
+            }
+          }
+        }
+        border_[pair_key(a, b)] = xa;
+        border_[pair_key(b, a)] = xb;
+        external_[pair_key(std::min(a, b), std::max(a, b))] = best;
+      }
+    }
+  }
+}
+
+const HierarchyGroup& MultiLevelHierarchy::group(std::size_t index) const {
+  require(index < groups_.size(), "MultiLevelHierarchy::group: bad index");
+  return groups_[index];
+}
+
+const std::vector<std::size_t>& MultiLevelHierarchy::groups_at(
+    std::size_t level) const {
+  require(level >= 1 && level <= level_groups_.size(),
+          "MultiLevelHierarchy::groups_at: bad level");
+  return level_groups_[level - 1];
+}
+
+std::size_t MultiLevelHierarchy::leaf_of(NodeId node) const {
+  require(node.valid() && node.idx() < node_leaf_.size(),
+          "MultiLevelHierarchy::leaf_of: bad node");
+  return node_leaf_[node.idx()];
+}
+
+std::size_t MultiLevelHierarchy::ancestor_of(NodeId node,
+                                             std::size_t level) const {
+  std::size_t g = leaf_of(node);
+  while (groups_[g].level < level) {
+    g = groups_[g].parent;
+    ensure(g != HierarchyGroup::kNoGroup,
+           "MultiLevelHierarchy::ancestor_of: level above root");
+  }
+  require(groups_[g].level == level,
+          "MultiLevelHierarchy::ancestor_of: no ancestor at that level");
+  return g;
+}
+
+NodeId MultiLevelHierarchy::border(std::size_t from,
+                                   std::size_t toward) const {
+  const auto it = border_.find(pair_key(from, toward));
+  require(it != border_.end(),
+          "MultiLevelHierarchy::border: groups are not siblings");
+  return it->second;
+}
+
+double MultiLevelHierarchy::external_length(std::size_t a,
+                                            std::size_t b) const {
+  const auto it = external_.find(pair_key(std::min(a, b), std::max(a, b)));
+  require(it != external_.end(),
+          "MultiLevelHierarchy::external_length: groups are not siblings");
+  return it->second;
+}
+
+std::vector<NodeId> MultiLevelHierarchy::hop_path(NodeId a, NodeId b) const {
+  if (a == b) return {a};
+  // Lowest common group: walk ancestries up from the leaves.
+  std::size_t ga = leaf_of(a);
+  std::size_t gb = leaf_of(b);
+  if (ga == gb) return {a, b};  // same leaf cluster: direct link
+  // Raise both to the same level, then together until the parents match.
+  while (groups_[ga].parent != groups_[gb].parent) {
+    if (groups_[ga].level < groups_[gb].level) {
+      ga = groups_[ga].parent;
+    } else if (groups_[gb].level < groups_[ga].level) {
+      gb = groups_[gb].parent;
+    } else {
+      ga = groups_[ga].parent;
+      gb = groups_[gb].parent;
+    }
+    ensure(ga != HierarchyGroup::kNoGroup && gb != HierarchyGroup::kNoGroup,
+           "MultiLevelHierarchy::hop_path: ran past the root");
+  }
+  // a -> border(ga, gb), external crossing, border(gb, ga) -> b, each
+  // segment resolved recursively one level below.
+  const NodeId ba = border(ga, gb);
+  const NodeId bb = border(gb, ga);
+  std::vector<NodeId> path = hop_path(a, ba);
+  const std::vector<NodeId> tail = hop_path(bb, b);
+  path.insert(path.end(), tail.begin(), tail.end());
+  // Adjacent duplicates appear when a == ba etc.; collapse them.
+  std::vector<NodeId> cleaned;
+  for (NodeId n : path) {
+    if (cleaned.empty() || cleaned.back() != n) cleaned.push_back(n);
+  }
+  return cleaned;
+}
+
+double MultiLevelHierarchy::path_distance(
+    NodeId a, NodeId b, const OverlayDistance& distance) const {
+  const std::vector<NodeId> path = hop_path(a, b);
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    total += distance(path[i], path[i + 1]);
+  }
+  return total;
+}
+
+std::size_t MultiLevelHierarchy::coordinate_state_count(NodeId node) const {
+  // Own leaf members plus, at each ancestry level, the border nodes among
+  // the siblings of the node's group (all pairs, Figure 4 generalised).
+  std::vector<NodeId> visible = groups_[leaf_of(node)].nodes;
+  for (std::size_t g = leaf_of(node); groups_[g].parent != HierarchyGroup::kNoGroup;
+       g = groups_[g].parent) {
+    const HierarchyGroup& parent = groups_[groups_[g].parent];
+    for (std::size_t i = 0; i + 1 < parent.children.size(); ++i) {
+      for (std::size_t j = i + 1; j < parent.children.size(); ++j) {
+        visible.push_back(
+            border(parent.children[i], parent.children[j]));
+        visible.push_back(
+            border(parent.children[j], parent.children[i]));
+      }
+    }
+  }
+  std::sort(visible.begin(), visible.end());
+  visible.erase(std::unique(visible.begin(), visible.end()), visible.end());
+  return visible.size();
+}
+
+std::size_t MultiLevelHierarchy::service_state_count(NodeId node) const {
+  // Own leaf members (SCT_P) plus one aggregate entry per sibling group at
+  // every ancestry level (the node's own group is covered by SCT_P /
+  // lower-level aggregates, but counting it matches the bi-level SCT_C
+  // convention of one entry per cluster including one's own).
+  std::size_t count = groups_[leaf_of(node)].nodes.size();
+  for (std::size_t g = leaf_of(node); groups_[g].parent != HierarchyGroup::kNoGroup;
+       g = groups_[g].parent) {
+    count += groups_[groups_[g].parent].children.size();
+  }
+  return count;
+}
+
+}  // namespace hfc

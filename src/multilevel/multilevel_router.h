@@ -1,0 +1,58 @@
+// Recursive divide-and-conquer service routing over a multi-level HFC
+// hierarchy — the §5 algorithm applied at every level of the tree.
+//
+// Routing a request inside a group proceeds exactly like the paper's
+// destination proxy does at the top: map each service onto one of the
+// group's children (aggregate capability check), run the entry-augmented
+// group-level shortest path with internal lower bounds, dissect into one
+// child request per run of consecutive services in the same child, and
+// recurse; leaf clusters are fully connected, so the recursion bottoms
+// out in the flat algorithm of [11].
+#pragma once
+
+#include "multilevel/multilevel_hierarchy.h"
+#include "overlay/overlay_network.h"
+#include "routing/flat_router.h"
+#include "routing/service_path.h"
+
+namespace hfc {
+
+class MultiLevelRouter {
+ public:
+  /// References must outlive the router.
+  MultiLevelRouter(const OverlayNetwork& net,
+                   const MultiLevelHierarchy& hierarchy,
+                   OverlayDistance decision_distance);
+
+  /// Route hierarchically through every level of the tree.
+  [[nodiscard]] ServicePath route(const ServiceRequest& request) const;
+
+  /// Aggregate service capability of a group (union over its nodes).
+  [[nodiscard]] bool group_hosts(std::size_t group, ServiceId service) const;
+
+ private:
+  /// Route a linear chain (vertex list of `request.graph` order) between
+  /// two nodes of `group`, recursively. Returns not-found only if some
+  /// service lacks a provider inside the group (callers guarantee it
+  /// otherwise via aggregate checks).
+  [[nodiscard]] ServicePath route_in_group(
+      std::size_t group, NodeId entry, NodeId exit,
+      const std::vector<ServiceId>& chain) const;
+
+  /// General (possibly non-linear) variant; the group-level shortest path
+  /// picks one configuration of the graph, so deeper recursion only ever
+  /// sees linear chains.
+  [[nodiscard]] ServicePath route_in_group_graph(std::size_t group,
+                                                 NodeId entry, NodeId exit,
+                                                 const ServiceGraph& graph)
+      const;
+
+  const OverlayNetwork& net_;
+  const MultiLevelHierarchy& hierarchy_;
+  OverlayDistance distance_;
+  FlatServiceRouter flat_;
+  /// capability_[g] = sorted aggregate service set of group g.
+  std::vector<std::vector<ServiceId>> capability_;
+};
+
+}  // namespace hfc

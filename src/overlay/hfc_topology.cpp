@@ -1,0 +1,165 @@
+#include "overlay/hfc_topology.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/require.h"
+
+namespace hfc {
+
+HfcTopology::HfcTopology(Clustering clustering,
+                         const OverlayDistance& distance,
+                         BorderSelection selection)
+    : clustering_(std::move(clustering)) {
+  require(clustering_.cluster_count() >= 1, "HfcTopology: empty clustering");
+  require(static_cast<bool>(distance), "HfcTopology: null distance");
+  const std::size_t c = clustering_.cluster_count();
+  border_.assign(c * c, NodeId{});
+  external_length_ = SymMatrix<double>(c, 0.0);
+  is_border_.assign(clustering_.node_count(), false);
+
+  // For kSingleHub, each cluster designates one representative (its lowest
+  // node id) for all external links — the classic "one logical node"
+  // aggregation the paper argues against.
+  std::vector<NodeId> hub(c);
+  if (selection == BorderSelection::kSingleHub) {
+    for (std::size_t i = 0; i < c; ++i) hub[i] = clustering_.members[i].front();
+  }
+
+  for (std::size_t a = 0; a + 1 < c; ++a) {
+    for (std::size_t b = a + 1; b < c; ++b) {
+      const std::vector<NodeId>& xs = clustering_.members[a];
+      const std::vector<NodeId>& ys = clustering_.members[b];
+      NodeId xb;
+      NodeId yb;
+      switch (selection) {
+        case BorderSelection::kClosestPair: {
+          double best = std::numeric_limits<double>::infinity();
+          for (NodeId x : xs) {
+            for (NodeId y : ys) {
+              const double d = distance(x, y);
+              if (d < best) {
+                best = d;
+                xb = x;
+                yb = y;
+              }
+            }
+          }
+          break;
+        }
+        case BorderSelection::kRandomPair: {
+          // Deterministic pseudo-random pick keyed on the cluster pair, so
+          // the ablation does not need to thread an Rng through here.
+          const std::uint64_t h = splitmix64((a << 20) ^ b);
+          xb = xs[h % xs.size()];
+          yb = ys[(h >> 20) % ys.size()];
+          break;
+        }
+        case BorderSelection::kSingleHub:
+          xb = hub[a];
+          yb = hub[b];
+          break;
+      }
+      ensure(xb.valid() && yb.valid(), "HfcTopology: border selection failed");
+      border_[a * c + b] = xb;
+      border_[b * c + a] = yb;
+      external_length_.at(a, b) = distance(xb, yb);
+      is_border_[xb.idx()] = true;
+      is_border_[yb.idx()] = true;
+    }
+  }
+
+  for (std::size_t v = 0; v < is_border_.size(); ++v) {
+    if (is_border_[v]) {
+      all_borders_.push_back(NodeId(static_cast<std::int32_t>(v)));
+    }
+  }
+}
+
+const std::vector<NodeId>& HfcTopology::members(ClusterId cluster) const {
+  require(cluster.valid() && cluster.idx() < clustering_.cluster_count(),
+          "HfcTopology::members: bad cluster");
+  return clustering_.members[cluster.idx()];
+}
+
+NodeId HfcTopology::border(ClusterId from, ClusterId toward) const {
+  const std::size_t c = clustering_.cluster_count();
+  require(from.valid() && from.idx() < c, "HfcTopology::border: bad 'from'");
+  require(toward.valid() && toward.idx() < c,
+          "HfcTopology::border: bad 'toward'");
+  require(from != toward, "HfcTopology::border: same cluster");
+  return border_[from.idx() * c + toward.idx()];
+}
+
+double HfcTopology::external_length(ClusterId a, ClusterId b) const {
+  const std::size_t c = clustering_.cluster_count();
+  require(a.valid() && a.idx() < c && b.valid() && b.idx() < c,
+          "HfcTopology::external_length: bad cluster");
+  require(a != b, "HfcTopology::external_length: same cluster");
+  return external_length_.at(a.idx(), b.idx());
+}
+
+bool HfcTopology::is_border(NodeId node) const {
+  require(node.valid() && node.idx() < is_border_.size(),
+          "HfcTopology::is_border: bad node");
+  return is_border_[node.idx()];
+}
+
+double HfcTopology::path_distance(NodeId u, NodeId v,
+                                  const OverlayDistance& distance) const {
+  const ClusterId cu = cluster_of(u);
+  const ClusterId cv = cluster_of(v);
+  if (cu == cv) return distance(u, v);
+  const NodeId bu = border(cu, cv);
+  const NodeId bv = border(cv, cu);
+  double total = distance(bu, bv);
+  if (u != bu) total += distance(u, bu);
+  if (v != bv) total += distance(bv, v);
+  return total;
+}
+
+std::vector<NodeId> HfcTopology::hop_path(NodeId u, NodeId v) const {
+  const ClusterId cu = cluster_of(u);
+  const ClusterId cv = cluster_of(v);
+  std::vector<NodeId> path{u};
+  if (cu != cv) {
+    const NodeId bu = border(cu, cv);
+    const NodeId bv = border(cv, cu);
+    if (bu != u) path.push_back(bu);
+    if (bv != v) path.push_back(bv);
+  }
+  if (path.back() != v) path.push_back(v);
+  return path;
+}
+
+NodeKnowledge HfcTopology::knowledge_of(NodeId node) const {
+  NodeKnowledge k;
+  k.own_cluster = cluster_of(node);
+  k.cluster_members = members(k.own_cluster);
+  k.visible_borders = all_borders_;
+  k.coordinate_set = k.cluster_members;
+  k.coordinate_set.insert(k.coordinate_set.end(), all_borders_.begin(),
+                          all_borders_.end());
+  std::sort(k.coordinate_set.begin(), k.coordinate_set.end());
+  k.coordinate_set.erase(
+      std::unique(k.coordinate_set.begin(), k.coordinate_set.end()),
+      k.coordinate_set.end());
+  return k;
+}
+
+std::size_t HfcTopology::coordinate_state_count(NodeId node) const {
+  // |own cluster ∪ all borders|: borders inside the node's own cluster are
+  // stored once, not twice.
+  const std::vector<NodeId>& own = members(cluster_of(node));
+  std::size_t overlap = 0;
+  for (NodeId m : own) {
+    if (is_border_[m.idx()]) ++overlap;
+  }
+  return own.size() + all_borders_.size() - overlap;
+}
+
+std::size_t HfcTopology::service_state_count(NodeId node) const {
+  return members(cluster_of(node)).size() + cluster_count();
+}
+
+}  // namespace hfc

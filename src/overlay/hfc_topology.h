@@ -1,0 +1,113 @@
+// The Hierarchically Fully-Connected (HFC) topology of paper §3.
+//
+// Properties (paper's list):
+//  1. distance-based clustering — nodes grouped by Internet proximity;
+//  2. connectivity — intra-cluster nodes fully connected; clusters fully
+//     connected pairwise through border nodes;
+//  3. border selection — the border pair between two clusters is their
+//     closest cross-cluster node pair;
+//  4. visibility — a cluster is seen from outside via its border nodes.
+//
+// In a bi-level HFC hierarchy any two nodes are at most two intermediate
+// nodes apart: u -> border(u's cluster, v's cluster) -> border(v's
+// cluster, u's cluster) -> v.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/zahn.h"
+#include "overlay/overlay_network.h"
+#include "util/ids.h"
+#include "util/sym_matrix.h"
+
+namespace hfc {
+
+/// Border selection strategies. `kClosestPair` is the paper's rule; the
+/// alternatives exist for the ablation study (DESIGN.md A3).
+enum class BorderSelection {
+  kClosestPair,  ///< nearest cross-cluster pair (paper §3.3)
+  kRandomPair,   ///< uniformly random pair
+  kSingleHub,    ///< one fixed hub node per cluster handles all clusters
+};
+
+/// The knowledge a single proxy receives from the clustering coordinator P
+/// (paper Figure 4): cluster membership, the global border table, and the
+/// coordinates it must retain.
+struct NodeKnowledge {
+  ClusterId own_cluster;
+  std::vector<NodeId> cluster_members;     ///< including the node itself
+  std::vector<NodeId> visible_borders;     ///< all border nodes system-wide
+  /// Nodes whose coordinates this proxy stores: union of the two above.
+  std::vector<NodeId> coordinate_set;
+};
+
+class HfcTopology {
+ public:
+  /// Build the HFC topology from a clustering of `n` nodes; `distance` is
+  /// the coordinate-space distance the system knows (border pairs are
+  /// chosen to minimise it). Throws on an empty clustering.
+  HfcTopology(Clustering clustering, const OverlayDistance& distance,
+              BorderSelection selection = BorderSelection::kClosestPair);
+
+  [[nodiscard]] std::size_t node_count() const {
+    return clustering_.node_count();
+  }
+  [[nodiscard]] std::size_t cluster_count() const {
+    return clustering_.cluster_count();
+  }
+  [[nodiscard]] const Clustering& clustering() const { return clustering_; }
+
+  [[nodiscard]] ClusterId cluster_of(NodeId node) const {
+    return clustering_.cluster_of(node);
+  }
+  [[nodiscard]] const std::vector<NodeId>& members(ClusterId cluster) const;
+
+  /// The border node inside `from` that faces `toward`. Identity
+  /// (from == toward) is invalid.
+  [[nodiscard]] NodeId border(ClusterId from, ClusterId toward) const;
+
+  /// Length of the external link between the border pair of two distinct
+  /// clusters, under the distance the topology was built with.
+  [[nodiscard]] double external_length(ClusterId a, ClusterId b) const;
+
+  [[nodiscard]] bool is_border(NodeId node) const;
+
+  /// All distinct border nodes in the system, ascending.
+  [[nodiscard]] const std::vector<NodeId>& all_borders() const {
+    return all_borders_;
+  }
+
+  /// HFC-constrained distance between two nodes under `distance`:
+  /// direct when they share a cluster, otherwise through the border pair
+  /// of their two clusters.
+  [[nodiscard]] double path_distance(NodeId u, NodeId v,
+                                     const OverlayDistance& distance) const;
+
+  /// The node sequence realising path_distance: [u, b_u?, b_v?, v] with
+  /// borders omitted when they coincide with an endpoint (or each other).
+  [[nodiscard]] std::vector<NodeId> hop_path(NodeId u, NodeId v) const;
+
+  /// What node `node` learns from the coordinator (Figure 4).
+  [[nodiscard]] NodeKnowledge knowledge_of(NodeId node) const;
+
+  /// Number of coordinate node-states `node` maintains: its cluster's
+  /// members plus every border node in the system, counted once each
+  /// (§6.1, Figure 9a).
+  [[nodiscard]] std::size_t coordinate_state_count(NodeId node) const;
+
+  /// Number of service-capability node-states `node` maintains: one per
+  /// member of its own cluster (SCT_P) plus one per cluster (SCT_C)
+  /// (§6.1, Figure 9b).
+  [[nodiscard]] std::size_t service_state_count(NodeId node) const;
+
+ private:
+  Clustering clustering_;
+  /// border_[from * C + toward] = border node of `from` facing `toward`.
+  std::vector<NodeId> border_;
+  SymMatrix<double> external_length_;
+  std::vector<bool> is_border_;
+  std::vector<NodeId> all_borders_;
+};
+
+}  // namespace hfc

@@ -1,0 +1,190 @@
+#include "overlay/mesh_topology.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "util/require.h"
+
+namespace hfc {
+
+std::vector<NodeId> MeshRouting::walk(NodeId src, NodeId dst) const {
+  require(src.valid() && src.idx() < pred.size(), "MeshRouting::walk: bad src");
+  require(dst.valid() && dst.idx() < pred.size(), "MeshRouting::walk: bad dst");
+  if (src == dst) return {src};
+  if (!pred[src.idx()][dst.idx()].valid()) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = dst; v != src; v = pred[src.idx()][v.idx()]) {
+    path.push_back(v);
+  }
+  path.push_back(src);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+MeshTopology::MeshTopology(std::size_t n, const OverlayDistance& distance,
+                           const MeshParams& params, Rng& rng) {
+  require(n > 0, "MeshTopology: empty network");
+  require(params.nearest_min >= 1 &&
+              params.nearest_min <= params.nearest_max,
+          "MeshTopology: bad nearest-neighbor range");
+  require(params.random_min <= params.random_max,
+          "MeshTopology: bad random-link range");
+  adjacency_.resize(n);
+
+  // Per-node links: k nearest plus a few random far nodes.
+  for (std::size_t u = 0; u < n; ++u) {
+    const NodeId nu(static_cast<std::int32_t>(u));
+    const std::size_t k = std::min<std::size_t>(
+        static_cast<std::size_t>(
+            rng.uniform_int(static_cast<int>(params.nearest_min),
+                            static_cast<int>(params.nearest_max))),
+        n - 1);
+    // Partial sort of the other nodes by distance from u.
+    std::vector<std::pair<double, std::size_t>> ranked;
+    ranked.reserve(n - 1);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == u) continue;
+      ranked.emplace_back(distance(nu, NodeId(static_cast<std::int32_t>(v))),
+                          v);
+    }
+    std::partial_sort(ranked.begin(), ranked.begin() + static_cast<long>(k),
+                      ranked.end());
+    for (std::size_t i = 0; i < k; ++i) {
+      add_edge(nu, NodeId(static_cast<std::int32_t>(ranked[i].second)));
+    }
+    // Random farther links.
+    const std::size_t extras = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<int>(params.random_min),
+                        static_cast<int>(params.random_max)));
+    for (std::size_t e = 0; e < extras && n > k + 1; ++e) {
+      // Pick uniformly among the nodes beyond the k nearest.
+      const std::size_t pick =
+          k + rng.pick_index(ranked.size() - k);
+      add_edge(nu, NodeId(static_cast<std::int32_t>(ranked[pick].second)));
+    }
+  }
+
+  // Connectivity repair: link closest pairs across components until one
+  // component remains.
+  while (true) {
+    std::vector<std::int32_t> component(n, -1);
+    std::int32_t comps = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (component[s] >= 0) continue;
+      component[s] = comps;
+      std::vector<std::size_t> stack{s};
+      while (!stack.empty()) {
+        const std::size_t x = stack.back();
+        stack.pop_back();
+        for (NodeId y : adjacency_[x]) {
+          if (component[y.idx()] < 0) {
+            component[y.idx()] = comps;
+            stack.push_back(y.idx());
+          }
+        }
+      }
+      ++comps;
+    }
+    if (comps <= 1) break;
+    // Closest pair between component 0 and any other component.
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t ba = 0;
+    std::size_t bb = 0;
+    for (std::size_t a = 0; a < n; ++a) {
+      if (component[a] != 0) continue;
+      for (std::size_t b = 0; b < n; ++b) {
+        if (component[b] == 0) continue;
+        const double d = distance(NodeId(static_cast<std::int32_t>(a)),
+                                  NodeId(static_cast<std::int32_t>(b)));
+        if (d < best) {
+          best = d;
+          ba = a;
+          bb = b;
+        }
+      }
+    }
+    add_edge(NodeId(static_cast<std::int32_t>(ba)),
+             NodeId(static_cast<std::int32_t>(bb)));
+  }
+}
+
+void MeshTopology::add_edge(NodeId a, NodeId b) {
+  if (a == b || has_edge(a, b)) return;
+  adjacency_[a.idx()].push_back(b);
+  adjacency_[b.idx()].push_back(a);
+  ++edge_count_;
+}
+
+const std::vector<NodeId>& MeshTopology::neighbors(NodeId node) const {
+  require(node.valid() && node.idx() < adjacency_.size(),
+          "MeshTopology::neighbors: bad node");
+  return adjacency_[node.idx()];
+}
+
+bool MeshTopology::has_edge(NodeId a, NodeId b) const {
+  require(a.valid() && a.idx() < adjacency_.size() && b.valid() &&
+              b.idx() < adjacency_.size(),
+          "MeshTopology::has_edge: bad node");
+  const auto& adj = adjacency_[a.idx()];
+  return std::find(adj.begin(), adj.end(), b) != adj.end();
+}
+
+bool MeshTopology::connected() const {
+  if (adjacency_.empty()) return true;
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::vector<std::size_t> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    for (NodeId v : adjacency_[u]) {
+      if (!seen[v.idx()]) {
+        seen[v.idx()] = true;
+        ++visited;
+        stack.push_back(v.idx());
+      }
+    }
+  }
+  return visited == adjacency_.size();
+}
+
+MeshRouting MeshTopology::compute_routing(
+    const OverlayDistance& distance) const {
+  const std::size_t n = adjacency_.size();
+  MeshRouting routing;
+  routing.distance = SymMatrix<double>(n, 0.0);
+  routing.pred.assign(n, std::vector<NodeId>(n));
+
+  using Entry = std::pair<double, std::size_t>;
+  std::vector<double> dist(n);
+  for (std::size_t src = 0; src < n; ++src) {
+    std::fill(dist.begin(), dist.end(),
+              std::numeric_limits<double>::infinity());
+    dist[src] = 0.0;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    heap.emplace(0.0, src);
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[u]) continue;
+      const NodeId nu(static_cast<std::int32_t>(u));
+      for (NodeId v : adjacency_[u]) {
+        const double nd = d + distance(nu, v);
+        if (nd < dist[v.idx()]) {
+          dist[v.idx()] = nd;
+          routing.pred[src][v.idx()] = nu;
+          heap.emplace(nd, v.idx());
+        }
+      }
+    }
+    for (std::size_t v = 0; v <= src; ++v) {
+      routing.distance.at(src, v) = dist[v];
+    }
+  }
+  return routing;
+}
+
+}  // namespace hfc

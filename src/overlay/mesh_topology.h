@@ -1,0 +1,65 @@
+// The single-level mesh baseline (paper §6.2): "each proxy creates links
+// to its 1-4 nearest neighbors, and 1-2 randomly chosen, farther located
+// neighbors (to make the topology connected)". Every node keeps global
+// state; service paths must follow mesh edges, so non-adjacent services
+// need relay proxies in between.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "overlay/overlay_network.h"
+#include "util/ids.h"
+#include "util/rng.h"
+#include "util/sym_matrix.h"
+
+namespace hfc {
+
+struct MeshParams {
+  std::size_t nearest_min = 1;
+  std::size_t nearest_max = 4;
+  std::size_t random_min = 1;
+  std::size_t random_max = 2;
+};
+
+/// All-pairs routing state over the mesh: shortest overlay distances and
+/// the predecessor matrix needed to expand relay sequences.
+struct MeshRouting {
+  SymMatrix<double> distance;
+  /// pred[src][v] = node before v on a shortest src->v walk (invalid for
+  /// v == src or unreachable v).
+  std::vector<std::vector<NodeId>> pred;
+
+  /// Node sequence src..dst along the shortest mesh walk (empty if
+  /// unreachable; [src] if src == dst).
+  [[nodiscard]] std::vector<NodeId> walk(NodeId src, NodeId dst) const;
+};
+
+class MeshTopology {
+ public:
+  /// Build the mesh per the paper's rule under `distance`. If the union of
+  /// per-node links leaves the graph disconnected, closest cross-component
+  /// pairs are linked until it is (the paper's random far links serve the
+  /// same purpose). Throws for n == 0.
+  MeshTopology(std::size_t n, const OverlayDistance& distance,
+               const MeshParams& params, Rng& rng);
+
+  [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId node) const;
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const;
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+  [[nodiscard]] bool connected() const;
+
+  /// Dijkstra from every node with edge weights drawn from `distance`
+  /// (normally the same estimate the mesh was built with).
+  [[nodiscard]] MeshRouting compute_routing(
+      const OverlayDistance& distance) const;
+
+ private:
+  void add_edge(NodeId a, NodeId b);
+
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace hfc

@@ -1,0 +1,53 @@
+// The overlay proxy network: n proxies with network coordinates and
+// statically installed services (paper §2.2 — no active services, so
+// proxies differ in functional capability).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "coords/point.h"
+#include "services/workload.h"
+#include "util/ids.h"
+
+namespace hfc {
+
+/// Symmetric distance between two overlay nodes. Implementations include
+/// coordinate-space estimates (what proxies actually know) and
+/// ground-truth underlay delays (what experiments measure paths with).
+using OverlayDistance = std::function<double(NodeId, NodeId)>;
+
+class OverlayNetwork {
+ public:
+  /// Throws unless coords and placement describe the same node count and
+  /// all coordinates share one dimension.
+  OverlayNetwork(std::vector<Point> coords, ServicePlacement placement);
+
+  [[nodiscard]] std::size_t size() const { return coords_.size(); }
+
+  [[nodiscard]] const Point& coordinate(NodeId node) const;
+  [[nodiscard]] const std::vector<ServiceId>& services_at(NodeId node) const;
+  [[nodiscard]] bool hosts(NodeId node, ServiceId service) const;
+
+  /// All proxies hosting `service` (possibly empty), ascending.
+  [[nodiscard]] std::vector<NodeId> hosts_of(ServiceId service) const;
+
+  /// Coordinate-space (estimated) distance between two proxies.
+  [[nodiscard]] double coord_distance(NodeId a, NodeId b) const;
+
+  /// The coordinate distance as an OverlayDistance closure. The closure
+  /// references this network; keep the network alive while using it.
+  [[nodiscard]] OverlayDistance coord_distance_fn() const;
+
+  [[nodiscard]] std::vector<NodeId> all_nodes() const;
+
+ private:
+  std::vector<Point> coords_;
+  ServicePlacement placement_;
+  /// hosts_index_[s] = proxies hosting service s (for services < catalog
+  /// bound seen in the placement).
+  std::vector<std::vector<NodeId>> hosts_index_;
+};
+
+}  // namespace hfc

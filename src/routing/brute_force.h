@@ -1,0 +1,24 @@
+// Exhaustive service-path search, used as a test oracle.
+//
+// Independently of the DAG machinery, enumerate every configuration of
+// the service graph and every assignment of its services onto hosting
+// proxies, and return the cheapest. Exponential — only for small
+// instances in tests.
+#pragma once
+
+#include "overlay/overlay_network.h"
+#include "routing/service_path.h"
+#include "services/service_graph.h"
+
+namespace hfc {
+
+/// Optimal service path by explicit enumeration under `distance`, with
+/// candidates restricted to `allowed` (pass net.all_nodes() for no
+/// restriction). Throws if the instance would enumerate more than ~10^7
+/// assignments, to catch accidental misuse.
+[[nodiscard]] ServicePath brute_force_route(const ServiceRequest& request,
+                                            const OverlayNetwork& net,
+                                            const OverlayDistance& distance,
+                                            const std::vector<NodeId>& allowed);
+
+}  // namespace hfc

@@ -1,0 +1,47 @@
+// Helpers for building routing feasibility filters.
+//
+// Filters let callers carve proxies or clusters out of the candidate
+// space without touching routing state — used for QoS admission (see
+// src/qos/) and for routing around failed proxies: exclude the dead
+// nodes and re-route, optionally with crankback when a whole cluster's
+// aggregate promise depends on them.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "routing/hierarchical_router.h"
+#include "util/ids.h"
+
+namespace hfc {
+
+/// A node filter rejecting every (proxy, service) pair whose proxy is in
+/// `excluded` (e.g. currently failed proxies).
+[[nodiscard]] inline NodeServiceFilter exclude_nodes(
+    std::vector<NodeId> excluded) {
+  std::sort(excluded.begin(), excluded.end());
+  return [excluded = std::move(excluded)](NodeId node, ServiceId) {
+    return !std::binary_search(excluded.begin(), excluded.end(), node);
+  };
+}
+
+/// Conjunction of two node filters (null members are treated as
+/// accept-all).
+[[nodiscard]] inline NodeServiceFilter both(NodeServiceFilter a,
+                                            NodeServiceFilter b) {
+  return [a = std::move(a), b = std::move(b)](NodeId node,
+                                              ServiceId service) {
+    return (!a || a(node, service)) && (!b || b(node, service));
+  };
+}
+
+/// RoutingFilters that avoid the given failed proxies at the node level;
+/// pair with route_with_crankback so clusters whose only provider failed
+/// are backed out of.
+[[nodiscard]] inline RoutingFilters avoid_failed(std::vector<NodeId> failed) {
+  RoutingFilters filters;
+  filters.node_ok = exclude_nodes(std::move(failed));
+  return filters;
+}
+
+}  // namespace hfc

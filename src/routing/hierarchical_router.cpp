@@ -1,0 +1,386 @@
+#include "routing/hierarchical_router.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+
+#include "util/require.h"
+
+namespace hfc {
+
+namespace {
+
+/// Search-state key: (SG is implicit per table) cluster + entry node.
+constexpr std::uint64_t state_key(ClusterId cluster, NodeId entry) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+              cluster.value()))
+          << 32) |
+         static_cast<std::uint32_t>(entry.value());
+}
+
+struct Label {
+  double cost = std::numeric_limits<double>::infinity();
+  // Back-pointer into the previous vertex's table.
+  std::size_t prev_vertex = static_cast<std::size_t>(-1);
+  std::uint64_t prev_key = 0;
+};
+
+}  // namespace
+
+HierarchicalServiceRouter::HierarchicalServiceRouter(
+    const OverlayNetwork& net, const HfcTopology& topo,
+    OverlayDistance decision_distance, HierarchicalRoutingParams params)
+    : net_(net),
+      topo_(topo),
+      distance_(std::move(decision_distance)),
+      params_(params),
+      flat_(net, distance_) {
+  require(static_cast<bool>(distance_),
+          "HierarchicalServiceRouter: null distance");
+  require(topo_.node_count() == net_.size(),
+          "HierarchicalServiceRouter: topology/network size mismatch");
+  // Derive SCT_C: the aggregate service set of a cluster is the union of
+  // its members' sets (paper §4, footnote 5).
+  cluster_services_.resize(topo_.cluster_count());
+  for (std::size_t c = 0; c < topo_.cluster_count(); ++c) {
+    std::vector<ServiceId>& agg = cluster_services_[c];
+    for (NodeId member : topo_.members(ClusterId(static_cast<int>(c)))) {
+      const auto& services = net_.services_at(member);
+      agg.insert(agg.end(), services.begin(), services.end());
+    }
+    std::sort(agg.begin(), agg.end());
+    agg.erase(std::unique(agg.begin(), agg.end()), agg.end());
+  }
+}
+
+void HierarchicalServiceRouter::set_cluster_capability(
+    ClusterId cluster, std::vector<ServiceId> services) {
+  require(cluster.valid() && cluster.idx() < cluster_services_.size(),
+          "set_cluster_capability: bad cluster");
+  require(std::is_sorted(services.begin(), services.end()),
+          "set_cluster_capability: services must be sorted");
+  cluster_services_[cluster.idx()] = std::move(services);
+}
+
+std::vector<ClusterId> HierarchicalServiceRouter::clusters_hosting(
+    ServiceId service) const {
+  std::vector<ClusterId> out;
+  for (std::size_t c = 0; c < cluster_services_.size(); ++c) {
+    if (std::binary_search(cluster_services_[c].begin(),
+                           cluster_services_[c].end(), service)) {
+      out.push_back(ClusterId(static_cast<int>(c)));
+    }
+  }
+  return out;
+}
+
+HierarchicalServiceRouter::Csp HierarchicalServiceRouter::compute_csp(
+    const ServiceRequest& request) const {
+  return compute_csp(request, RoutingFilters{}, {});
+}
+
+HierarchicalServiceRouter::Csp HierarchicalServiceRouter::compute_csp(
+    const ServiceRequest& request, const RoutingFilters& filters,
+    const Exclusions& exclusions) const {
+  Csp csp;
+  const ServiceGraph& graph = request.graph;
+  const ClusterId src_cluster = topo_.cluster_of(request.source);
+  const ClusterId dst_cluster = topo_.cluster_of(request.destination);
+  const bool lb = params_.use_internal_lower_bounds;
+
+  if (graph.empty()) {
+    csp.found = true;
+    csp.lower_bound = topo_.path_distance(request.source, request.destination,
+                                          distance_);
+    return csp;
+  }
+
+  // Cost of stepping from cluster `c` (entered at `entry`) over the
+  // external link toward cluster `next` (!= c).
+  const auto transition_cost = [&](ClusterId c, NodeId entry,
+                                   ClusterId next) {
+    const NodeId exit_border = topo_.border(c, next);
+    double cost = topo_.external_length(c, next);
+    if (lb && entry != exit_border) cost += distance_(entry, exit_border);
+    return cost;
+  };
+
+  // Per SG vertex: (cluster, entry) -> Label.
+  std::vector<std::unordered_map<std::uint64_t, Label>> tables(graph.size());
+
+  // Candidate clusters per vertex from SCT_C, pruned by the cluster-level
+  // feasibility filter and the crankback exclusions.
+  const auto excluded = [&exclusions](ClusterId c, ServiceId s) {
+    for (const auto& [ec, es] : exclusions) {
+      if (ec == c && es == s) return true;
+    }
+    return false;
+  };
+  std::vector<std::vector<ClusterId>> candidates(graph.size());
+  for (std::size_t v = 0; v < graph.size(); ++v) {
+    const ServiceId s = graph.label(v);
+    for (ClusterId c : clusters_hosting(s)) {
+      if (filters.cluster_ok && !filters.cluster_ok(c, s)) continue;
+      if (excluded(c, s)) continue;
+      candidates[v].push_back(c);
+    }
+    if (candidates[v].empty()) return csp;  // unsatisfiable system-wide
+  }
+
+  // Initialise the SG source vertices from the source proxy.
+  for (std::size_t v : graph.sources()) {
+    for (ClusterId c : candidates[v]) {
+      double cost = 0.0;
+      NodeId entry = request.source;
+      if (c != src_cluster) {
+        cost = transition_cost(src_cluster, request.source, c);
+        entry = topo_.border(c, src_cluster);
+      }
+      Label& label = tables[v][state_key(c, entry)];
+      if (cost < label.cost) {
+        label = Label{cost, static_cast<std::size_t>(-1), 0};
+      }
+    }
+  }
+
+  // Relax SG edges in topological order.
+  for (std::size_t u : graph.topological_order()) {
+    for (std::size_t v : graph.successors(u)) {
+      for (const auto& [key, label] : tables[u]) {
+        const ClusterId c(static_cast<int>(key >> 32));
+        const NodeId entry(static_cast<int>(key & 0xffffffffULL));
+        for (ClusterId next : candidates[v]) {
+          double cost = label.cost;
+          NodeId next_entry = entry;
+          if (next != c) {
+            cost += transition_cost(c, entry, next);
+            next_entry = topo_.border(next, c);
+          }
+          Label& target = tables[v][state_key(next, next_entry)];
+          if (cost < target.cost) {
+            target = Label{cost, u, key};
+          }
+        }
+      }
+    }
+  }
+
+  // Close at the destination proxy over the SG sink vertices.
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_vertex = 0;
+  std::uint64_t best_key = 0;
+  for (std::size_t v : graph.sinks()) {
+    for (const auto& [key, label] : tables[v]) {
+      const ClusterId c(static_cast<int>(key >> 32));
+      const NodeId entry(static_cast<int>(key & 0xffffffffULL));
+      double cost = label.cost;
+      if (c == dst_cluster) {
+        if (lb && entry != request.destination) {
+          cost += distance_(entry, request.destination);
+        }
+      } else {
+        cost += transition_cost(c, entry, dst_cluster);
+        if (lb) {
+          const NodeId dst_entry = topo_.border(dst_cluster, c);
+          if (dst_entry != request.destination) {
+            cost += distance_(dst_entry, request.destination);
+          }
+        }
+      }
+      if (cost < best) {
+        best = cost;
+        best_vertex = v;
+        best_key = key;
+      }
+    }
+  }
+  if (best == std::numeric_limits<double>::infinity()) return csp;
+
+  csp.found = true;
+  csp.lower_bound = best;
+  for (std::size_t v = best_vertex; v != static_cast<std::size_t>(-1);) {
+    csp.elements.push_back(
+        CspElement{v, ClusterId(static_cast<int>(best_key >> 32))});
+    const Label& label = tables[v].at(best_key);
+    v = label.prev_vertex;
+    best_key = label.prev_key;
+  }
+  std::reverse(csp.elements.begin(), csp.elements.end());
+  return csp;
+}
+
+std::vector<HierarchicalServiceRouter::ChildRequest>
+HierarchicalServiceRouter::divide(const Csp& csp,
+                                  const ServiceRequest& request) const {
+  require(csp.found, "divide: CSP not found");
+  std::vector<ChildRequest> children;
+  const ClusterId src_cluster = topo_.cluster_of(request.source);
+  const ClusterId dst_cluster = topo_.cluster_of(request.destination);
+
+  std::size_t i = 0;
+  while (i < csp.elements.size()) {
+    // A child covers the maximal run of consecutive elements in one cluster.
+    std::size_t j = i;
+    while (j + 1 < csp.elements.size() &&
+           csp.elements[j + 1].cluster == csp.elements[i].cluster) {
+      ++j;
+    }
+    const ClusterId cluster = csp.elements[i].cluster;
+
+    ChildRequest child;
+    child.cluster = cluster;
+    std::vector<ServiceId> chain;
+    chain.reserve(j - i + 1);
+    for (std::size_t k = i; k <= j; ++k) {
+      chain.push_back(request.graph.label(csp.elements[k].sg_vertex));
+    }
+    child.request.graph = ServiceGraph::linear(chain);
+
+    // Child source: the original source proxy for the first child in the
+    // source's own cluster, otherwise the border through which the path
+    // enters this cluster.
+    if (i == 0 && cluster == src_cluster) {
+      child.request.source = request.source;
+    } else {
+      const ClusterId prev =
+          (i == 0) ? src_cluster : csp.elements[i - 1].cluster;
+      child.request.source = topo_.border(cluster, prev);
+    }
+    // Child destination symmetrically.
+    if (j + 1 == csp.elements.size() && cluster == dst_cluster) {
+      child.request.destination = request.destination;
+    } else {
+      const ClusterId next = (j + 1 == csp.elements.size())
+                                 ? dst_cluster
+                                 : csp.elements[j + 1].cluster;
+      child.request.destination = topo_.border(cluster, next);
+    }
+    children.push_back(std::move(child));
+    i = j + 1;
+  }
+  return children;
+}
+
+namespace {
+
+/// Append a hop, dropping pure-relay duplicates of the previous proxy.
+void append_hop(std::vector<ServiceHop>& hops, const ServiceHop& hop) {
+  if (!hops.empty() && hops.back().proxy == hop.proxy) {
+    if (hop.is_relay()) return;               // redundant relay
+    if (hops.back().is_relay()) {             // upgrade relay to service
+      hops.back() = hop;
+      return;
+    }
+  }
+  hops.push_back(hop);
+}
+
+}  // namespace
+
+ServicePath HierarchicalServiceRouter::conquer(
+    const Csp& csp, const std::vector<ChildRequest>& children,
+    const ServiceRequest& request) const {
+  return conquer_filtered(csp, children, request, RoutingFilters{}).path;
+}
+
+HierarchicalServiceRouter::ConquerResult
+HierarchicalServiceRouter::conquer_filtered(
+    const Csp& csp, const std::vector<ChildRequest>& children,
+    const ServiceRequest& request, const RoutingFilters& filters) const {
+  require(csp.found, "conquer: CSP not found");
+  const ClusterId src_cluster = topo_.cluster_of(request.source);
+  const ClusterId dst_cluster = topo_.cluster_of(request.destination);
+
+  ConquerResult result;
+  std::vector<ServiceHop> hops;
+  append_hop(hops, ServiceHop{request.source, ServiceId{}});
+
+  if (children.empty()) {
+    // Pure relay request (empty SG): follow the HFC hop path.
+    for (NodeId n : topo_.hop_path(request.source, request.destination)) {
+      append_hop(hops, ServiceHop{n, ServiceId{}});
+    }
+  } else {
+    // Bridge from the source into the first child's cluster if needed.
+    if (children.front().cluster != src_cluster) {
+      append_hop(hops, ServiceHop{
+                           topo_.border(src_cluster, children.front().cluster),
+                           ServiceId{}});
+    }
+    for (const ChildRequest& child : children) {
+      const ServicePath child_path = flat_.route_within(
+          child.request, topo_.members(child.cluster), filters.node_ok);
+      if (!child_path.found) {
+        // The aggregate state (or an optimistic QoS aggregate) promised
+        // this cluster could serve the chain, but some service has no
+        // feasible provider in it. Report the precise gaps for crankback.
+        for (ServiceId s : child.request.graph.distinct_services()) {
+          bool feasible = false;
+          for (NodeId member : topo_.members(child.cluster)) {
+            if (net_.hosts(member, s) &&
+                (!filters.node_ok || filters.node_ok(member, s))) {
+              feasible = true;
+              break;
+            }
+          }
+          if (!feasible) result.infeasible.emplace_back(child.cluster, s);
+        }
+        ensure(!result.infeasible.empty(),
+               "conquer: child failed but every service looks feasible");
+        return result;
+      }
+      for (const ServiceHop& hop : child_path.hops) append_hop(hops, hop);
+    }
+    // Bridge from the last child's cluster to the destination if needed.
+    if (children.back().cluster != dst_cluster) {
+      append_hop(hops, ServiceHop{
+                           topo_.border(dst_cluster, children.back().cluster),
+                           ServiceId{}});
+    }
+    append_hop(hops, ServiceHop{request.destination, ServiceId{}});
+  }
+
+  result.path.found = true;
+  result.path.hops = std::move(hops);
+  result.path.cost = path_length(result.path, distance_);
+  return result;
+}
+
+HierarchicalServiceRouter::RouteResult
+HierarchicalServiceRouter::route_with_crankback(
+    const ServiceRequest& request, const RoutingFilters& filters,
+    std::size_t max_crankbacks) const {
+  RouteResult result;
+  Exclusions exclusions;
+  for (std::size_t attempt = 0; attempt <= max_crankbacks; ++attempt) {
+    const Csp csp = compute_csp(request, filters, exclusions);
+    if (!csp.found) return result;  // nothing feasible remains
+    const std::vector<ChildRequest> children = divide(csp, request);
+    ConquerResult conquered =
+        conquer_filtered(csp, children, request, filters);
+    if (conquered.path.found) {
+      result.path = std::move(conquered.path);
+      return result;
+    }
+    ++result.crankbacks;
+    exclusions.insert(exclusions.end(), conquered.infeasible.begin(),
+                      conquered.infeasible.end());
+  }
+  return result;  // crankback budget exhausted
+}
+
+ServicePath HierarchicalServiceRouter::route(
+    const ServiceRequest& request) const {
+  require(request.source.valid() && request.source.idx() < net_.size(),
+          "HierarchicalServiceRouter: bad source");
+  require(request.destination.valid() &&
+              request.destination.idx() < net_.size(),
+          "HierarchicalServiceRouter: bad destination");
+  const Csp csp = compute_csp(request);
+  if (!csp.found) return ServicePath{};
+  const std::vector<ChildRequest> children = divide(csp, request);
+  return conquer(csp, children, request);
+}
+
+}  // namespace hfc

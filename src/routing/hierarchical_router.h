@@ -1,0 +1,157 @@
+// Hierarchical service routing (paper §5): top-down divide-and-conquer.
+//
+// The destination proxy, holding only partial global state (full state of
+// its own cluster + aggregate state of every cluster), first computes a
+// *cluster-level service path* (CSP) that fixes which cluster serves each
+// service. The CSP is dissected into child requests — one per maximal run
+// of consecutive services mapped to the same cluster — which are resolved
+// to concrete proxies inside those clusters by the flat algorithm over
+// SCT_P, and the child paths are composed into the final service path.
+//
+// Inter-cluster path selection (§5.1 step 2) does not judge candidate
+// CSPs by external border links alone: it also accounts for the internal
+// distances a path provably cannot avoid (entry border to exit border
+// inside each traversed cluster, and entry border to the destination
+// proxy). The paper implements this with a back-tracking verification
+// bolted onto DAG-shortest-paths; we achieve the same optimisation
+// exactly by augmenting the search state with the entry node of the
+// current cluster, which makes the cost function Markovian again. One
+// deliberate refinement over the paper's worked example: we also count
+// the source proxy's internal distance to its cluster's exit border
+// (the example omits it; including it is still a valid lower bound and
+// strictly better informed). Set
+// `HierarchicalRoutingParams::use_internal_lower_bounds = false` to fall
+// back to external-links-only selection (ablation A5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "overlay/hfc_topology.h"
+#include "overlay/overlay_network.h"
+#include "routing/flat_router.h"
+#include "routing/service_path.h"
+
+namespace hfc {
+
+struct HierarchicalRoutingParams {
+  /// Account for unavoidable intra-cluster border-to-border distances when
+  /// selecting the CSP (the paper's back-tracking refinement). When false,
+  /// CSPs are ranked by external link lengths only.
+  bool use_internal_lower_bounds = true;
+};
+
+/// Feasibility filters for QoS-style routing (paper §7 future work).
+/// `cluster_ok(c, s)` prunes clusters as providers of service s at the
+/// CSP level (e.g. aggregate capacity below the session demand);
+/// `node_ok(p, s)` prunes concrete proxies at the intra-cluster level.
+/// Null members accept everything. Because aggregation can be optimistic,
+/// a CSP that passed cluster_ok may still fail node_ok inside a cluster —
+/// `route_with_crankback` handles that by excluding the failing
+/// (cluster, service) pairs and recomputing the CSP.
+struct RoutingFilters {
+  std::function<bool(ClusterId, ServiceId)> cluster_ok;
+  NodeServiceFilter node_ok;
+};
+
+class HierarchicalServiceRouter {
+ public:
+  /// `net` and `topo` must outlive the router. `decision_distance` is what
+  /// proxies believe about the overlay (coordinate estimates in the
+  /// paper). Aggregate cluster capabilities (SCT_C) are derived from the
+  /// placement — exactly what the converged §4 protocol yields; tests can
+  /// overwrite them with protocol output via set_cluster_capability.
+  HierarchicalServiceRouter(const OverlayNetwork& net,
+                            const HfcTopology& topo,
+                            OverlayDistance decision_distance,
+                            HierarchicalRoutingParams params = {});
+
+  /// Full pipeline: map -> CSP -> divide -> conquer.
+  [[nodiscard]] ServicePath route(const ServiceRequest& request) const;
+
+  /// Routing outcome under filters, including how often the router had to
+  /// back out of a cluster whose aggregate state proved too optimistic.
+  struct RouteResult {
+    ServicePath path;
+    std::size_t crankbacks = 0;
+  };
+  /// Filtered pipeline with crankback: when a child request cannot be
+  /// resolved inside its cluster (node_ok leaves a service without a
+  /// provider), the infeasible (cluster, service) pairs are excluded and
+  /// the CSP recomputed, up to `max_crankbacks` times.
+  [[nodiscard]] RouteResult route_with_crankback(
+      const ServiceRequest& request, const RoutingFilters& filters,
+      std::size_t max_crankbacks = 8) const;
+
+  /// --- introspection points, exposed for tests and the simulator ---
+
+  struct CspElement {
+    std::size_t sg_vertex = 0;
+    ClusterId cluster;
+  };
+  /// A cluster-level service path: one cluster per SG vertex of the chosen
+  /// configuration. `lower_bound` is the CSP's cost under the selection
+  /// metric (external links + unavoidable internal segments).
+  struct Csp {
+    bool found = false;
+    double lower_bound = 0.0;
+    std::vector<CspElement> elements;
+  };
+  [[nodiscard]] Csp compute_csp(const ServiceRequest& request) const;
+
+  /// Excluded (cluster, service) candidate pairs, as accumulated by
+  /// crankback.
+  using Exclusions = std::vector<std::pair<ClusterId, ServiceId>>;
+  [[nodiscard]] Csp compute_csp(const ServiceRequest& request,
+                                const RoutingFilters& filters,
+                                const Exclusions& exclusions) const;
+
+  /// One child request: a linear chain of consecutive CSP services inside
+  /// a single cluster, between that cluster's entry and exit nodes.
+  struct ChildRequest {
+    ClusterId cluster;
+    ServiceRequest request;
+  };
+  [[nodiscard]] std::vector<ChildRequest> divide(
+      const Csp& csp, const ServiceRequest& request) const;
+
+  /// Solve the child requests (flat routing restricted to each cluster's
+  /// members) and compose the final concrete path, inserting border relay
+  /// hops between clusters.
+  [[nodiscard]] ServicePath conquer(const Csp& csp,
+                                    const std::vector<ChildRequest>& children,
+                                    const ServiceRequest& request) const;
+
+  /// Conquer under a node filter; on failure reports exactly which
+  /// (cluster, service) pairs had no feasible provider so the caller can
+  /// crank back.
+  struct ConquerResult {
+    ServicePath path;
+    Exclusions infeasible;  ///< non-empty iff a child failed
+  };
+  [[nodiscard]] ConquerResult conquer_filtered(
+      const Csp& csp, const std::vector<ChildRequest>& children,
+      const ServiceRequest& request, const RoutingFilters& filters) const;
+
+  /// Replace the derived aggregate capability of one cluster (e.g. with
+  /// the outcome of the simulated §4 protocol). `services` ascending.
+  void set_cluster_capability(ClusterId cluster,
+                              std::vector<ServiceId> services);
+
+  /// Clusters whose aggregate service set (SCT_C) contains `service`.
+  [[nodiscard]] std::vector<ClusterId> clusters_hosting(
+      ServiceId service) const;
+
+ private:
+  const OverlayNetwork& net_;
+  const HfcTopology& topo_;
+  OverlayDistance distance_;
+  HierarchicalRoutingParams params_;
+  FlatServiceRouter flat_;
+  /// cluster_services_[c] = aggregate SCT of cluster c, sorted ascending.
+  std::vector<std::vector<ServiceId>> cluster_services_;
+};
+
+}  // namespace hfc

@@ -1,0 +1,35 @@
+#include "routing/path_expansion.h"
+
+namespace hfc {
+
+ServicePath expand_hfc_path(const ServicePath& path, const HfcTopology& topo) {
+  if (!path.found) return path;
+  ServicePath expanded;
+  expanded.found = true;
+  expanded.cost = path.cost;
+  for (std::size_t i = 0; i < path.hops.size(); ++i) {
+    if (i == 0) {
+      expanded.hops.push_back(path.hops[i]);
+      continue;
+    }
+    const NodeId from = path.hops[i - 1].proxy;
+    const NodeId to = path.hops[i].proxy;
+    if (from != to) {
+      const std::vector<NodeId> walk = topo.hop_path(from, to);
+      for (std::size_t w = 1; w + 1 < walk.size(); ++w) {
+        // Interior nodes are the border relays.
+        if (walk[w] != expanded.hops.back().proxy) {
+          expanded.hops.push_back(ServiceHop{walk[w], ServiceId{}});
+        }
+      }
+    }
+    if (path.hops[i].proxy == expanded.hops.back().proxy &&
+        path.hops[i].is_relay()) {
+      continue;  // relay duplicate of the previous hop
+    }
+    expanded.hops.push_back(path.hops[i]);
+  }
+  return expanded;
+}
+
+}  // namespace hfc

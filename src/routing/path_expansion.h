@@ -1,0 +1,19 @@
+// Relay expansion of fully-connected-view paths onto the HFC topology.
+//
+// A flat router run over HFC-constrained distances ("HFC without state
+// aggregation") returns only service hops; physically, hops that cross
+// clusters travel through the border pair. This inserts those border
+// relays so the path can be measured hop by hop.
+#pragma once
+
+#include "overlay/hfc_topology.h"
+#include "routing/service_path.h"
+
+namespace hfc {
+
+/// Insert the border relay hops mandated by the HFC topology between
+/// consecutive hops in different clusters. Intra-cluster hops stay direct.
+[[nodiscard]] ServicePath expand_hfc_path(const ServicePath& path,
+                                          const HfcTopology& topo);
+
+}  // namespace hfc

@@ -1,0 +1,61 @@
+// Service DAG construction and shortest-path solving — the core technique
+// of [11] that the paper reuses at both routing levels (§5).
+//
+// Service routing cannot run a shortest-path algorithm on the overlay
+// graph directly: paths must visit services in dependency order
+// (functionality + dependency constraints). The mapping phase removes both
+// constraints by construction: the DAG has one node per (service-graph
+// vertex, candidate location) pair plus a source and a sink; its edges
+// follow the service graph's dependency edges, weighted with the distance
+// between the chosen locations. Every source->sink path in the DAG is then
+// a viable service path, and DAG-shortest-paths returns the optimal one.
+//
+// "Location" is deliberately abstract (an integer): at the proxy level
+// locations are proxies (candidates looked up in SCT_P), at the cluster
+// level they are clusters (looked up in SCT_C).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "services/service_graph.h"
+
+namespace hfc {
+
+/// Distance between two abstract locations; must be non-negative.
+using LocationDistance = std::function<double(int, int)>;
+
+/// Inputs of the mapping phase.
+struct ServiceDagProblem {
+  const ServiceGraph* graph = nullptr;
+  /// candidates[v] = locations able to run graph vertex v. A vertex with
+  /// no candidates makes the request unsatisfiable through that vertex.
+  std::vector<std::vector<int>> candidates;
+  int source_location = 0;
+  int destination_location = 0;
+  /// Distance between candidate locations (and the endpoints).
+  LocationDistance distance;
+};
+
+/// One element of the solved mapping: SG vertex -> location.
+struct DagAssignment {
+  std::size_t sg_vertex = 0;
+  int location = 0;
+  friend bool operator==(const DagAssignment&, const DagAssignment&) = default;
+};
+
+struct DagSolution {
+  bool found = false;
+  double cost = 0.0;
+  /// The chosen configuration in order, one assignment per SG vertex on
+  /// the chosen source->sink path.
+  std::vector<DagAssignment> assignments;
+};
+
+/// Build the service DAG and solve it with DAG-shortest-paths (relaxation
+/// in service-graph topological order). O(sum over SG edges of
+/// |cand(u)|*|cand(v)|). Throws on a null graph or distance.
+[[nodiscard]] DagSolution solve_service_dag(const ServiceDagProblem& problem);
+
+}  // namespace hfc

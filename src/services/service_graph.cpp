@@ -1,0 +1,159 @@
+#include "services/service_graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/require.h"
+
+namespace hfc {
+
+std::size_t ServiceGraph::add_vertex(ServiceId service) {
+  require(service.valid(), "ServiceGraph::add_vertex: invalid service");
+  labels_.push_back(service);
+  succ_.emplace_back();
+  pred_.emplace_back();
+  return labels_.size() - 1;
+}
+
+bool ServiceGraph::reaches(std::size_t from, std::size_t to) const {
+  std::vector<std::size_t> stack{from};
+  std::vector<bool> seen(labels_.size(), false);
+  seen[from] = true;
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    if (u == to) return true;
+    for (std::size_t v : succ_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return false;
+}
+
+void ServiceGraph::add_edge(std::size_t from, std::size_t to) {
+  require(from < labels_.size() && to < labels_.size(),
+          "ServiceGraph::add_edge: vertex out of range");
+  require(from != to, "ServiceGraph::add_edge: self-loop");
+  require(!reaches(to, from), "ServiceGraph::add_edge: edge creates a cycle");
+  if (std::find(succ_[from].begin(), succ_[from].end(), to) !=
+      succ_[from].end()) {
+    return;  // duplicate edge is a no-op
+  }
+  succ_[from].push_back(to);
+  pred_[to].push_back(from);
+}
+
+ServiceId ServiceGraph::label(std::size_t v) const {
+  require(v < labels_.size(), "ServiceGraph::label: vertex out of range");
+  return labels_[v];
+}
+
+const std::vector<std::size_t>& ServiceGraph::successors(std::size_t v) const {
+  require(v < succ_.size(), "ServiceGraph::successors: vertex out of range");
+  return succ_[v];
+}
+
+const std::vector<std::size_t>& ServiceGraph::predecessors(
+    std::size_t v) const {
+  require(v < pred_.size(), "ServiceGraph::predecessors: vertex out of range");
+  return pred_[v];
+}
+
+std::vector<std::size_t> ServiceGraph::sources() const {
+  std::vector<std::size_t> out;
+  for (std::size_t v = 0; v < labels_.size(); ++v) {
+    if (pred_[v].empty()) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::size_t> ServiceGraph::sinks() const {
+  std::vector<std::size_t> out;
+  for (std::size_t v = 0; v < labels_.size(); ++v) {
+    if (succ_[v].empty()) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::size_t> ServiceGraph::topological_order() const {
+  std::vector<std::size_t> indegree(labels_.size(), 0);
+  for (std::size_t v = 0; v < labels_.size(); ++v) {
+    indegree[v] = pred_[v].size();
+  }
+  std::vector<std::size_t> order;
+  order.reserve(labels_.size());
+  std::vector<std::size_t> ready = sources();
+  while (!ready.empty()) {
+    const std::size_t u = ready.back();
+    ready.pop_back();
+    order.push_back(u);
+    for (std::size_t v : succ_[u]) {
+      if (--indegree[v] == 0) ready.push_back(v);
+    }
+  }
+  ensure(order.size() == labels_.size(),
+         "ServiceGraph::topological_order: graph has a cycle");
+  return order;
+}
+
+std::vector<std::vector<std::size_t>> ServiceGraph::configurations() const {
+  std::vector<std::vector<std::size_t>> out;
+  std::vector<std::size_t> path;
+  // DFS enumerating every source->sink vertex path.
+  const auto dfs = [&](auto&& self, std::size_t v) -> void {
+    path.push_back(v);
+    if (succ_[v].empty()) {
+      out.push_back(path);
+    } else {
+      for (std::size_t w : succ_[v]) self(self, w);
+    }
+    path.pop_back();
+  };
+  for (std::size_t s : sources()) dfs(dfs, s);
+  return out;
+}
+
+bool ServiceGraph::is_linear() const {
+  if (labels_.empty()) return true;
+  if (sources().size() != 1 || sinks().size() != 1) return false;
+  for (std::size_t v = 0; v < labels_.size(); ++v) {
+    if (succ_[v].size() > 1 || pred_[v].size() > 1) return false;
+  }
+  return true;
+}
+
+std::vector<ServiceId> ServiceGraph::distinct_services() const {
+  std::vector<ServiceId> out = labels_;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+ServiceGraph ServiceGraph::linear(const std::vector<ServiceId>& chain) {
+  ServiceGraph g;
+  for (ServiceId s : chain) g.add_vertex(s);
+  for (std::size_t v = 0; v + 1 < chain.size(); ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+std::string ServiceGraph::to_string() const {
+  std::ostringstream os;
+  bool first_edge = true;
+  for (std::size_t v = 0; v < labels_.size(); ++v) {
+    for (std::size_t w : succ_[v]) {
+      if (!first_edge) os << ", ";
+      first_edge = false;
+      os << v << ":S" << labels_[v].value() << " -> " << w << ":S"
+         << labels_[w].value();
+    }
+  }
+  if (first_edge && !labels_.empty()) {
+    os << "0:S" << labels_[0].value();
+  }
+  return os.str();
+}
+
+}  // namespace hfc

@@ -1,0 +1,80 @@
+// The composable-services model (paper §2.1).
+//
+// A service request carries a *service graph* (SG): a DAG whose vertices
+// are labelled with service types and whose edges express dependency
+// (operational or input/output constraints). A linear SG has exactly one
+// configuration; a non-linear SG admits one configuration per path from a
+// source service to a sink service (Figure 2).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace hfc {
+
+/// A service dependency DAG. Vertices are dense indices; each vertex is
+/// labelled with the ServiceId it requires. Multiple vertices may carry
+/// the same service (the same transcoder can appear in two alternative
+/// configurations).
+class ServiceGraph {
+ public:
+  /// Add a vertex labelled with `service`; returns its index.
+  std::size_t add_vertex(ServiceId service);
+
+  /// Add the dependency edge from -> to (from must precede to). Throws on
+  /// out-of-range vertices, self-loops, or if the edge creates a cycle.
+  void add_edge(std::size_t from, std::size_t to);
+
+  [[nodiscard]] std::size_t size() const { return labels_.size(); }
+  [[nodiscard]] bool empty() const { return labels_.empty(); }
+  [[nodiscard]] ServiceId label(std::size_t v) const;
+  [[nodiscard]] const std::vector<std::size_t>& successors(std::size_t v) const;
+  [[nodiscard]] const std::vector<std::size_t>& predecessors(std::size_t v) const;
+
+  /// Vertices with no predecessors ("source services").
+  [[nodiscard]] std::vector<std::size_t> sources() const;
+  /// Vertices with no successors ("sink services").
+  [[nodiscard]] std::vector<std::size_t> sinks() const;
+
+  /// A topological order of the vertices.
+  [[nodiscard]] std::vector<std::size_t> topological_order() const;
+
+  /// All feasible configurations: every vertex path from a source to a
+  /// sink. Exponential in the worst case; intended for small SGs (tests,
+  /// brute-force oracle).
+  [[nodiscard]] std::vector<std::vector<std::size_t>> configurations() const;
+
+  /// True when the SG is a single chain (exactly one configuration that
+  /// covers every vertex).
+  [[nodiscard]] bool is_linear() const;
+
+  /// The distinct services mentioned by the SG, ascending.
+  [[nodiscard]] std::vector<ServiceId> distinct_services() const;
+
+  /// Build a linear SG s0 -> s1 -> ... -> sk.
+  [[nodiscard]] static ServiceGraph linear(const std::vector<ServiceId>& chain);
+
+  /// Debug rendering, e.g. "0:S3 -> 1:S7 -> 2:S1".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  [[nodiscard]] bool reaches(std::size_t from, std::size_t to) const;
+
+  std::vector<ServiceId> labels_;
+  std::vector<std::vector<std::size_t>> succ_;
+  std::vector<std::vector<std::size_t>> pred_;
+};
+
+/// A service request: deliver from `source` to `destination` through some
+/// configuration of `graph` (paper §2.2: source proxy + SG + destination
+/// proxy).
+struct ServiceRequest {
+  NodeId source;
+  NodeId destination;
+  ServiceGraph graph;
+};
+
+}  // namespace hfc

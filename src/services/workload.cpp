@@ -1,0 +1,148 @@
+#include "services/workload.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace hfc {
+
+ServicePlacement assign_services(std::size_t proxy_count,
+                                 const WorkloadParams& params, Rng& rng) {
+  require(proxy_count > 0, "assign_services: need >= 1 proxy");
+  require(params.catalog_size > 0, "assign_services: empty catalog");
+  require(params.services_per_proxy_min >= 1 &&
+              params.services_per_proxy_min <= params.services_per_proxy_max,
+          "assign_services: bad services-per-proxy range");
+  require(params.services_per_proxy_max <= params.catalog_size,
+          "assign_services: more services per proxy than catalog entries");
+
+  ServicePlacement placement(proxy_count);
+  // Seed coverage: service (i mod catalog) goes to proxy i, so every
+  // catalog service is hosted somewhere as long as proxies >= catalog.
+  // When proxies < catalog, the remaining services are seeded onto random
+  // proxies as extras below the per-proxy cap.
+  for (std::size_t p = 0; p < proxy_count; ++p) {
+    placement[p].push_back(
+        ServiceId(static_cast<std::int32_t>(p % params.catalog_size)));
+  }
+  for (std::size_t s = proxy_count; s < params.catalog_size; ++s) {
+    placement[rng.pick_index(proxy_count)].push_back(
+        ServiceId(static_cast<std::int32_t>(s)));
+  }
+
+  for (std::size_t p = 0; p < proxy_count; ++p) {
+    const std::size_t want = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<int>(params.services_per_proxy_min),
+                        static_cast<int>(params.services_per_proxy_max)));
+    while (placement[p].size() < want) {
+      const ServiceId candidate(
+          static_cast<std::int32_t>(rng.pick_index(params.catalog_size)));
+      if (std::find(placement[p].begin(), placement[p].end(), candidate) ==
+          placement[p].end()) {
+        placement[p].push_back(candidate);
+      }
+    }
+    std::sort(placement[p].begin(), placement[p].end());
+    // Seeding can overshoot `want` by a couple of entries; that is fine —
+    // the paper only bounds the random draw, and coverage matters more.
+    placement[p].erase(
+        std::unique(placement[p].begin(), placement[p].end()),
+        placement[p].end());
+  }
+  return placement;
+}
+
+bool placement_satisfies(const ServicePlacement& placement,
+                         const ServiceGraph& graph) {
+  for (ServiceId s : graph.distinct_services()) {
+    bool hosted = false;
+    for (const auto& services : placement) {
+      if (std::binary_search(services.begin(), services.end(), s)) {
+        hosted = true;
+        break;
+      }
+    }
+    if (!hosted) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Widen a linear chain into a Figure-2(b)-style non-linear SG: add one or
+/// two alternative source vertices that feed into early chain vertices,
+/// and possibly a skip edge deeper into the chain.
+void add_alternative_sources(ServiceGraph& graph, std::size_t chain_length,
+                             std::size_t catalog_size, Rng& rng) {
+  const int branches = rng.uniform_int(1, 2);
+  for (int b = 0; b < branches; ++b) {
+    const ServiceId alt(
+        static_cast<std::int32_t>(rng.pick_index(catalog_size)));
+    const std::size_t v = graph.add_vertex(alt);
+    // Feed into a random early chain vertex (never vertex 0, which stays a
+    // parallel source).
+    const std::size_t attach = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<int>(chain_length - 1)));
+    graph.add_edge(v, attach);
+    // Optionally also allow skipping ahead (s3 -> s2 in Figure 2b).
+    if (attach + 1 < chain_length && rng.chance(0.5)) {
+      const std::size_t skip = static_cast<std::size_t>(rng.uniform_int(
+          static_cast<int>(attach + 1), static_cast<int>(chain_length - 1)));
+      graph.add_edge(v, skip);
+    }
+  }
+}
+
+}  // namespace
+
+ServiceRequest make_request(NodeId source, NodeId destination,
+                            std::size_t length, const WorkloadParams& params,
+                            Rng& rng) {
+  require(source.valid() && destination.valid(),
+          "make_request: invalid endpoints");
+  require(length >= 1, "make_request: empty request");
+  require(length <= params.catalog_size,
+          "make_request: request longer than catalog");
+
+  std::vector<ServiceId> chain;
+  chain.reserve(length);
+  for (std::size_t idx : rng.sample_indices(params.catalog_size, length)) {
+    chain.push_back(ServiceId(static_cast<std::int32_t>(idx)));
+  }
+
+  ServiceRequest request;
+  request.source = source;
+  request.destination = destination;
+  request.graph = ServiceGraph::linear(chain);
+  if (length >= 2 && params.nonlinear_fraction > 0.0 &&
+      rng.chance(params.nonlinear_fraction)) {
+    add_alternative_sources(request.graph, length, params.catalog_size, rng);
+  }
+  return request;
+}
+
+std::vector<ServiceRequest> make_requests(
+    std::size_t count, const std::vector<NodeId>& endpoint_pool,
+    const WorkloadParams& params, Rng& rng) {
+  require(!endpoint_pool.empty(), "make_requests: empty endpoint pool");
+  require(params.request_length_min >= 1 &&
+              params.request_length_min <= params.request_length_max,
+          "make_requests: bad request length range");
+
+  std::vector<ServiceRequest> out;
+  out.reserve(count);
+  for (std::size_t r = 0; r < count; ++r) {
+    const NodeId src = rng.pick(endpoint_pool);
+    NodeId dst = rng.pick(endpoint_pool);
+    for (int attempt = 0; attempt < 16 && dst == src; ++attempt) {
+      dst = rng.pick(endpoint_pool);
+    }
+    const std::size_t length = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<int>(params.request_length_min),
+                        static_cast<int>(params.request_length_max)));
+    out.push_back(make_request(src, dst, length, params, rng));
+  }
+  return out;
+}
+
+}  // namespace hfc

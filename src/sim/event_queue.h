@@ -1,0 +1,83 @@
+// A minimal discrete-event simulation engine.
+//
+// The paper runs its protocol experiments in ns-2; this engine plays that
+// role for the state-distribution protocol (§4) and the routing
+// transaction (§5). Events fire in timestamp order with a FIFO tie-break,
+// so runs are fully deterministic.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "util/require.h"
+
+namespace hfc {
+
+class Simulator {
+ public:
+  using Handler = std::function<void(Simulator&)>;
+
+  /// Current simulation time (ms). Starts at 0.
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Schedule a handler at an absolute time >= now().
+  void schedule_at(double time, Handler handler) {
+    require(time >= now_, "Simulator::schedule_at: time in the past");
+    require(static_cast<bool>(handler), "Simulator::schedule_at: null handler");
+    queue_.push(Event{time, next_seq_++, std::move(handler)});
+  }
+
+  /// Schedule a handler `delay` >= 0 from now.
+  void schedule_in(double delay, Handler handler) {
+    require(delay >= 0.0, "Simulator::schedule_in: negative delay");
+    schedule_at(now_ + delay, std::move(handler));
+  }
+
+  /// Process one event; false when the queue is empty.
+  bool step() {
+    if (queue_.empty()) return false;
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.handler(*this);
+    return true;
+  }
+
+  /// Run until the queue drains or the next event is past `until`.
+  /// Returns the number of events processed by this call.
+  std::size_t run(double until = std::numeric_limits<double>::infinity()) {
+    std::size_t count = 0;
+    while (!queue_.empty() && queue_.top().time <= until) {
+      step();
+      ++count;
+    }
+    return count;
+  }
+
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::size_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    double time;
+    std::size_t seq;  ///< FIFO tie-break for equal timestamps
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::size_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace hfc

@@ -1,0 +1,223 @@
+#include "sim/state_protocol.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/require.h"
+
+namespace hfc {
+
+StateProtocolSim::StateProtocolSim(const OverlayNetwork& net,
+                                   const HfcTopology& topo,
+                                   OverlayDistance delay,
+                                   StateProtocolParams params)
+    : net_(net),
+      topo_(topo),
+      delay_(std::move(delay)),
+      params_(params),
+      loss_rng_(params.loss_seed) {
+  require(static_cast<bool>(delay_), "StateProtocolSim: null delay");
+  require(params_.loss_probability >= 0.0 && params_.loss_probability < 1.0,
+          "StateProtocolSim: loss probability outside [0,1)");
+  require(topo_.node_count() == net_.size(),
+          "StateProtocolSim: topology/network size mismatch");
+  require(params_.local_period_ms > 0.0 && params_.aggregate_period_ms > 0.0,
+          "StateProtocolSim: periods must be positive");
+  require(params_.rounds >= 1, "StateProtocolSim: need >= 1 round");
+  tables_.resize(net_.size());
+}
+
+bool StateProtocolSim::dropped() {
+  if (params_.loss_probability == 0.0) return false;
+  if (!loss_rng_.chance(params_.loss_probability)) return false;
+  ++metrics_.lost_messages;
+  return true;
+}
+
+void StateProtocolSim::deliver_local(Simulator& sim, NodeId to, NodeId about,
+                                     std::vector<ServiceId> services) {
+  metrics_.service_names_carried += services.size();
+  tables_[to.idx()].sct_p[about] = std::move(services);
+  metrics_.convergence_time_ms = sim.now();
+}
+
+void StateProtocolSim::deliver_aggregate(Simulator& sim, NodeId to,
+                                         ClusterId about,
+                                         std::vector<ServiceId> services,
+                                         bool forwarded) {
+  metrics_.service_names_carried += services.size();
+  tables_[to.idx()].sct_c[about] = services;
+  metrics_.convergence_time_ms = sim.now();
+  if (forwarded) return;
+  // A border proxy that receives a fresh aggregate from a peer border is
+  // responsible for fanning it out inside its own cluster (§4 step 2).
+  const ClusterId own = topo_.cluster_of(to);
+  for (NodeId member : topo_.members(own)) {
+    if (member == to) continue;
+    ++metrics_.forwarded_messages;
+    if (dropped()) continue;
+    std::vector<ServiceId> copy = services;
+    sim.schedule_in(delay_(to, member),
+                    [this, member, about, copy = std::move(copy)](
+                        Simulator& s) mutable {
+                      deliver_aggregate(s, member, about, std::move(copy),
+                                        /*forwarded=*/true);
+                    });
+  }
+}
+
+void StateProtocolSim::send_local_state(Simulator& sim, NodeId from) {
+  const std::vector<ServiceId>& services = net_.services_at(from);
+  // A node always knows itself.
+  tables_[from.idx()].sct_p[from] = services;
+  for (NodeId member : topo_.members(topo_.cluster_of(from))) {
+    if (member == from) continue;
+    ++metrics_.local_messages;
+    if (dropped()) continue;
+    sim.schedule_in(delay_(from, member),
+                    [this, member, from, services](Simulator& s) {
+                      deliver_local(s, member, from, services);
+                    });
+  }
+}
+
+void StateProtocolSim::send_aggregate_state(Simulator& sim, NodeId border) {
+  const ClusterId own = topo_.cluster_of(border);
+  // Aggregate what this border currently knows via SCT_P (union of the
+  // per-proxy sets, §4 footnote 5).
+  std::vector<ServiceId> aggregate;
+  for (const auto& [node, services] : tables_[border.idx()].sct_p) {
+    aggregate.insert(aggregate.end(), services.begin(), services.end());
+  }
+  std::sort(aggregate.begin(), aggregate.end());
+  aggregate.erase(std::unique(aggregate.begin(), aggregate.end()),
+                  aggregate.end());
+  // Every node tracks its own cluster's aggregate locally.
+  tables_[border.idx()].sct_c[own] = aggregate;
+
+  for (std::size_t c = 0; c < topo_.cluster_count(); ++c) {
+    const ClusterId other(static_cast<int>(c));
+    if (other == own) continue;
+    // Only the border facing `other` speaks for the cluster on that edge.
+    if (topo_.border(own, other) != border) continue;
+    const NodeId peer = topo_.border(other, own);
+    ++metrics_.aggregate_messages;
+    if (dropped()) continue;
+    std::vector<ServiceId> copy = aggregate;
+    sim.schedule_in(delay_(border, peer),
+                    [this, peer, own, copy = std::move(copy)](
+                        Simulator& s) mutable {
+                      deliver_aggregate(s, peer, own, std::move(copy),
+                                        /*forwarded=*/false);
+                    });
+  }
+}
+
+void StateProtocolSim::run() {
+  require(!ran_, "StateProtocolSim::run: already ran");
+  ran_ = true;
+  Simulator sim;
+
+  for (std::size_t round = 0; round < params_.rounds; ++round) {
+    const double local_time =
+        static_cast<double>(round) * params_.local_period_ms;
+    for (NodeId node : net_.all_nodes()) {
+      sim.schedule_at(local_time, [this, node](Simulator& s) {
+        send_local_state(s, node);
+      });
+    }
+    const double aggregate_time =
+        params_.aggregate_phase_ms +
+        static_cast<double>(round) * params_.aggregate_period_ms;
+    for (NodeId border : topo_.all_borders()) {
+      sim.schedule_at(aggregate_time, [this, border](Simulator& s) {
+        send_aggregate_state(s, border);
+      });
+    }
+  }
+  // Non-border nodes also maintain their own-cluster SCT_C entry locally
+  // (they have full SCT_P); refresh at the end of each aggregate phase.
+  sim.run();
+  for (NodeId node : net_.all_nodes()) {
+    std::vector<ServiceId> aggregate;
+    for (const auto& [peer, services] : tables_[node.idx()].sct_p) {
+      aggregate.insert(aggregate.end(), services.begin(), services.end());
+    }
+    std::sort(aggregate.begin(), aggregate.end());
+    aggregate.erase(std::unique(aggregate.begin(), aggregate.end()),
+                    aggregate.end());
+    tables_[node.idx()].sct_c[topo_.cluster_of(node)] = std::move(aggregate);
+  }
+}
+
+const ProxyStateTables& StateProtocolSim::tables(NodeId node) const {
+  require(node.valid() && node.idx() < tables_.size(),
+          "StateProtocolSim::tables: bad node");
+  return tables_[node.idx()];
+}
+
+std::vector<ServiceId> StateProtocolSim::aggregate_of(
+    ClusterId cluster) const {
+  std::vector<ServiceId> aggregate;
+  for (NodeId member : topo_.members(cluster)) {
+    const auto& services = net_.services_at(member);
+    aggregate.insert(aggregate.end(), services.begin(), services.end());
+  }
+  std::sort(aggregate.begin(), aggregate.end());
+  aggregate.erase(std::unique(aggregate.begin(), aggregate.end()),
+                  aggregate.end());
+  return aggregate;
+}
+
+double StateProtocolSim::convergence_fraction() const {
+  std::size_t expected = 0;
+  std::size_t correct = 0;
+  for (NodeId node : net_.all_nodes()) {
+    const ProxyStateTables& t = tables_[node.idx()];
+    const ClusterId own = topo_.cluster_of(node);
+    for (NodeId member : topo_.members(own)) {
+      ++expected;
+      const auto it = t.sct_p.find(member);
+      if (it != t.sct_p.end() && it->second == net_.services_at(member)) {
+        ++correct;
+      }
+    }
+    for (std::size_t c = 0; c < topo_.cluster_count(); ++c) {
+      ++expected;
+      const ClusterId cluster(static_cast<int>(c));
+      const auto it = t.sct_c.find(cluster);
+      if (it != t.sct_c.end() && it->second == aggregate_of(cluster)) {
+        ++correct;
+      }
+    }
+  }
+  return expected == 0
+             ? 1.0
+             : static_cast<double>(correct) / static_cast<double>(expected);
+}
+
+bool StateProtocolSim::fully_converged() const {
+  for (NodeId node : net_.all_nodes()) {
+    const ProxyStateTables& t = tables_[node.idx()];
+    const ClusterId own = topo_.cluster_of(node);
+    // SCT_P: one accurate entry per cluster member.
+    const std::vector<NodeId>& members = topo_.members(own);
+    if (t.sct_p.size() != members.size()) return false;
+    for (NodeId member : members) {
+      const auto it = t.sct_p.find(member);
+      if (it == t.sct_p.end()) return false;
+      if (it->second != net_.services_at(member)) return false;
+    }
+    // SCT_C: one accurate entry per cluster in the system.
+    if (t.sct_c.size() != topo_.cluster_count()) return false;
+    for (std::size_t c = 0; c < topo_.cluster_count(); ++c) {
+      const ClusterId cluster(static_cast<int>(c));
+      const auto it = t.sct_c.find(cluster);
+      if (it == t.sct_c.end()) return false;
+      if (it->second != aggregate_of(cluster)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hfc

@@ -1,0 +1,110 @@
+// The hierarchical service-routing-information distribution protocol of
+// paper §4, executed on the discrete-event engine.
+//
+// Every proxy maintains two Service Capability Tables:
+//   SCT_P — full per-proxy service sets for its own cluster, refreshed by
+//           periodic *local state* messages flooded within the cluster;
+//   SCT_C — aggregate service set per cluster, refreshed by *aggregate
+//           state* messages each border proxy sends to its peer borders in
+//           other clusters, which then forward them inside their cluster.
+// Message delivery takes the overlay distance between sender and receiver.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "overlay/hfc_topology.h"
+#include "overlay/overlay_network.h"
+#include "sim/event_queue.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace hfc {
+
+struct StateProtocolParams {
+  double local_period_ms = 1000.0;
+  double aggregate_period_ms = 2000.0;
+  /// How many periods of each message type to simulate.
+  std::size_t rounds = 2;
+  /// Offset of the first aggregate round after the first local round, so
+  /// borders aggregate fresh SCT_P contents.
+  double aggregate_phase_ms = 500.0;
+  /// Probability that any single protocol message is lost in transit
+  /// (failure injection). Periodic refresh makes the protocol
+  /// soft-state: lost messages are repaired by later rounds.
+  double loss_probability = 0.0;
+  /// Seed for the loss process (only used when loss_probability > 0).
+  std::uint64_t loss_seed = 1;
+};
+
+/// Protocol traffic accounting.
+struct StateProtocolMetrics {
+  std::size_t local_messages = 0;
+  std::size_t aggregate_messages = 0;       ///< border-to-border
+  std::size_t forwarded_messages = 0;       ///< intra-cluster fan-out
+  /// Sum over delivered messages of the service-name count they carry —
+  /// the protocol's bandwidth proxy.
+  std::size_t service_names_carried = 0;
+  /// Simulation time at which the last table update happened.
+  double convergence_time_ms = 0.0;
+  /// Messages dropped by the loss process.
+  std::size_t lost_messages = 0;
+};
+
+/// One proxy's view of the system, as maintained by the protocol.
+struct ProxyStateTables {
+  /// SCT_P: services per known proxy of the own cluster.
+  std::unordered_map<NodeId, std::vector<ServiceId>> sct_p;
+  /// SCT_C: aggregate services per known cluster.
+  std::unordered_map<ClusterId, std::vector<ServiceId>> sct_c;
+};
+
+class StateProtocolSim {
+ public:
+  /// `delay` gives message delivery latency between proxies (typically
+  /// ground-truth underlay delays). References must outlive the sim.
+  StateProtocolSim(const OverlayNetwork& net, const HfcTopology& topo,
+                   OverlayDistance delay, StateProtocolParams params = {});
+
+  /// Run the configured rounds to completion.
+  void run();
+
+  [[nodiscard]] const ProxyStateTables& tables(NodeId node) const;
+  [[nodiscard]] const StateProtocolMetrics& metrics() const {
+    return metrics_;
+  }
+
+  /// True when every proxy's SCT_P matches its cluster's placement and its
+  /// SCT_C matches every cluster's aggregate service set.
+  [[nodiscard]] bool fully_converged() const;
+
+  /// Fraction of expected table entries (SCT_P rows + SCT_C rows over all
+  /// proxies) that are present and accurate — 1.0 iff fully_converged().
+  /// Quantifies degradation under message loss.
+  [[nodiscard]] double convergence_fraction() const;
+
+  /// The ground-truth aggregate service set of a cluster (sorted).
+  [[nodiscard]] std::vector<ServiceId> aggregate_of(ClusterId cluster) const;
+
+ private:
+  /// True when the loss process drops a message.
+  bool dropped();
+  void send_local_state(Simulator& sim, NodeId from);
+  void send_aggregate_state(Simulator& sim, NodeId border);
+  void deliver_local(Simulator& sim, NodeId to, NodeId about,
+                     std::vector<ServiceId> services);
+  void deliver_aggregate(Simulator& sim, NodeId to, ClusterId about,
+                         std::vector<ServiceId> services, bool forwarded);
+
+  const OverlayNetwork& net_;
+  const HfcTopology& topo_;
+  OverlayDistance delay_;
+  StateProtocolParams params_;
+  std::vector<ProxyStateTables> tables_;
+  StateProtocolMetrics metrics_;
+  Rng loss_rng_;
+  bool ran_ = false;
+};
+
+}  // namespace hfc

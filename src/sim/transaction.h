@@ -1,0 +1,30 @@
+// Timing model of one hierarchical routing transaction (paper §5, Figure
+// 5): the destination proxy computes the CSP, dispatches child requests in
+// parallel to one resolver proxy per cluster on the path (the child's exit
+// node, which holds that cluster's SCT_P), and composes the replies.
+#pragma once
+
+#include <cstddef>
+
+#include "overlay/hfc_topology.h"
+#include "routing/hierarchical_router.h"
+
+namespace hfc {
+
+struct RoutingTransaction {
+  ServicePath path;
+  /// Wall-clock setup latency: the slowest child round-trip, measured over
+  /// HFC-constrained `delay` distances from the destination proxy.
+  double setup_latency_ms = 0.0;
+  /// Control messages exchanged (2 per remote child: request + reply).
+  std::size_t control_messages = 0;
+  std::size_t child_requests = 0;
+};
+
+/// Simulate the §5 transaction for `request` using `router` for all path
+/// computations and `delay` for message latencies.
+[[nodiscard]] RoutingTransaction simulate_routing_transaction(
+    const HierarchicalServiceRouter& router, const HfcTopology& topo,
+    const ServiceRequest& request, const OverlayDistance& delay);
+
+}  // namespace hfc

@@ -1,0 +1,45 @@
+#include "topology/overlay_placement.h"
+
+#include <algorithm>
+
+namespace hfc {
+
+OverlayPlacement place_overlay(const TransitStubTopology& topo,
+                               const PlacementParams& params, Rng& rng) {
+  const std::vector<RouterId> stubs =
+      topo.network.routers_of_kind(RouterKind::kStub);
+  require(params.proxies > 0, "place_overlay: need >= 1 proxy");
+  require(stubs.size() >= params.proxies,
+          "place_overlay: more proxies than stub routers");
+  require(topo.stub_domain_members.size() >= params.landmarks,
+          "place_overlay: more landmarks than stub domains");
+
+  OverlayPlacement placement;
+
+  // Proxies: distinct random stub routers.
+  const std::vector<std::size_t> proxy_picks =
+      rng.sample_indices(stubs.size(), params.proxies);
+  placement.proxy_routers.reserve(params.proxies);
+  for (std::size_t idx : proxy_picks) {
+    placement.proxy_routers.push_back(stubs[idx]);
+  }
+
+  // Landmarks: one per distinct stub domain, domains sampled uniformly.
+  const std::vector<std::size_t> domain_picks =
+      rng.sample_indices(topo.stub_domain_members.size(), params.landmarks);
+  placement.landmark_routers.reserve(params.landmarks);
+  for (std::size_t d : domain_picks) {
+    placement.landmark_routers.push_back(
+        rng.pick(topo.stub_domain_members[d]));
+  }
+
+  // Clients: random stub routers, repeats allowed (several clients can sit
+  // behind the same access router).
+  placement.client_routers.reserve(params.clients);
+  for (std::size_t c = 0; c < params.clients; ++c) {
+    placement.client_routers.push_back(rng.pick(stubs));
+  }
+  return placement;
+}
+
+}  // namespace hfc

@@ -1,0 +1,41 @@
+// Attachment of overlay entities (proxies, landmarks, clients) to routers
+// of the physical network.
+//
+// Proxies live at the edge (stub routers), as service proxies do in the
+// paper's deployment model; landmarks are spread across distinct stub
+// domains so the coordinate embedding sees well-separated reference
+// points; clients attach to random stub routers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/transit_stub.h"
+#include "util/rng.h"
+
+namespace hfc {
+
+/// Router attachments chosen for one experiment.
+struct OverlayPlacement {
+  std::vector<RouterId> proxy_routers;     ///< one per overlay proxy
+  std::vector<RouterId> landmark_routers;  ///< one per landmark
+  std::vector<RouterId> client_routers;    ///< one per client endpoint
+};
+
+/// Placement sizing.
+struct PlacementParams {
+  std::size_t proxies = 250;
+  std::size_t landmarks = 10;
+  std::size_t clients = 40;
+};
+
+/// Pick attachment routers. Proxies and clients attach to uniformly random
+/// stub routers (distinct routers for proxies so that no two proxies are at
+/// zero distance); landmarks are placed in distinct stub domains spread
+/// round-robin over the domain list. Throws if the topology has too few
+/// stub routers or stub domains.
+[[nodiscard]] OverlayPlacement place_overlay(const TransitStubTopology& topo,
+                                             const PlacementParams& params,
+                                             Rng& rng);
+
+}  // namespace hfc

@@ -1,0 +1,54 @@
+#include "topology/physical_network.h"
+
+#include <cstdint>
+
+namespace hfc {
+
+RouterId PhysicalNetwork::add_router(RouterKind kind) {
+  kinds_.push_back(kind);
+  adjacency_.emplace_back();
+  return RouterId(static_cast<std::int32_t>(kinds_.size() - 1));
+}
+
+void PhysicalNetwork::add_link(RouterId a, RouterId b, double delay_ms) {
+  require(a.valid() && a.idx() < kinds_.size(),
+          "PhysicalNetwork::add_link: bad router id a");
+  require(b.valid() && b.idx() < kinds_.size(),
+          "PhysicalNetwork::add_link: bad router id b");
+  require(a != b, "PhysicalNetwork::add_link: self-loop");
+  require(delay_ms > 0.0, "PhysicalNetwork::add_link: non-positive delay");
+  adjacency_[a.idx()].push_back(LinkHalf{b, delay_ms});
+  adjacency_[b.idx()].push_back(LinkHalf{a, delay_ms});
+  links_.push_back(Link{a, b, delay_ms});
+}
+
+std::vector<RouterId> PhysicalNetwork::routers_of_kind(RouterKind kind) const {
+  std::vector<RouterId> out;
+  for (std::size_t i = 0; i < kinds_.size(); ++i) {
+    if (kinds_[i] == kind) out.push_back(RouterId(static_cast<int>(i)));
+  }
+  return out;
+}
+
+bool PhysicalNetwork::connected() const {
+  if (kinds_.empty()) return true;
+  std::vector<bool> seen(kinds_.size(), false);
+  std::vector<std::size_t> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    for (const LinkHalf& half : adjacency_[u]) {
+      const std::size_t v = half.to.idx();
+      if (!seen[v]) {
+        seen[v] = true;
+        ++visited;
+        stack.push_back(v);
+      }
+    }
+  }
+  return visited == kinds_.size();
+}
+
+}  // namespace hfc

@@ -1,0 +1,76 @@
+// The physical (underlay) network: routers joined by links with
+// propagation delays. Overlay proxies, landmarks and clients attach to
+// routers; all end-to-end "Internet distances" in the framework are delays
+// of shortest paths through this graph.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/require.h"
+
+namespace hfc {
+
+/// Role of a router within the transit-stub hierarchy. Only used for
+/// inspection and attachment policies; routing treats all routers alike.
+enum class RouterKind {
+  kTransit,  ///< backbone router inside a transit domain
+  kStub,     ///< router inside a stub (edge) domain
+};
+
+/// One directed half of an undirected link (stored per adjacency list).
+struct LinkHalf {
+  RouterId to;
+  double delay_ms = 0.0;
+};
+
+/// An undirected link between two routers, as listed globally.
+struct Link {
+  RouterId a;
+  RouterId b;
+  double delay_ms = 0.0;
+};
+
+/// A weighted undirected graph of routers. Invariants: ids are dense,
+/// delays are positive and symmetric, no self-loops, at most one link per
+/// router pair (enforced by the generator, not re-checked per call).
+class PhysicalNetwork {
+ public:
+  /// Add a router and return its id.
+  RouterId add_router(RouterKind kind);
+
+  /// Add an undirected link with a positive delay. Throws if either
+  /// endpoint is out of range, the delay is non-positive, or a == b.
+  void add_link(RouterId a, RouterId b, double delay_ms);
+
+  [[nodiscard]] std::size_t router_count() const { return kinds_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  [[nodiscard]] RouterKind kind(RouterId r) const {
+    require(r.valid() && r.idx() < kinds_.size(),
+            "PhysicalNetwork::kind: bad router id");
+    return kinds_[r.idx()];
+  }
+
+  [[nodiscard]] const std::vector<LinkHalf>& neighbors(RouterId r) const {
+    require(r.valid() && r.idx() < adjacency_.size(),
+            "PhysicalNetwork::neighbors: bad router id");
+    return adjacency_[r.idx()];
+  }
+
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+
+  /// All routers of a given kind.
+  [[nodiscard]] std::vector<RouterId> routers_of_kind(RouterKind kind) const;
+
+  /// True if every router can reach every other router.
+  [[nodiscard]] bool connected() const;
+
+ private:
+  std::vector<RouterKind> kinds_;
+  std::vector<std::vector<LinkHalf>> adjacency_;
+  std::vector<Link> links_;
+};
+
+}  // namespace hfc

@@ -1,0 +1,94 @@
+#include "topology/shortest_paths.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <utility>
+
+namespace hfc {
+
+ShortestPathTree dijkstra(const PhysicalNetwork& net, RouterId source) {
+  require(source.valid() && source.idx() < net.router_count(),
+          "dijkstra: bad source");
+  const std::size_t n = net.router_count();
+  ShortestPathTree tree;
+  tree.source = source;
+  tree.delay_ms.assign(n, std::numeric_limits<double>::infinity());
+  tree.predecessor.assign(n, RouterId{});
+  tree.delay_ms[source.idx()] = 0.0;
+
+  using Entry = std::pair<double, std::size_t>;  // (delay, router)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0.0, source.idx());
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > tree.delay_ms[u]) continue;  // stale entry
+    for (const LinkHalf& half : net.neighbors(RouterId(static_cast<int>(u)))) {
+      const std::size_t v = half.to.idx();
+      const double nd = d + half.delay_ms;
+      if (nd < tree.delay_ms[v]) {
+        tree.delay_ms[v] = nd;
+        tree.predecessor[v] = RouterId(static_cast<int>(u));
+        heap.emplace(nd, v);
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<RouterId> extract_path(const ShortestPathTree& tree,
+                                   RouterId target) {
+  require(target.valid() && target.idx() < tree.delay_ms.size(),
+          "extract_path: bad target");
+  if (tree.delay_ms[target.idx()] ==
+      std::numeric_limits<double>::infinity()) {
+    return {};
+  }
+  std::vector<RouterId> path;
+  for (RouterId r = target; r != tree.source; r = tree.predecessor[r.idx()]) {
+    path.push_back(r);
+  }
+  path.push_back(tree.source);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+SymMatrix<double> pairwise_delays(const PhysicalNetwork& net,
+                                  const std::vector<RouterId>& subset) {
+  SymMatrix<double> out(subset.size(), 0.0);
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    const ShortestPathTree tree = dijkstra(net, subset[i]);
+    for (std::size_t j = 0; j <= i; ++j) {
+      out.at(i, j) = tree.delay_ms[subset[j].idx()];
+    }
+  }
+  return out;
+}
+
+LatencyOracle::LatencyOracle(const PhysicalNetwork& net,
+                             std::vector<RouterId> endpoints, double noise,
+                             Rng rng)
+    : truth_(pairwise_delays(net, endpoints)), noise_(noise),
+      rng_(std::move(rng)) {
+  require(noise >= 0.0, "LatencyOracle: negative noise");
+}
+
+double LatencyOracle::measure(std::size_t i, std::size_t j) {
+  ++probe_count_;
+  const double base = truth_.at(i, j);
+  if (noise_ == 0.0) return base;
+  return base * (1.0 + rng_.uniform_real(0.0, noise_));
+}
+
+double LatencyOracle::measure_min_of(std::size_t i, std::size_t j,
+                                     std::size_t probes) {
+  require(probes >= 1, "LatencyOracle::measure_min_of: need >= 1 probe");
+  double best = measure(i, j);
+  for (std::size_t p = 1; p < probes; ++p) {
+    best = std::min(best, measure(i, j));
+  }
+  return best;
+}
+
+}  // namespace hfc

@@ -1,0 +1,85 @@
+// Shortest delay paths through the physical network (Dijkstra), and the
+// end-to-end "measurement" layer built on top of them.
+//
+// In the paper, Internet distances are round-trip delays measured between
+// hosts; here the ground truth is the delay of the shortest path through
+// the generated underlay. `LatencyOracle` adds the paper's measurement
+// discipline on top (multiplicative noise per probe, minimum of R probes,
+// §3.1) so the coordinate-embedding stage sees realistic, noisy inputs
+// while experiments can still query exact ground truth.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/physical_network.h"
+#include "util/ids.h"
+#include "util/rng.h"
+#include "util/sym_matrix.h"
+
+namespace hfc {
+
+/// Single-source shortest path result.
+struct ShortestPathTree {
+  RouterId source;
+  /// delay_ms[r] = shortest delay from source to router r (infinity if
+  /// unreachable).
+  std::vector<double> delay_ms;
+  /// predecessor[r] = previous router on a shortest path (invalid for the
+  /// source and unreachable routers).
+  std::vector<RouterId> predecessor;
+};
+
+/// Dijkstra from `source` over positive link delays.
+[[nodiscard]] ShortestPathTree dijkstra(const PhysicalNetwork& net,
+                                        RouterId source);
+
+/// Reconstruct the router sequence source..target from a tree; empty if
+/// the target is unreachable.
+[[nodiscard]] std::vector<RouterId> extract_path(const ShortestPathTree& tree,
+                                                 RouterId target);
+
+/// All-pairs shortest delays restricted to a subset of routers (one
+/// Dijkstra per subset member). Entry (i, j) is the delay between
+/// subset[i] and subset[j].
+[[nodiscard]] SymMatrix<double> pairwise_delays(
+    const PhysicalNetwork& net, const std::vector<RouterId>& subset);
+
+/// End-to-end latency measurement between attachment routers.
+///
+/// `measure` models one application-level RTT probe: the true shortest
+/// delay inflated by multiplicative noise, never below the true value
+/// (queueing only adds delay). `measure_min_of` takes the minimum over
+/// several probes, the paper's §3.1 noise-reduction discipline.
+class LatencyOracle {
+ public:
+  /// `noise` is the maximum relative inflation per probe (0.2 = up to
+  /// +20%). Zero noise makes measurements exact.
+  LatencyOracle(const PhysicalNetwork& net, std::vector<RouterId> endpoints,
+                double noise, Rng rng);
+
+  [[nodiscard]] std::size_t endpoint_count() const { return truth_.size(); }
+
+  /// Ground-truth delay between endpoints i and j.
+  [[nodiscard]] double true_delay(std::size_t i, std::size_t j) const {
+    return truth_.at(i, j);
+  }
+
+  /// One noisy probe.
+  [[nodiscard]] double measure(std::size_t i, std::size_t j);
+
+  /// Minimum of `probes` >= 1 noisy probes.
+  [[nodiscard]] double measure_min_of(std::size_t i, std::size_t j,
+                                      std::size_t probes);
+
+  /// Number of probes issued so far (for measurement-cost accounting).
+  [[nodiscard]] std::size_t probe_count() const { return probe_count_; }
+
+ private:
+  SymMatrix<double> truth_;
+  double noise_;
+  Rng rng_;
+  std::size_t probe_count_ = 0;
+};
+
+}  // namespace hfc

@@ -1,0 +1,135 @@
+#include "topology/transit_stub.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace hfc {
+
+namespace {
+
+/// Connect `members` into a random connected subgraph: a uniformly random
+/// spanning tree (random attachment order) plus independent extra edges,
+/// with per-edge delays drawn from [delay_min, delay_max).
+void connect_group(PhysicalNetwork& net, const std::vector<RouterId>& members,
+                   double extra_edge_prob, double delay_min, double delay_max,
+                   Rng& rng) {
+  if (members.size() < 2) return;
+  std::vector<RouterId> order = members;
+  rng.shuffle(order);
+  // Random recursive tree: attach each node to a uniformly random earlier
+  // node. Guarantees connectivity with n-1 edges.
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const std::size_t parent = rng.pick_index(i);
+    net.add_link(order[i], order[parent],
+                 rng.uniform_real(delay_min, delay_max));
+  }
+  // Extra shortcut edges between not-yet-linked pairs.
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    for (std::size_t j = i + 1; j < order.size(); ++j) {
+      // Skip the tree edge we may have just added: a duplicate parallel
+      // link would not break routing but would inflate edge counts.
+      bool linked = false;
+      for (const LinkHalf& half : net.neighbors(order[i])) {
+        if (half.to == order[j]) {
+          linked = true;
+          break;
+        }
+      }
+      if (!linked && rng.chance(extra_edge_prob)) {
+        net.add_link(order[i], order[j],
+                     rng.uniform_real(delay_min, delay_max));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+TransitStubParams TransitStubParams::for_total_routers(std::size_t total) {
+  TransitStubParams p;
+  const std::size_t per_domain =
+      p.transit_routers_per_domain *
+      (1 + p.stub_domains_per_transit * p.routers_per_stub);
+  require(total >= per_domain,
+          "TransitStubParams::for_total_routers: total smaller than one "
+          "transit domain");
+  p.transit_domains = total / per_domain;
+  return p;
+}
+
+TransitStubTopology generate_transit_stub(const TransitStubParams& params,
+                                          Rng& rng) {
+  require(params.transit_domains > 0, "transit_stub: need >= 1 domain");
+  require(params.transit_routers_per_domain > 0,
+          "transit_stub: need >= 1 transit router per domain");
+  require(params.routers_per_stub > 0,
+          "transit_stub: need >= 1 router per stub");
+  require(params.inter_domain_delay_min > 0.0 &&
+              params.intra_transit_delay_min > 0.0 &&
+              params.access_delay_min > 0.0 &&
+              params.intra_stub_delay_min > 0.0,
+          "transit_stub: delays must be positive");
+
+  TransitStubTopology topo;
+  PhysicalNetwork& net = topo.network;
+
+  // 1. Create transit routers, grouped by domain, and wire each domain.
+  topo.transit_domain_members.resize(params.transit_domains);
+  for (std::size_t d = 0; d < params.transit_domains; ++d) {
+    for (std::size_t t = 0; t < params.transit_routers_per_domain; ++t) {
+      topo.transit_domain_members[d].push_back(
+          net.add_router(RouterKind::kTransit));
+    }
+    connect_group(net, topo.transit_domain_members[d],
+                  params.extra_transit_edge_prob,
+                  params.intra_transit_delay_min,
+                  params.intra_transit_delay_max, rng);
+  }
+
+  // 2. Wire the transit domains together: spanning tree over domains (one
+  //    link between random routers of the two domains) plus extras.
+  for (std::size_t d = 1; d < params.transit_domains; ++d) {
+    const std::size_t other = rng.pick_index(d);
+    net.add_link(rng.pick(topo.transit_domain_members[d]),
+                 rng.pick(topo.transit_domain_members[other]),
+                 rng.uniform_real(params.inter_domain_delay_min,
+                                  params.inter_domain_delay_max));
+  }
+  for (std::size_t a = 0; a + 1 < params.transit_domains; ++a) {
+    for (std::size_t b = a + 1; b < params.transit_domains; ++b) {
+      if (rng.chance(params.extra_domain_edge_prob)) {
+        net.add_link(rng.pick(topo.transit_domain_members[a]),
+                     rng.pick(topo.transit_domain_members[b]),
+                     rng.uniform_real(params.inter_domain_delay_min,
+                                      params.inter_domain_delay_max));
+      }
+    }
+  }
+
+  // 3. Hang stub domains off every transit router.
+  for (std::size_t d = 0; d < params.transit_domains; ++d) {
+    for (RouterId transit : topo.transit_domain_members[d]) {
+      for (std::size_t s = 0; s < params.stub_domains_per_transit; ++s) {
+        std::vector<RouterId> stub;
+        stub.reserve(params.routers_per_stub);
+        for (std::size_t r = 0; r < params.routers_per_stub; ++r) {
+          stub.push_back(net.add_router(RouterKind::kStub));
+        }
+        connect_group(net, stub, params.extra_stub_edge_prob,
+                      params.intra_stub_delay_min,
+                      params.intra_stub_delay_max, rng);
+        // Access link from a random stub router up to the transit router.
+        net.add_link(rng.pick(stub), transit,
+                     rng.uniform_real(params.access_delay_min,
+                                      params.access_delay_max));
+        topo.stub_domain_members.push_back(std::move(stub));
+      }
+    }
+  }
+
+  ensure(net.connected(), "transit_stub: generated network is disconnected");
+  return topo;
+}
+
+}  // namespace hfc

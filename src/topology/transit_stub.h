@@ -1,0 +1,78 @@
+// Transit-stub Internet topology generator, after Zegura, Calvert and
+// Bhattacharjee ("How to Model an Internetwork", INFOCOM 1996) — the model
+// the paper uses (via GT-ITM) for all of its simulations.
+//
+// Structure: a connected random graph of transit *domains*; each transit
+// domain is a connected random graph of transit routers; each transit
+// router hosts a number of stub domains, each a connected random graph of
+// stub routers joined to its transit router by an access link. Link delays
+// are drawn per tier (inter-domain > intra-transit > access > intra-stub),
+// which gives the underlay the hierarchical delay locality that makes
+// proximity-based clustering meaningful.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "topology/physical_network.h"
+#include "util/rng.h"
+
+namespace hfc {
+
+/// Parameters of the transit-stub generator. Defaults reproduce the scale
+/// used in the paper's Table 1 when combined with `for_total_routers`.
+struct TransitStubParams {
+  std::size_t transit_domains = 3;
+  std::size_t transit_routers_per_domain = 4;
+  std::size_t stub_domains_per_transit = 3;
+  std::size_t routers_per_stub = 8;
+
+  /// Probability of an extra edge between each pair of transit domains
+  /// (a spanning tree guarantees connectivity regardless).
+  double extra_domain_edge_prob = 0.5;
+  /// Extra edge probability inside a transit domain.
+  double extra_transit_edge_prob = 0.6;
+  /// Extra edge probability inside a stub domain.
+  double extra_stub_edge_prob = 0.42;
+
+  // Per-tier delay ranges in milliseconds.
+  double inter_domain_delay_min = 20.0;
+  double inter_domain_delay_max = 80.0;
+  double intra_transit_delay_min = 5.0;
+  double intra_transit_delay_max = 20.0;
+  double access_delay_min = 2.0;
+  double access_delay_max = 10.0;
+  double intra_stub_delay_min = 1.0;
+  double intra_stub_delay_max = 5.0;
+
+  /// Total router count this parameterisation produces.
+  [[nodiscard]] std::size_t total_routers() const {
+    const std::size_t per_domain =
+        transit_routers_per_domain *
+        (1 + stub_domains_per_transit * routers_per_stub);
+    return transit_domains * per_domain;
+  }
+
+  /// Scale the number of transit domains so the topology has (close to)
+  /// `total` routers, keeping the per-domain shape fixed. Matches the
+  /// paper's environments: 300, 600, 900, 1200 routers. Throws if `total`
+  /// is smaller than one domain.
+  [[nodiscard]] static TransitStubParams for_total_routers(std::size_t total);
+};
+
+/// Result of topology generation: the network plus domain bookkeeping that
+/// attachment policies can use.
+struct TransitStubTopology {
+  PhysicalNetwork network;
+  /// stub_domain_members[d] lists the routers of stub domain d.
+  std::vector<std::vector<RouterId>> stub_domain_members;
+  /// transit_domain_members[d] lists the transit routers of domain d.
+  std::vector<std::vector<RouterId>> transit_domain_members;
+};
+
+/// Generate a connected transit-stub topology. Deterministic given (params,
+/// rng seed). Throws std::invalid_argument on degenerate parameters.
+[[nodiscard]] TransitStubTopology generate_transit_stub(
+    const TransitStubParams& params, Rng& rng);
+
+}  // namespace hfc

@@ -1,0 +1,111 @@
+// Deterministic random number generation for simulations.
+//
+// Every stochastic component in the framework draws from an explicitly
+// seeded `Rng`, so a whole experiment is reproducible bit-for-bit from a
+// single 64-bit seed. `Rng::fork(tag)` derives statistically independent
+// child streams (one per topology, per workload, ...) without the children
+// sharing state, which keeps results stable when one component changes how
+// many numbers it consumes.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/require.h"
+
+namespace hfc {
+
+/// SplitMix64 step; used for seed derivation (public-domain algorithm by
+/// Sebastiano Vigna). Good avalanche behaviour even for sequential inputs.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// A seeded random stream with the helpers simulations need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(splitmix64(seed)), seed_(seed) {}
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Derive an independent child stream. Children with different tags (or
+  /// from parents with different seeds) do not overlap in practice.
+  [[nodiscard]] Rng fork(std::uint64_t tag) const {
+    return Rng(splitmix64(seed_ ^ splitmix64(tag + 0x5bf03635ULL)));
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] int uniform_int(int lo, int hi) {
+    require(lo <= hi, "Rng::uniform_int: empty range");
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi) {
+    require(lo <= hi, "Rng::uniform_real: empty range");
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  [[nodiscard]] bool chance(double p) {
+    require(p >= 0.0 && p <= 1.0, "Rng::chance: p outside [0,1]");
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean) {
+    require(mean > 0.0, "Rng::exponential: mean must be positive");
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Uniformly pick an index in [0, size).
+  [[nodiscard]] std::size_t pick_index(std::size_t size) {
+    require(size > 0, "Rng::pick_index: empty collection");
+    return std::uniform_int_distribution<std::size_t>(0, size - 1)(engine_);
+  }
+
+  /// Uniformly pick an element of a non-empty vector.
+  template <typename T>
+  [[nodiscard]] const T& pick(const std::vector<T>& items) {
+    return items[pick_index(items.size())];
+  }
+
+  /// k distinct indices sampled uniformly from [0, n) (Fisher-Yates over a
+  /// scratch vector; fine for the sizes used here).
+  [[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t n,
+                                                        std::size_t k) {
+    require(k <= n, "Rng::sample_indices: k exceeds population");
+    std::vector<std::size_t> pool(n);
+    for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j =
+          i + std::uniform_int_distribution<std::size_t>(0, n - 1 - i)(engine_);
+      std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
+  }
+
+  /// Shuffle a vector in place.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j =
+          std::uniform_int_distribution<std::size_t>(0, i - 1)(engine_);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Access the underlying engine for use with std distributions.
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace hfc

@@ -1,0 +1,49 @@
+// Small statistics helpers used by experiments and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hfc {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+};
+
+/// Compute summary statistics. Empty input yields an all-zero summary.
+[[nodiscard]] Summary summarize(std::vector<double> values);
+
+/// Arithmetic mean; 0 for an empty input.
+[[nodiscard]] double mean_of(const std::vector<double>& values);
+
+/// p-th percentile (0..100) by linear interpolation; 0 for empty input.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+/// Online mean/variance accumulator (Welford's algorithm). Numerically
+/// stable even for long streams of similar values.
+class RunningStat {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hfc

@@ -1,0 +1,63 @@
+// Packed symmetric matrix for distance maps.
+//
+// Distance maps between n overlay nodes are symmetric with a fixed
+// diagonal, so a full n x n array wastes half the memory and (worse)
+// permits asymmetric corruption. `SymMatrix` stores the lower triangle
+// including the diagonal in a single contiguous buffer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/require.h"
+
+namespace hfc {
+
+/// Symmetric n x n matrix of T, packed lower-triangular.
+template <typename T>
+class SymMatrix {
+ public:
+  SymMatrix() = default;
+  SymMatrix(std::size_t n, T init = T{})
+      : n_(n), data_(n * (n + 1) / 2, init) {}
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+
+  [[nodiscard]] T& at(std::size_t i, std::size_t j) {
+    return data_[offset(i, j)];
+  }
+  [[nodiscard]] const T& at(std::size_t i, std::size_t j) const {
+    return data_[offset(i, j)];
+  }
+
+  /// Unchecked accessors for hot loops.
+  [[nodiscard]] T& operator()(std::size_t i, std::size_t j) {
+    return data_[offset_unchecked(i, j)];
+  }
+  [[nodiscard]] const T& operator()(std::size_t i, std::size_t j) const {
+    return data_[offset_unchecked(i, j)];
+  }
+
+  friend bool operator==(const SymMatrix&, const SymMatrix&) = default;
+
+ private:
+  [[nodiscard]] std::size_t offset(std::size_t i, std::size_t j) const {
+    require(i < n_ && j < n_, "SymMatrix: index out of range");
+    return offset_unchecked(i, j);
+  }
+  [[nodiscard]] static constexpr std::size_t offset_unchecked(std::size_t i,
+                                                              std::size_t j) {
+    if (i < j) {
+      const std::size_t t = i;
+      i = j;
+      j = t;
+    }
+    return i * (i + 1) / 2 + j;
+  }
+
+  std::size_t n_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace hfc

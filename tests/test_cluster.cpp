@@ -1,0 +1,273 @@
+// Tests for src/cluster: Prim MST and Zahn inconsistent-edge clustering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "cluster/mst.h"
+#include "cluster/zahn.h"
+#include "util/rng.h"
+
+namespace hfc {
+namespace {
+
+/// Uniform-random blob of points around a centre. Note: Zahn clustering
+/// legitimately detects density fluctuations inside such blobs, so split
+/// tests use `grid_blob` instead, whose nearest-neighbour distances are
+/// uniform by construction.
+std::vector<Point> blob(Point centre, std::size_t count, double spread,
+                        Rng& rng) {
+  std::vector<Point> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    Point p = centre;
+    for (double& c : p) c += rng.uniform_real(-spread, spread);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+/// side x side jittered unit grid anchored at `centre` — internally
+/// homogeneous, so Zahn must keep it in one piece.
+std::vector<Point> grid_blob(Point centre, std::size_t side, Rng& rng) {
+  std::vector<Point> out;
+  for (std::size_t r = 0; r < side; ++r) {
+    for (std::size_t c = 0; c < side; ++c) {
+      out.push_back({centre[0] + static_cast<double>(c) +
+                         rng.uniform_real(-0.2, 0.2),
+                     centre[1] + static_cast<double>(r) +
+                         rng.uniform_real(-0.2, 0.2)});
+    }
+  }
+  return out;
+}
+
+/// Kruskal MST total weight, as an independent check of Prim.
+double kruskal_total(const std::vector<Point>& pts) {
+  struct Edge {
+    std::size_t a, b;
+    double w;
+  };
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      edges.push_back({i, j, euclidean(pts[i], pts[j])});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& x, const Edge& y) { return x.w < y.w; });
+  std::vector<std::size_t> parent(pts.size());
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  const auto find = [&](std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  double total = 0.0;
+  for (const Edge& e : edges) {
+    const std::size_t ra = find(e.a);
+    const std::size_t rb = find(e.b);
+    if (ra != rb) {
+      parent[ra] = rb;
+      total += e.w;
+    }
+  }
+  return total;
+}
+
+TEST(Mst, TrivialSizes) {
+  EXPECT_TRUE(euclidean_mst({}).empty());
+  EXPECT_TRUE(euclidean_mst({{1.0, 2.0}}).empty());
+  const auto one = euclidean_mst({{0.0, 0.0}, {3.0, 4.0}});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0].length, 5.0);
+}
+
+TEST(Mst, SquareWithDiagonal) {
+  // Unit square: MST = 3 sides, total 3.0 (never a diagonal).
+  const std::vector<Point> square{{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+  const auto mst = euclidean_mst(square);
+  ASSERT_EQ(mst.size(), 3u);
+  EXPECT_NEAR(total_length(mst), 3.0, 1e-12);
+}
+
+TEST(Mst, MatchesKruskal) {
+  Rng rng(31);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Point> pts = blob({0, 0}, 40, 50.0, rng);
+    const auto mst = euclidean_mst(pts);
+    ASSERT_EQ(mst.size(), pts.size() - 1);
+    EXPECT_NEAR(total_length(mst), kruskal_total(pts), 1e-9);
+  }
+}
+
+TEST(Mst, SpansAllNodes) {
+  Rng rng(32);
+  const std::vector<Point> pts = blob({5, 5}, 30, 10.0, rng);
+  const auto mst = euclidean_mst(pts);
+  std::set<std::size_t> touched;
+  for (const MstEdge& e : mst) {
+    touched.insert(e.a);
+    touched.insert(e.b);
+  }
+  EXPECT_EQ(touched.size(), pts.size());
+}
+
+TEST(Mst, CollinearPointsFormChain) {
+  std::vector<Point> pts;
+  for (int i = 0; i < 10; ++i) pts.push_back({static_cast<double>(i), 0.0});
+  const auto mst = euclidean_mst(pts);
+  EXPECT_NEAR(total_length(mst), 9.0, 1e-12);
+  // Every node has degree <= 2 in a chain.
+  std::vector<int> degree(10, 0);
+  for (const MstEdge& e : mst) {
+    ++degree[e.a];
+    ++degree[e.b];
+  }
+  for (int d : degree) EXPECT_LE(d, 2);
+}
+
+TEST(Zahn, TwoBlobsSplit) {
+  Rng rng(33);
+  std::vector<Point> pts = grid_blob({0, 0}, 5, rng);  // 25 points
+  const std::vector<Point> far = grid_blob({100, 100}, 6, rng);  // 36 points
+  pts.insert(pts.end(), far.begin(), far.end());
+  const Clustering clustering = cluster_points(pts);
+  ASSERT_EQ(clustering.cluster_count(), 2u);
+  // All of the first 25 together, all of the last 36 together.
+  for (std::size_t i = 1; i < 25; ++i) {
+    EXPECT_EQ(clustering.assignment[i], clustering.assignment[0]);
+  }
+  for (std::size_t i = 26; i < 61; ++i) {
+    EXPECT_EQ(clustering.assignment[i], clustering.assignment[25]);
+  }
+  EXPECT_NE(clustering.assignment[0], clustering.assignment[25]);
+}
+
+TEST(Zahn, ThreeBlobsSplit) {
+  Rng rng(34);
+  std::vector<Point> pts = grid_blob({0, 0}, 5, rng);
+  const auto b2 = grid_blob({80, 0}, 5, rng);
+  const auto b3 = grid_blob({40, 90}, 5, rng);
+  pts.insert(pts.end(), b2.begin(), b2.end());
+  pts.insert(pts.end(), b3.begin(), b3.end());
+  const Clustering clustering = cluster_points(pts);
+  EXPECT_EQ(clustering.cluster_count(), 3u);
+}
+
+TEST(Zahn, UniformCloudWithHugeFactorStaysWhole) {
+  Rng rng(35);
+  const std::vector<Point> pts = blob({0, 0}, 50, 20.0, rng);
+  ZahnParams params;
+  params.inconsistency_factor = 100.0;
+  const Clustering clustering = cluster_points(pts, params);
+  EXPECT_EQ(clustering.cluster_count(), 1u);
+}
+
+TEST(Zahn, InconsistentEdgeIsTheBridge) {
+  Rng rng(36);
+  std::vector<Point> pts = blob({0, 0}, 12, 2.0, rng);
+  const auto far = blob({60, 0}, 12, 2.0, rng);
+  pts.insert(pts.end(), far.begin(), far.end());
+  const auto mst = euclidean_mst(pts);
+  const auto inconsistent =
+      find_inconsistent_edges(pts.size(), mst, ZahnParams{});
+  ASSERT_EQ(inconsistent.size(), 1u);
+  // The flagged edge crosses the two blobs.
+  const MstEdge& bridge = mst[inconsistent[0]];
+  const bool a_left = bridge.a < 12;
+  const bool b_left = bridge.b < 12;
+  EXPECT_NE(a_left, b_left);
+  EXPECT_GT(bridge.length, 30.0);
+}
+
+TEST(Zahn, MembersMatchAssignment) {
+  Rng rng(37);
+  std::vector<Point> pts = blob({0, 0}, 10, 2.0, rng);
+  const auto far = blob({50, 50}, 10, 2.0, rng);
+  pts.insert(pts.end(), far.begin(), far.end());
+  const Clustering clustering = cluster_points(pts);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < clustering.cluster_count(); ++c) {
+    for (NodeId m : clustering.members[c]) {
+      EXPECT_EQ(clustering.assignment[m.idx()].idx(), c);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, pts.size());
+  EXPECT_EQ(clustering.node_count(), pts.size());
+}
+
+TEST(Zahn, MinClusterSizeMergesSingletons) {
+  Rng rng(38);
+  std::vector<Point> pts = blob({0, 0}, 15, 2.0, rng);
+  pts.push_back({200.0, 200.0});  // isolated outlier => singleton cluster
+  const Clustering raw = cluster_points(pts);
+  ASSERT_GE(raw.cluster_count(), 2u);
+
+  ZahnParams merged_params;
+  merged_params.min_cluster_size = 2;
+  const Clustering merged = cluster_points(pts, merged_params);
+  for (std::size_t c = 0; c < merged.cluster_count(); ++c) {
+    EXPECT_GE(merged.members[c].size(), 2u);
+  }
+}
+
+TEST(Zahn, ValidatesSpanningTree) {
+  const std::vector<MstEdge> not_a_tree{{0, 1, 1.0}};
+  EXPECT_THROW((void)zahn_cluster(3, not_a_tree, ZahnParams{}, nullptr),
+               std::invalid_argument);
+  ZahnParams bad;
+  bad.inconsistency_factor = 0.0;
+  const std::vector<MstEdge> tree{{0, 1, 1.0}, {1, 2, 1.0}};
+  EXPECT_THROW((void)zahn_cluster(3, tree, bad, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Zahn, SingleAndEmptyInputs) {
+  const Clustering empty = cluster_points({});
+  EXPECT_EQ(empty.cluster_count(), 0u);
+  const Clustering one = cluster_points({{1.0, 1.0}});
+  EXPECT_EQ(one.cluster_count(), 1u);
+  EXPECT_EQ(one.members[0].size(), 1u);
+}
+
+/// Property sweep: for random blob layouts, clustering is a partition and
+/// the factor parameter behaves monotonically (bigger factor => fewer or
+/// equal clusters).
+class ZahnPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ZahnPropertyTest, PartitionAndMonotonicity) {
+  Rng rng(GetParam());
+  std::vector<Point> pts;
+  const int blobs = rng.uniform_int(2, 5);
+  for (int b = 0; b < blobs; ++b) {
+    const Point centre{rng.uniform_real(0, 500), rng.uniform_real(0, 500)};
+    const auto pb = blob(centre, static_cast<std::size_t>(
+                                     rng.uniform_int(5, 20)),
+                         rng.uniform_real(1.0, 5.0), rng);
+    pts.insert(pts.end(), pb.begin(), pb.end());
+  }
+  ZahnParams loose;
+  loose.inconsistency_factor = 2.0;
+  ZahnParams tight;
+  tight.inconsistency_factor = 6.0;
+  const Clustering c_loose = cluster_points(pts, loose);
+  const Clustering c_tight = cluster_points(pts, tight);
+
+  // Partition: every node in exactly one cluster.
+  std::vector<int> seen(pts.size(), 0);
+  for (const auto& members : c_loose.members) {
+    for (NodeId m : members) ++seen[m.idx()];
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+
+  // Monotonicity in the inconsistency factor.
+  EXPECT_LE(c_tight.cluster_count(), c_loose.cluster_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZahnPropertyTest,
+                         ::testing::Values(101, 102, 103, 104, 105, 106, 107,
+                                           108));
+
+}  // namespace
+}  // namespace hfc

@@ -1,0 +1,62 @@
+// Tests for the DOT (graphviz) exports.
+#include <gtest/gtest.h>
+
+#include "cluster/zahn.h"
+#include "overlay/dot_export.h"
+#include "overlay/overlay_network.h"
+#include "util/rng.h"
+
+namespace hfc {
+namespace {
+
+TEST(DotExport, UnderlayContainsAllLinks) {
+  PhysicalNetwork net;
+  const RouterId t = net.add_router(RouterKind::kTransit);
+  const RouterId s1 = net.add_router(RouterKind::kStub);
+  const RouterId s2 = net.add_router(RouterKind::kStub);
+  net.add_link(t, s1, 3.0);
+  net.add_link(s1, s2, 1.5);
+  const std::string dot = to_dot(net);
+  EXPECT_NE(dot.find("graph underlay {"), std::string::npos);
+  EXPECT_NE(dot.find("r0 -- r1"), std::string::npos);
+  EXPECT_NE(dot.find("r1 -- r2"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"3.0\""), std::string::npos);
+  // Transit routers are marked.
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(DotExport, HfcGroupsClustersAndDrawsBorders) {
+  const std::vector<Point> pts{{0, 0}, {2, 0}, {100, 0}, {102, 0}};
+  ServicePlacement placement(4);
+  for (auto& p : placement) p = {ServiceId(0)};
+  const OverlayNetwork net(pts, placement);
+  const HfcTopology topo(cluster_points(pts), net.coord_distance_fn());
+  ASSERT_EQ(topo.cluster_count(), 2u);
+  const std::string dot = to_dot(topo);
+  EXPECT_NE(dot.find("subgraph cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_1"), std::string::npos);
+  // Exactly one external bold edge between the two clusters.
+  EXPECT_NE(dot.find("style=bold"), std::string::npos);
+  // Border nodes are filled.
+  EXPECT_NE(dot.find("fillcolor=gray"), std::string::npos);
+}
+
+TEST(DotExport, MeshListsEachEdgeOnce) {
+  const std::vector<Point> pts{{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+  ServicePlacement placement(4);
+  for (auto& p : placement) p = {ServiceId(0)};
+  const OverlayNetwork net(pts, placement);
+  Rng rng(91);
+  const MeshTopology mesh(4, net.coord_distance_fn(), MeshParams{}, rng);
+  const std::string dot = to_dot(mesh);
+  std::size_t edges = 0;
+  for (std::size_t pos = dot.find(" -- "); pos != std::string::npos;
+       pos = dot.find(" -- ", pos + 1)) {
+    ++edges;
+  }
+  EXPECT_EQ(edges, mesh.edge_count());
+}
+
+}  // namespace
+}  // namespace hfc

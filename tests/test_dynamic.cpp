@@ -1,0 +1,177 @@
+// Tests for the dynamic-membership extension (paper §7 future work):
+// joins by the nearest-neighbour rule, leaves, clustering-quality decay
+// and the re-structuring mechanism.
+#include <gtest/gtest.h>
+
+#include "dynamic/dynamic_overlay.h"
+#include "services/workload.h"
+#include "util/rng.h"
+
+namespace hfc {
+namespace {
+
+/// Two well-separated jittered grids of 9 nodes each.
+std::vector<Point> two_grids(Rng& rng) {
+  std::vector<Point> pts;
+  for (const double base : {0.0, 100.0}) {
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c) {
+        pts.push_back({base + c * 2.0 + rng.uniform_real(-0.2, 0.2),
+                       base + r * 2.0 + rng.uniform_real(-0.2, 0.2)});
+      }
+    }
+  }
+  return pts;
+}
+
+ServicePlacement simple_placement(std::size_t n) {
+  ServicePlacement p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = {ServiceId(static_cast<std::int32_t>(i % 4))};
+  }
+  return p;
+}
+
+TEST(DynamicOverlay, InitialStateMatchesFreshClustering) {
+  Rng rng(81);
+  DynamicHfcOverlay overlay(two_grids(rng), simple_placement(18));
+  EXPECT_EQ(overlay.universe_size(), 18u);
+  EXPECT_EQ(overlay.active_count(), 18u);
+  EXPECT_EQ(overlay.cluster_count(), 2u);
+  EXPECT_NEAR(overlay.clustering_quality(), 1.0, 1e-9);
+  EXPECT_EQ(overlay.mutations_since_restructure(), 0u);
+}
+
+TEST(DynamicOverlay, DeactivateShrinksActiveSet) {
+  Rng rng(82);
+  DynamicHfcOverlay overlay(two_grids(rng), simple_placement(18));
+  overlay.deactivate(NodeId(0));
+  EXPECT_FALSE(overlay.is_active(NodeId(0)));
+  EXPECT_EQ(overlay.active_count(), 17u);
+  EXPECT_EQ(overlay.cluster_count(), 2u);
+  EXPECT_EQ(overlay.mutations_since_restructure(), 1u);
+  EXPECT_THROW(overlay.deactivate(NodeId(0)), std::invalid_argument);
+}
+
+TEST(DynamicOverlay, EmptiedClusterDisappears) {
+  Rng rng(83);
+  DynamicHfcOverlay overlay(two_grids(rng), simple_placement(18));
+  // Remove the entire second grid.
+  for (int v = 9; v < 18; ++v) overlay.deactivate(NodeId(v));
+  EXPECT_EQ(overlay.cluster_count(), 1u);
+  EXPECT_EQ(overlay.active_count(), 9u);
+}
+
+TEST(DynamicOverlay, RejoinEntersNearestCluster) {
+  Rng rng(84);
+  DynamicHfcOverlay overlay(two_grids(rng), simple_placement(18));
+  overlay.deactivate(NodeId(10));
+  overlay.activate(NodeId(10));
+  EXPECT_TRUE(overlay.is_active(NodeId(10)));
+  EXPECT_EQ(overlay.active_count(), 18u);
+  // Node 10 belongs to the second grid; its nearest active neighbours are
+  // there, so it must rejoin that cluster: still exactly two clusters.
+  EXPECT_EQ(overlay.cluster_count(), 2u);
+  EXPECT_THROW(overlay.activate(NodeId(10)), std::invalid_argument);
+}
+
+TEST(DynamicOverlay, AddProxyJoinsByProximity) {
+  Rng rng(85);
+  DynamicHfcOverlay overlay(two_grids(rng), simple_placement(18));
+  const NodeId added = overlay.add_proxy({101.0, 101.0}, {ServiceId(0)});
+  EXPECT_TRUE(overlay.is_active(added));
+  EXPECT_EQ(overlay.universe_size(), 19u);
+  EXPECT_EQ(overlay.cluster_count(), 2u);  // joined the nearby grid
+  EXPECT_THROW((void)overlay.add_proxy({1.0}, {ServiceId(0)}),
+               std::invalid_argument);  // dimension mismatch
+}
+
+TEST(DynamicOverlay, RoutesWithUniverseIds) {
+  Rng rng(86);
+  DynamicHfcOverlay overlay(two_grids(rng), simple_placement(18));
+  ServiceRequest request;
+  request.source = NodeId(0);
+  request.destination = NodeId(17);
+  request.graph = ServiceGraph::linear({ServiceId(1), ServiceId(2)});
+  const ServicePath path = overlay.route(request);
+  ASSERT_TRUE(path.found);
+  EXPECT_EQ(path.hops.front().proxy, NodeId(0));
+  EXPECT_EQ(path.hops.back().proxy, NodeId(17));
+  for (const ServiceHop& hop : path.hops) {
+    EXPECT_TRUE(overlay.is_active(hop.proxy));
+  }
+}
+
+TEST(DynamicOverlay, RoutingAvoidsInactiveProxies) {
+  Rng rng(87);
+  const std::vector<Point> pts = two_grids(rng);
+  // Give service 9 to exactly two proxies, one per grid.
+  ServicePlacement placement = simple_placement(18);
+  placement[2].push_back(ServiceId(9));
+  std::sort(placement[2].begin(), placement[2].end());
+  placement[11].push_back(ServiceId(9));
+  std::sort(placement[11].begin(), placement[11].end());
+  DynamicHfcOverlay overlay(pts, placement);
+
+  ServiceRequest request;
+  request.source = NodeId(0);
+  request.destination = NodeId(1);
+  request.graph = ServiceGraph::linear({ServiceId(9)});
+  const ServicePath before = overlay.route(request);
+  ASSERT_TRUE(before.found);
+
+  // Take the local provider (node 2) down: the route must switch to the
+  // remote provider (node 11) — and never touch node 2.
+  overlay.deactivate(NodeId(2));
+  const ServicePath after = overlay.route(request);
+  ASSERT_TRUE(after.found);
+  for (const ServiceHop& hop : after.hops) {
+    EXPECT_NE(hop.proxy, NodeId(2));
+    if (!hop.is_relay()) {
+      EXPECT_EQ(hop.proxy, NodeId(11));
+    }
+  }
+
+  // Take the last provider down too: the request becomes unroutable.
+  overlay.deactivate(NodeId(11));
+  EXPECT_FALSE(overlay.route(request).found);
+}
+
+TEST(DynamicOverlay, ChurnDecaysQualityAndRestructureRestoresIt) {
+  Rng rng(88);
+  DynamicHfcOverlay overlay(two_grids(rng), simple_placement(18));
+  // Drain most of grid 2, then rejoin its nodes after grid-1 deactivations
+  // have shifted the nearest-neighbour structure: labels drift away from
+  // what a fresh clustering would produce.
+  for (int v = 9; v < 17; ++v) overlay.deactivate(NodeId(v));
+  for (int v = 9; v < 17; ++v) overlay.activate(NodeId(v));
+  // With only node 17 left of grid 2 at drain time, rejoining nodes glue
+  // onto its cluster — fine — but now deactivate 17 and rejoin it too.
+  const double quality_after_churn = overlay.clustering_quality();
+  EXPECT_LE(quality_after_churn, 1.0 + 1e-9);
+
+  overlay.restructure();
+  EXPECT_EQ(overlay.mutations_since_restructure(), 0u);
+  EXPECT_NEAR(overlay.clustering_quality(), 1.0, 1e-9);
+  EXPECT_EQ(overlay.cluster_count(), 2u);
+}
+
+TEST(DynamicOverlay, CannotEmptyOverlay) {
+  std::vector<Point> pts{{0, 0}, {1, 0}};
+  DynamicHfcOverlay overlay(pts, simple_placement(2));
+  overlay.deactivate(NodeId(0));
+  EXPECT_THROW(overlay.deactivate(NodeId(1)), std::invalid_argument);
+}
+
+TEST(DynamicOverlay, RouteRequiresActiveEndpoints) {
+  Rng rng(89);
+  DynamicHfcOverlay overlay(two_grids(rng), simple_placement(18));
+  overlay.deactivate(NodeId(3));
+  ServiceRequest request;
+  request.source = NodeId(3);
+  request.destination = NodeId(5);
+  EXPECT_THROW((void)overlay.route(request), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hfc

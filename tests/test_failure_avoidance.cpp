@@ -1,0 +1,172 @@
+// Routing around failed proxies with filters + crankback: the repair
+// story for live sessions whose providers die.
+#include <gtest/gtest.h>
+
+#include "cluster/zahn.h"
+#include "routing/filters.h"
+#include "routing/hierarchical_router.h"
+#include "services/workload.h"
+#include "util/rng.h"
+
+namespace hfc {
+namespace {
+
+struct FailWorld {
+  std::vector<Point> coords;
+  OverlayNetwork net;
+  Clustering clustering;
+  HfcTopology topo;
+  HierarchicalServiceRouter router;
+
+  FailWorld()
+      : coords(make_coords()),
+        net(coords, make_placement()),
+        clustering(cluster_points(coords)),
+        topo(clustering, net.coord_distance_fn()),
+        router(net, topo, net.coord_distance_fn()) {}
+
+  // Two squares; service 5 has two providers in the near square (nodes 1,
+  // 2) and one in the far square (node 5).
+  static std::vector<Point> make_coords() {
+    return {{0, 0}, {2, 0}, {0, 2}, {2, 2},
+            {200, 0}, {202, 0}, {200, 2}, {202, 2}};
+  }
+  static ServicePlacement make_placement() {
+    ServicePlacement p(8);
+    for (std::size_t i = 0; i < 8; ++i) p[i] = {ServiceId(0)};
+    p[1] = {ServiceId(0), ServiceId(5)};
+    p[2] = {ServiceId(0), ServiceId(5)};
+    p[5] = {ServiceId(0), ServiceId(5)};
+    return p;
+  }
+};
+
+TEST(FailureAvoidance, ExcludeNodesFilter) {
+  const NodeServiceFilter f = exclude_nodes({NodeId(3), NodeId(1)});
+  EXPECT_FALSE(f(NodeId(1), ServiceId(0)));
+  EXPECT_FALSE(f(NodeId(3), ServiceId(9)));
+  EXPECT_TRUE(f(NodeId(2), ServiceId(0)));
+}
+
+TEST(FailureAvoidance, BothCombinator) {
+  const NodeServiceFilter a = exclude_nodes({NodeId(1)});
+  const NodeServiceFilter b = exclude_nodes({NodeId(2)});
+  const NodeServiceFilter c = both(a, b);
+  EXPECT_FALSE(c(NodeId(1), ServiceId(0)));
+  EXPECT_FALSE(c(NodeId(2), ServiceId(0)));
+  EXPECT_TRUE(c(NodeId(3), ServiceId(0)));
+  // Null members accept everything.
+  const NodeServiceFilter d = both(nullptr, a);
+  EXPECT_FALSE(d(NodeId(1), ServiceId(0)));
+  EXPECT_TRUE(d(NodeId(2), ServiceId(0)));
+}
+
+TEST(FailureAvoidance, ReRouteWithinCluster) {
+  FailWorld w;
+  ServiceRequest request;
+  request.source = NodeId(0);
+  request.destination = NodeId(3);
+  request.graph = ServiceGraph::linear({ServiceId(5)});
+
+  const ServicePath healthy = w.router.route(request);
+  ASSERT_TRUE(healthy.found);
+  // The healthy route uses a local provider (node 1 or 2).
+  const NodeId used = healthy.hops[1].proxy;
+  EXPECT_TRUE(used == NodeId(1) || used == NodeId(2));
+
+  // That provider fails: the sibling provider takes over locally.
+  const auto repaired =
+      w.router.route_with_crankback(request, avoid_failed({used}));
+  ASSERT_TRUE(repaired.path.found);
+  EXPECT_EQ(repaired.crankbacks, 0u);  // cluster still feasible
+  for (const ServiceHop& hop : repaired.path.hops) {
+    EXPECT_NE(hop.proxy, used);
+  }
+  EXPECT_TRUE(satisfies(repaired.path, request, w.net));
+}
+
+TEST(FailureAvoidance, CrankbackToRemoteCluster) {
+  FailWorld w;
+  ServiceRequest request;
+  request.source = NodeId(0);
+  request.destination = NodeId(3);
+  request.graph = ServiceGraph::linear({ServiceId(5)});
+
+  // Both local providers fail: the aggregate still advertises S5 in the
+  // near cluster, so the router cranks back and lands on node 5.
+  const auto repaired = w.router.route_with_crankback(
+      request, avoid_failed({NodeId(1), NodeId(2)}));
+  ASSERT_TRUE(repaired.path.found);
+  EXPECT_GE(repaired.crankbacks, 1u);
+  bool used_remote = false;
+  for (const ServiceHop& hop : repaired.path.hops) {
+    if (!hop.is_relay()) {
+      EXPECT_EQ(hop.proxy, NodeId(5));
+      used_remote = true;
+    }
+  }
+  EXPECT_TRUE(used_remote);
+}
+
+TEST(FailureAvoidance, AllProvidersDownIsUnroutable) {
+  FailWorld w;
+  ServiceRequest request;
+  request.source = NodeId(0);
+  request.destination = NodeId(3);
+  request.graph = ServiceGraph::linear({ServiceId(5)});
+  const auto result = w.router.route_with_crankback(
+      request, avoid_failed({NodeId(1), NodeId(2), NodeId(5)}));
+  EXPECT_FALSE(result.path.found);
+}
+
+/// Sweep: random failures never yield an invalid path; either a valid
+/// path avoiding all failed proxies, or not-found.
+class FailureSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FailureSweepTest, RepairedPathsAvoidFailures) {
+  Rng rng(GetParam());
+  std::vector<Point> pts;
+  for (int b = 0; b < 3; ++b) {
+    for (int i = 0; i < 5; ++i) {
+      pts.push_back({250.0 * b + rng.uniform_real(0, 4),
+                     rng.uniform_real(0, 4)});
+    }
+  }
+  WorkloadParams wp;
+  wp.catalog_size = 4;
+  wp.services_per_proxy_min = 1;
+  wp.services_per_proxy_max = 2;
+  Rng wrng = rng.fork(1);
+  const OverlayNetwork net(pts, assign_services(pts.size(), wp, wrng));
+  const HfcTopology topo(cluster_points(pts), net.coord_distance_fn());
+  const HierarchicalServiceRouter router(net, topo,
+                                         net.coord_distance_fn());
+
+  wp.request_length_min = 1;
+  wp.request_length_max = 2;
+  Rng rrng = rng.fork(2);
+  const auto requests = make_requests(8, net.all_nodes(), wp, rrng);
+  for (const ServiceRequest& request : requests) {
+    std::vector<NodeId> failed;
+    for (std::size_t i : rng.sample_indices(pts.size(), 4)) {
+      const NodeId node(static_cast<int>(i));
+      if (node != request.source && node != request.destination) {
+        failed.push_back(node);
+      }
+    }
+    const auto result =
+        router.route_with_crankback(request, avoid_failed(failed));
+    if (!result.path.found) continue;
+    EXPECT_TRUE(satisfies(result.path, request, net));
+    for (const ServiceHop& hop : result.path.hops) {
+      if (hop.is_relay()) continue;  // borders may still relay traffic
+      EXPECT_EQ(std::count(failed.begin(), failed.end(), hop.proxy), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FailureSweepTest,
+                         ::testing::Values(701, 702, 703, 704, 705));
+
+}  // namespace
+}  // namespace hfc

@@ -1,0 +1,231 @@
+// Tests for service multicast trees: grafting, prefix sharing, validation,
+// and cost relative to independent unicasts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/zahn.h"
+#include "multicast/service_multicast.h"
+#include "overlay/hfc_topology.h"
+#include "routing/hierarchical_router.h"
+#include "services/workload.h"
+#include "util/rng.h"
+
+namespace hfc {
+namespace {
+
+/// Three separated squares; services 0..2 hosted once per square.
+struct McWorld {
+  std::vector<Point> coords;
+  OverlayNetwork net;
+  Clustering clustering;
+  HfcTopology topo;
+  HierarchicalServiceRouter router;
+  ServiceMulticastBuilder builder;
+
+  McWorld()
+      : coords(make_coords()),
+        net(coords, make_placement()),
+        clustering(cluster_points(coords)),
+        topo(clustering, net.coord_distance_fn()),
+        router(net, topo, net.coord_distance_fn()),
+        builder(make_route_fn(), net.coord_distance_fn()) {}
+
+  static std::vector<Point> make_coords() {
+    std::vector<Point> pts;
+    for (const Point& base :
+         std::vector<Point>{{0, 0}, {200, 0}, {100, 200}}) {
+      for (int i = 0; i < 4; ++i) {
+        pts.push_back({base[0] + 2.0 * (i % 2), base[1] + 2.0 * (i / 2)});
+      }
+    }
+    return pts;
+  }
+  static ServicePlacement make_placement() {
+    ServicePlacement p(12);
+    for (std::size_t i = 0; i < 12; ++i) {
+      p[i] = {ServiceId(static_cast<std::int32_t>(i % 4))};
+    }
+    return p;
+  }
+  UnicastRouteFn make_route_fn() {
+    return [this](NodeId src, NodeId dst,
+                  const std::vector<ServiceId>& chain) {
+      ServiceRequest request;
+      request.source = src;
+      request.destination = dst;
+      request.graph = ServiceGraph::linear(chain);
+      return router.route(request);
+    };
+  }
+};
+
+TEST(Multicast, SingleDestinationEqualsUnicast) {
+  McWorld w;
+  MulticastRequest request;
+  request.source = NodeId(0);
+  request.destinations = {NodeId(7)};
+  request.graph = ServiceGraph::linear({ServiceId(1), ServiceId(2)});
+  const MulticastTree tree = w.builder.build(request);
+  ASSERT_TRUE(tree.found);
+  EXPECT_TRUE(tree_satisfies(tree, request, w.net));
+  EXPECT_NEAR(tree.cost, w.builder.unicast_total(request), 1e-9);
+}
+
+TEST(Multicast, SharedBackboneBeatsUnicastSum) {
+  McWorld w;
+  // Source in square 0, all four members of square 1 as destinations:
+  // the processed stream should travel the long hop once.
+  MulticastRequest request;
+  request.source = NodeId(0);
+  request.destinations = {NodeId(4), NodeId(5), NodeId(6), NodeId(7)};
+  request.graph = ServiceGraph::linear({ServiceId(1), ServiceId(2)});
+  const MulticastTree tree = w.builder.build(request);
+  ASSERT_TRUE(tree.found);
+  EXPECT_TRUE(tree_satisfies(tree, request, w.net));
+  const double unicast = w.builder.unicast_total(request);
+  EXPECT_LT(tree.cost, unicast);
+  EXPECT_LT(tree.cost, 0.55 * unicast);  // strong sharing in this geometry
+}
+
+TEST(Multicast, BranchesApplyFullChainExactlyOnce) {
+  McWorld w;
+  MulticastRequest request;
+  request.source = NodeId(1);
+  request.destinations = {NodeId(5), NodeId(9), NodeId(2)};
+  request.graph =
+      ServiceGraph::linear({ServiceId(0), ServiceId(2), ServiceId(3)});
+  const MulticastTree tree = w.builder.build(request);
+  ASSERT_TRUE(tree.found);
+  EXPECT_TRUE(tree_satisfies(tree, request, w.net));
+  for (std::size_t d = 0; d < request.destinations.size(); ++d) {
+    const auto branch = tree.branch_to(tree.destination_leaf[d]);
+    std::vector<ServiceId> performed;
+    for (const ServiceHop& hop : branch) {
+      if (!hop.is_relay()) performed.push_back(hop.service);
+    }
+    EXPECT_EQ(performed,
+              (std::vector<ServiceId>{ServiceId(0), ServiceId(2),
+                                      ServiceId(3)}));
+  }
+}
+
+TEST(Multicast, EmptyChainBuildsRelayTree) {
+  McWorld w;
+  MulticastRequest request;
+  request.source = NodeId(0);
+  request.destinations = {NodeId(4), NodeId(8)};
+  const MulticastTree tree = w.builder.build(request);
+  ASSERT_TRUE(tree.found);
+  EXPECT_TRUE(tree_satisfies(tree, request, w.net));
+  for (const auto& node : tree.nodes) {
+    EXPECT_FALSE(node.service.valid());
+  }
+}
+
+TEST(Multicast, UnsatisfiableChain) {
+  McWorld w;
+  MulticastRequest request;
+  request.source = NodeId(0);
+  request.destinations = {NodeId(4)};
+  request.graph = ServiceGraph::linear({ServiceId(9)});
+  EXPECT_FALSE(w.builder.build(request).found);
+}
+
+TEST(Multicast, RejectsNonLinearAndEmptyInputs) {
+  McWorld w;
+  MulticastRequest request;
+  request.source = NodeId(0);
+  request.destinations = {};
+  EXPECT_THROW((void)w.builder.build(request), std::invalid_argument);
+
+  request.destinations = {NodeId(4)};
+  ServiceGraph g;
+  const std::size_t a = g.add_vertex(ServiceId(0));
+  const std::size_t b = g.add_vertex(ServiceId(1));
+  const std::size_t c = g.add_vertex(ServiceId(2));
+  g.add_edge(a, c);
+  g.add_edge(b, c);  // two sources => non-linear
+  request.graph = g;
+  EXPECT_THROW((void)w.builder.build(request), std::invalid_argument);
+}
+
+TEST(Multicast, TreeStructureIsConsistent) {
+  McWorld w;
+  MulticastRequest request;
+  request.source = NodeId(2);
+  request.destinations = {NodeId(6), NodeId(10), NodeId(3), NodeId(11)};
+  request.graph = ServiceGraph::linear({ServiceId(1)});
+  const MulticastTree tree = w.builder.build(request);
+  ASSERT_TRUE(tree.found);
+  // Root is the source with no parent; every other node's parent precedes
+  // it (forest grown incrementally).
+  EXPECT_EQ(tree.nodes.front().proxy, request.source);
+  EXPECT_EQ(tree.nodes.front().parent, MulticastTree::TreeNode::kNoParent);
+  for (std::size_t t = 1; t < tree.nodes.size(); ++t) {
+    EXPECT_LT(tree.nodes[t].parent, t);
+  }
+  for (std::size_t leaf : tree.destination_leaf) {
+    EXPECT_LT(leaf, tree.nodes.size());
+  }
+}
+
+/// Property sweep over random worlds: trees are valid and never cost more
+/// than the unicast sum.
+class MulticastPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(MulticastPropertyTest, ValidAndNeverWorseThanUnicast) {
+  Rng rng(GetParam());
+  std::vector<Point> pts;
+  for (int b = 0; b < 4; ++b) {
+    for (int i = 0; i < 4; ++i) {
+      pts.push_back({300.0 * b + 2.0 * (i % 2) + rng.uniform_real(-0.2, 0.2),
+                     2.0 * (i / 2) + rng.uniform_real(-0.2, 0.2)});
+    }
+  }
+  WorkloadParams wp;
+  wp.catalog_size = 5;
+  wp.services_per_proxy_min = 1;
+  wp.services_per_proxy_max = 2;
+  Rng wrng = rng.fork(1);
+  const OverlayNetwork net(pts, assign_services(pts.size(), wp, wrng));
+  const Clustering clustering = cluster_points(pts);
+  const HfcTopology topo(clustering, net.coord_distance_fn());
+  const HierarchicalServiceRouter router(net, topo,
+                                         net.coord_distance_fn());
+  const ServiceMulticastBuilder builder(
+      [&router](NodeId src, NodeId dst,
+                const std::vector<ServiceId>& chain) {
+        ServiceRequest request;
+        request.source = src;
+        request.destination = dst;
+        request.graph = ServiceGraph::linear(chain);
+        return router.route(request);
+      },
+      net.coord_distance_fn());
+
+  MulticastRequest request;
+  request.source = NodeId(static_cast<int>(rng.pick_index(pts.size())));
+  for (int d = 0; d < 5; ++d) {
+    request.destinations.push_back(
+        NodeId(static_cast<int>(rng.pick_index(pts.size()))));
+  }
+  std::vector<ServiceId> chain;
+  for (std::size_t s : rng.sample_indices(5, 2)) {
+    chain.push_back(ServiceId(static_cast<std::int32_t>(s)));
+  }
+  request.graph = ServiceGraph::linear(chain);
+
+  const MulticastTree tree = builder.build(request);
+  ASSERT_TRUE(tree.found);
+  EXPECT_TRUE(tree_satisfies(tree, request, net));
+  EXPECT_LE(tree.cost, builder.unicast_total(request) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MulticastPropertyTest,
+                         ::testing::Values(501, 502, 503, 504, 505, 506, 507,
+                                           508));
+
+}  // namespace
+}  // namespace hfc

@@ -1,0 +1,337 @@
+// Tests for src/overlay: overlay network, HFC topology construction and
+// queries, and the mesh baseline topology.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "cluster/zahn.h"
+#include "overlay/hfc_topology.h"
+#include "overlay/mesh_topology.h"
+#include "overlay/overlay_network.h"
+#include "util/rng.h"
+
+namespace hfc {
+namespace {
+
+/// Three well-separated 4-point squares => 3 clusters of 4 nodes.
+std::vector<Point> three_squares() {
+  std::vector<Point> pts;
+  for (const Point& base :
+       std::vector<Point>{{0, 0}, {100, 0}, {50, 100}}) {
+    pts.push_back({base[0], base[1]});
+    pts.push_back({base[0] + 2, base[1]});
+    pts.push_back({base[0], base[1] + 2});
+    pts.push_back({base[0] + 2, base[1] + 2});
+  }
+  return pts;
+}
+
+ServicePlacement trivial_placement(std::size_t n) {
+  ServicePlacement p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = {ServiceId(static_cast<std::int32_t>(i % 3))};
+  }
+  return p;
+}
+
+OverlayNetwork squares_network() {
+  return OverlayNetwork(three_squares(), trivial_placement(12));
+}
+
+TEST(OverlayNetwork, Validation) {
+  EXPECT_THROW(OverlayNetwork({}, {}), std::invalid_argument);
+  EXPECT_THROW(OverlayNetwork({{0, 0}}, ServicePlacement(2)),
+               std::invalid_argument);
+  EXPECT_THROW(OverlayNetwork({{0, 0}, {1}}, trivial_placement(2)),
+               std::invalid_argument);
+  ServicePlacement unsorted(1);
+  unsorted[0] = {ServiceId(2), ServiceId(1)};
+  EXPECT_THROW(OverlayNetwork({{0, 0}}, unsorted), std::invalid_argument);
+}
+
+TEST(OverlayNetwork, HostsQueries) {
+  const OverlayNetwork net = squares_network();
+  EXPECT_EQ(net.size(), 12u);
+  EXPECT_TRUE(net.hosts(NodeId(0), ServiceId(0)));
+  EXPECT_FALSE(net.hosts(NodeId(0), ServiceId(1)));
+  const auto hosts = net.hosts_of(ServiceId(1));
+  ASSERT_EQ(hosts.size(), 4u);
+  for (NodeId h : hosts) EXPECT_EQ(h.value() % 3, 1);
+  EXPECT_TRUE(net.hosts_of(ServiceId(99)).empty());
+}
+
+TEST(OverlayNetwork, CoordDistance) {
+  const OverlayNetwork net = squares_network();
+  EXPECT_DOUBLE_EQ(net.coord_distance(NodeId(0), NodeId(1)), 2.0);
+  EXPECT_DOUBLE_EQ(net.coord_distance(NodeId(1), NodeId(0)), 2.0);
+  EXPECT_DOUBLE_EQ(net.coord_distance(NodeId(3), NodeId(3)), 0.0);
+  const OverlayDistance fn = net.coord_distance_fn();
+  EXPECT_DOUBLE_EQ(fn(NodeId(0), NodeId(3)), std::sqrt(8.0));
+}
+
+class HfcTopologyTest : public ::testing::Test {
+ protected:
+  HfcTopologyTest()
+      : net_(squares_network()),
+        clustering_(cluster_points(three_squares())),
+        topo_(clustering_, net_.coord_distance_fn()) {}
+
+  OverlayNetwork net_;
+  Clustering clustering_;
+  HfcTopology topo_;
+};
+
+TEST_F(HfcTopologyTest, ThreeClustersOfFour) {
+  ASSERT_EQ(topo_.cluster_count(), 3u);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(topo_.members(ClusterId(static_cast<int>(c))).size(), 4u);
+  }
+  // Nodes 0-3 together, 4-7 together, 8-11 together.
+  EXPECT_EQ(topo_.cluster_of(NodeId(0)), topo_.cluster_of(NodeId(3)));
+  EXPECT_EQ(topo_.cluster_of(NodeId(4)), topo_.cluster_of(NodeId(7)));
+  EXPECT_NE(topo_.cluster_of(NodeId(0)), topo_.cluster_of(NodeId(4)));
+}
+
+TEST_F(HfcTopologyTest, BordersAreClosestPairs) {
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      const ClusterId ca(static_cast<int>(a));
+      const ClusterId cb(static_cast<int>(b));
+      const NodeId ba = topo_.border(ca, cb);
+      const NodeId bb = topo_.border(cb, ca);
+      EXPECT_EQ(topo_.cluster_of(ba), ca);
+      EXPECT_EQ(topo_.cluster_of(bb), cb);
+      // No cross pair is closer than the chosen border pair (§3.3 rule).
+      const double chosen = net_.coord_distance(ba, bb);
+      EXPECT_DOUBLE_EQ(chosen, topo_.external_length(ca, cb));
+      for (NodeId x : topo_.members(ca)) {
+        for (NodeId y : topo_.members(cb)) {
+          EXPECT_GE(net_.coord_distance(x, y), chosen - 1e-12);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(HfcTopologyTest, PathDistanceIntraIsDirect) {
+  const OverlayDistance d = net_.coord_distance_fn();
+  EXPECT_DOUBLE_EQ(topo_.path_distance(NodeId(0), NodeId(3), d),
+                   net_.coord_distance(NodeId(0), NodeId(3)));
+}
+
+TEST_F(HfcTopologyTest, PathDistanceInterGoesThroughBorders) {
+  const OverlayDistance d = net_.coord_distance_fn();
+  const NodeId u(0);
+  const NodeId v(7);
+  const ClusterId cu = topo_.cluster_of(u);
+  const ClusterId cv = topo_.cluster_of(v);
+  const NodeId bu = topo_.border(cu, cv);
+  const NodeId bv = topo_.border(cv, cu);
+  double expected = net_.coord_distance(bu, bv);
+  if (u != bu) expected += net_.coord_distance(u, bu);
+  if (v != bv) expected += net_.coord_distance(bv, v);
+  EXPECT_DOUBLE_EQ(topo_.path_distance(u, v, d), expected);
+}
+
+TEST_F(HfcTopologyTest, HopPathAtMostTwoIntermediates) {
+  for (int u = 0; u < 12; ++u) {
+    for (int v = 0; v < 12; ++v) {
+      const auto path = topo_.hop_path(NodeId(u), NodeId(v));
+      ASSERT_GE(path.size(), 1u);
+      EXPECT_LE(path.size(), 4u);  // bi-level HFC: <= 2 intermediate nodes
+      EXPECT_EQ(path.front(), NodeId(u));
+      EXPECT_EQ(path.back(), NodeId(v));
+      // No immediate duplicates.
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_NE(path[i], path[i + 1]);
+      }
+    }
+  }
+}
+
+TEST_F(HfcTopologyTest, KnowledgeMatchesFigure4) {
+  const NodeId node(5);
+  const NodeKnowledge k = topo_.knowledge_of(node);
+  EXPECT_EQ(k.own_cluster, topo_.cluster_of(node));
+  EXPECT_EQ(k.cluster_members, topo_.members(k.own_cluster));
+  EXPECT_EQ(k.visible_borders, topo_.all_borders());
+  // coordinate_set is the deduplicated union.
+  std::set<NodeId> expected(k.cluster_members.begin(),
+                            k.cluster_members.end());
+  expected.insert(k.visible_borders.begin(), k.visible_borders.end());
+  EXPECT_EQ(k.coordinate_set.size(), expected.size());
+  EXPECT_EQ(k.coordinate_set,
+            std::vector<NodeId>(expected.begin(), expected.end()));
+}
+
+TEST_F(HfcTopologyTest, StateCountFormulas) {
+  for (int v = 0; v < 12; ++v) {
+    const NodeId node(v);
+    const std::size_t members =
+        topo_.members(topo_.cluster_of(node)).size();
+    EXPECT_EQ(topo_.service_state_count(node),
+              members + topo_.cluster_count());
+    EXPECT_EQ(topo_.coordinate_state_count(node),
+              topo_.knowledge_of(node).coordinate_set.size());
+    EXPECT_LE(topo_.coordinate_state_count(node),
+              members + topo_.all_borders().size());
+  }
+}
+
+TEST_F(HfcTopologyTest, BorderQueriesValidate) {
+  EXPECT_THROW((void)topo_.border(ClusterId(0), ClusterId(0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)topo_.border(ClusterId(0), ClusterId(9)),
+               std::invalid_argument);
+  EXPECT_THROW((void)topo_.external_length(ClusterId(1), ClusterId(1)),
+               std::invalid_argument);
+}
+
+TEST(HfcTopology, SingleClusterHasNoBorders) {
+  std::vector<Point> pts{{0, 0}, {1, 0}, {0, 1}};
+  const OverlayNetwork net(pts, trivial_placement(3));
+  const HfcTopology topo(cluster_points(pts), net.coord_distance_fn());
+  ASSERT_EQ(topo.cluster_count(), 1u);
+  EXPECT_TRUE(topo.all_borders().empty());
+  EXPECT_DOUBLE_EQ(
+      topo.path_distance(NodeId(0), NodeId(1), net.coord_distance_fn()),
+      1.0);
+  EXPECT_EQ(topo.coordinate_state_count(NodeId(0)), 3u);
+  EXPECT_EQ(topo.service_state_count(NodeId(0)), 4u);  // 3 members + 1 cluster
+}
+
+TEST(HfcTopology, SingleHubSelection) {
+  const std::vector<Point> pts = three_squares();
+  const OverlayNetwork net(pts, trivial_placement(12));
+  const HfcTopology topo(cluster_points(pts), net.coord_distance_fn(),
+                         BorderSelection::kSingleHub);
+  // Each cluster exposes exactly one border node for all other clusters.
+  for (std::size_t a = 0; a < topo.cluster_count(); ++a) {
+    std::set<NodeId> borders;
+    for (std::size_t b = 0; b < topo.cluster_count(); ++b) {
+      if (a == b) continue;
+      borders.insert(
+          topo.border(ClusterId(static_cast<int>(a)),
+                      ClusterId(static_cast<int>(b))));
+    }
+    EXPECT_EQ(borders.size(), 1u);
+  }
+  EXPECT_EQ(topo.all_borders().size(), topo.cluster_count());
+}
+
+TEST(HfcTopology, RandomPairSelectionStaysInCluster) {
+  const std::vector<Point> pts = three_squares();
+  const OverlayNetwork net(pts, trivial_placement(12));
+  const HfcTopology topo(cluster_points(pts), net.coord_distance_fn(),
+                         BorderSelection::kRandomPair);
+  for (std::size_t a = 0; a < topo.cluster_count(); ++a) {
+    for (std::size_t b = 0; b < topo.cluster_count(); ++b) {
+      if (a == b) continue;
+      const ClusterId ca(static_cast<int>(a));
+      const ClusterId cb(static_cast<int>(b));
+      EXPECT_EQ(topo.cluster_of(topo.border(ca, cb)), ca);
+    }
+  }
+}
+
+TEST(MeshTopology, ConnectedAndSane) {
+  Rng rng(55);
+  std::vector<Point> pts;
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back({rng.uniform_real(0, 100), rng.uniform_real(0, 100)});
+  }
+  const OverlayNetwork net(pts, trivial_placement(60));
+  Rng mesh_rng(56);
+  const MeshTopology mesh(60, net.coord_distance_fn(), MeshParams{},
+                          mesh_rng);
+  EXPECT_TRUE(mesh.connected());
+  EXPECT_EQ(mesh.node_count(), 60u);
+  // Every node initiated at least one nearest link => degree >= 1.
+  std::size_t degree_sum = 0;
+  for (int v = 0; v < 60; ++v) {
+    const auto& nbrs = mesh.neighbors(NodeId(v));
+    EXPECT_GE(nbrs.size(), 1u);
+    degree_sum += nbrs.size();
+    for (NodeId w : nbrs) {
+      EXPECT_TRUE(mesh.has_edge(NodeId(v), w));
+      EXPECT_TRUE(mesh.has_edge(w, NodeId(v)));
+      EXPECT_NE(w, NodeId(v));
+    }
+  }
+  EXPECT_EQ(degree_sum, 2 * mesh.edge_count());
+}
+
+TEST(MeshTopology, RoutingDistancesAreMetricOverEdges) {
+  Rng rng(57);
+  std::vector<Point> pts;
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({rng.uniform_real(0, 50), rng.uniform_real(0, 50)});
+  }
+  const OverlayNetwork net(pts, trivial_placement(30));
+  Rng mesh_rng(58);
+  const MeshTopology mesh(30, net.coord_distance_fn(), MeshParams{},
+                          mesh_rng);
+  const MeshRouting routing = mesh.compute_routing(net.coord_distance_fn());
+  for (int u = 0; u < 30; ++u) {
+    EXPECT_DOUBLE_EQ(routing.distance.at(u, u), 0.0);
+    for (int v = 0; v < 30; ++v) {
+      // Mesh shortest path >= direct distance (triangle inequality).
+      EXPECT_GE(routing.distance.at(u, v),
+                net.coord_distance(NodeId(u), NodeId(v)) - 1e-9);
+      // Edges are optimal one-hop paths or better.
+      if (mesh.has_edge(NodeId(u), NodeId(v))) {
+        EXPECT_LE(routing.distance.at(u, v),
+                  net.coord_distance(NodeId(u), NodeId(v)) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(MeshTopology, WalkFollowsEdgesAndMatchesDistance) {
+  Rng rng(59);
+  std::vector<Point> pts;
+  for (int i = 0; i < 25; ++i) {
+    pts.push_back({rng.uniform_real(0, 50), rng.uniform_real(0, 50)});
+  }
+  const OverlayNetwork net(pts, trivial_placement(25));
+  Rng mesh_rng(60);
+  const MeshTopology mesh(25, net.coord_distance_fn(), MeshParams{},
+                          mesh_rng);
+  const MeshRouting routing = mesh.compute_routing(net.coord_distance_fn());
+  for (int u = 0; u < 25; ++u) {
+    for (int v = 0; v < 25; ++v) {
+      const auto walk = routing.walk(NodeId(u), NodeId(v));
+      ASSERT_FALSE(walk.empty());
+      EXPECT_EQ(walk.front(), NodeId(u));
+      EXPECT_EQ(walk.back(), NodeId(v));
+      double total = 0.0;
+      for (std::size_t i = 0; i + 1 < walk.size(); ++i) {
+        EXPECT_TRUE(mesh.has_edge(walk[i], walk[i + 1]));
+        total += net.coord_distance(walk[i], walk[i + 1]);
+      }
+      EXPECT_NEAR(total, routing.distance.at(u, v), 1e-9);
+    }
+  }
+}
+
+TEST(MeshTopology, TinyNetworks) {
+  const std::vector<Point> one{{0, 0}};
+  const OverlayNetwork net1(one, trivial_placement(1));
+  Rng rng(61);
+  const MeshTopology mesh1(1, net1.coord_distance_fn(), MeshParams{}, rng);
+  EXPECT_TRUE(mesh1.connected());
+  EXPECT_EQ(mesh1.edge_count(), 0u);
+
+  const std::vector<Point> two{{0, 0}, {5, 0}};
+  const OverlayNetwork net2(two, trivial_placement(2));
+  const MeshTopology mesh2(2, net2.coord_distance_fn(), MeshParams{}, rng);
+  EXPECT_TRUE(mesh2.connected());
+  EXPECT_EQ(mesh2.edge_count(), 1u);
+}
+
+}  // namespace
+}  // namespace hfc

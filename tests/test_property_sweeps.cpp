@@ -1,0 +1,178 @@
+// Randomised property sweeps: invariants that must hold across random
+// operation sequences and workloads (parameterised over seeds).
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "cluster/zahn.h"
+#include "core/framework.h"
+#include "dynamic/dynamic_overlay.h"
+#include "qos/qos_manager.h"
+#include "routing/flat_router.h"
+#include "routing/path_expansion.h"
+#include "services/workload.h"
+#include "util/rng.h"
+
+namespace hfc {
+namespace {
+
+std::unique_ptr<HfcFramework> tiny_framework(std::uint64_t seed) {
+  FrameworkConfig config;
+  config.physical_routers = 300;
+  config.proxies = 60;
+  config.landmarks = 8;
+  config.clients = 12;
+  config.seed = seed;
+  return HfcFramework::build(config);
+}
+
+// ------------------------------------------------------------- QoS ----
+
+class QosSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QosSweepTest, AdmissionReleaseInvariants) {
+  const auto fw = tiny_framework(GetParam());
+  const double capacity = 5.0;
+  QosManager qos(fw->overlay(), fw->topology(),
+                 std::vector<double>(fw->overlay().size(), capacity),
+                 CapacityAggregation::kOptimistic);
+  Rng rng(GetParam() + 1);
+  const auto requests = fw->generate_requests(60, rng);
+
+  std::deque<std::pair<ServicePath, double>> active;
+  double expected_reserved = 0.0;
+  for (const ServiceRequest& request : requests) {
+    // Randomly end an old session first.
+    if (!active.empty() && rng.chance(0.4)) {
+      auto [path, units] = active.front();
+      active.pop_front();
+      qos.release(path, 2.0);
+      expected_reserved -= units;
+    }
+    const auto admission = qos.admit(fw->router(), request, 2.0);
+    if (admission.admitted) {
+      EXPECT_TRUE(satisfies(admission.path, request, fw->overlay()));
+      double units = 0.0;
+      std::vector<NodeId> distinct;
+      for (const ServiceHop& hop : admission.path.hops) {
+        if (!hop.is_relay() &&
+            std::find(distinct.begin(), distinct.end(), hop.proxy) ==
+                distinct.end()) {
+          distinct.push_back(hop.proxy);
+          units += 2.0;
+        }
+      }
+      active.emplace_back(admission.path, units);
+      expected_reserved += units;
+    }
+    // Invariants after every operation.
+    for (NodeId p : fw->overlay().all_nodes()) {
+      EXPECT_GE(qos.residual(p), -1e-9);
+      EXPECT_LE(qos.residual(p), capacity + 1e-9);
+    }
+    EXPECT_NEAR(qos.reserved_total(), expected_reserved, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QosSweepTest,
+                         ::testing::Values(601, 602, 603, 604));
+
+// --------------------------------------------------------- dynamic ----
+
+class DynamicSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DynamicSweepTest, ChurnKeepsOverlayRoutable) {
+  const auto fw = tiny_framework(GetParam());
+  ServicePlacement placement;
+  for (NodeId p : fw->overlay().all_nodes()) {
+    placement.push_back(fw->overlay().services_at(p));
+  }
+  DynamicHfcOverlay overlay(fw->distance_map().proxy_coords, placement,
+                            fw->config().zahn);
+  Rng rng(GetParam() + 2);
+  std::vector<NodeId> inactive;
+
+  for (int step = 0; step < 60; ++step) {
+    // Random churn operation.
+    if (!inactive.empty() && rng.chance(0.5)) {
+      const std::size_t pick = rng.pick_index(inactive.size());
+      overlay.activate(inactive[pick]);
+      inactive.erase(inactive.begin() + static_cast<long>(pick));
+    } else if (overlay.active_count() > overlay.universe_size() / 2) {
+      NodeId victim;
+      do {
+        victim = NodeId(static_cast<int>(
+            rng.pick_index(overlay.universe_size())));
+      } while (!overlay.is_active(victim));
+      overlay.deactivate(victim);
+      inactive.push_back(victim);
+    }
+    // Structural invariants.
+    EXPECT_EQ(overlay.active_count() + inactive.size(),
+              overlay.universe_size());
+    EXPECT_GE(overlay.cluster_count(), 1u);
+    // The ratio can exceed 1 when churn left the maintained clustering
+    // finer (tighter) than a fresh Zahn run would be; it just has to stay
+    // positive and finite.
+    const double quality = overlay.clustering_quality();
+    EXPECT_GT(quality, 0.0);
+    EXPECT_LT(quality, 100.0);
+
+    // The active overlay stays routable between random active endpoints
+    // for services the active placement still covers.
+    if (step % 10 == 9) {
+      NodeId a;
+      NodeId b;
+      do {
+        a = NodeId(static_cast<int>(rng.pick_index(overlay.universe_size())));
+      } while (!overlay.is_active(a));
+      do {
+        b = NodeId(static_cast<int>(rng.pick_index(overlay.universe_size())));
+      } while (!overlay.is_active(b));
+      ServiceRequest request;
+      request.source = a;
+      request.destination = b;
+      const ServicePath path = overlay.route(request);  // relay-only
+      EXPECT_TRUE(path.found);
+    }
+  }
+  overlay.restructure();
+  EXPECT_NEAR(overlay.clustering_quality(), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicSweepTest,
+                         ::testing::Values(611, 612, 613, 614));
+
+// ---------------------------------------------- aggregation penalty ----
+
+class AggregationPenaltyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(AggregationPenaltyTest, AggregatedNeverBeatsFullStateOnAverage) {
+  // Under the DECISION metric, HFC-without-aggregation is per-request
+  // optimal among HFC-constrained paths, so the aggregated router can
+  // never beat it (per request, not just on average).
+  const auto fw = tiny_framework(GetParam());
+  const OverlayDistance est = fw->estimated_distance();
+  const HfcTopology& topo = fw->topology();
+  const OverlayDistance hfc_est = [&topo, est](NodeId a, NodeId b) {
+    return topo.path_distance(a, b, est);
+  };
+  const FlatServiceRouter noagg(fw->overlay(), hfc_est);
+  Rng rng(GetParam() + 3);
+  for (const ServiceRequest& request : fw->generate_requests(15, rng)) {
+    const ServicePath agg_path = fw->route(request);
+    const ServicePath noagg_path =
+        expand_hfc_path(noagg.route(request), topo);
+    ASSERT_TRUE(agg_path.found);
+    ASSERT_TRUE(noagg_path.found);
+    EXPECT_GE(path_length(agg_path, est),
+              path_length(noagg_path, est) - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregationPenaltyTest,
+                         ::testing::Values(621, 622, 623, 624, 625));
+
+}  // namespace
+}  // namespace hfc

@@ -1,0 +1,226 @@
+// Tests for src/services: service graphs and workload generation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "services/service_graph.h"
+#include "services/workload.h"
+#include "util/rng.h"
+
+namespace hfc {
+namespace {
+
+ServiceGraph figure2b() {
+  // Paper Figure 2(b): s0 -> s1 -> s2, s3 -> s1, s3 -> s2.
+  ServiceGraph g;
+  const std::size_t v0 = g.add_vertex(ServiceId(0));
+  const std::size_t v1 = g.add_vertex(ServiceId(1));
+  const std::size_t v2 = g.add_vertex(ServiceId(2));
+  const std::size_t v3 = g.add_vertex(ServiceId(3));
+  g.add_edge(v0, v1);
+  g.add_edge(v1, v2);
+  g.add_edge(v3, v1);
+  g.add_edge(v3, v2);
+  return g;
+}
+
+TEST(ServiceGraph, LinearConstruction) {
+  const ServiceGraph g =
+      ServiceGraph::linear({ServiceId(5), ServiceId(2), ServiceId(9)});
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_TRUE(g.is_linear());
+  EXPECT_EQ(g.label(0), ServiceId(5));
+  EXPECT_EQ(g.label(2), ServiceId(9));
+  ASSERT_EQ(g.sources().size(), 1u);
+  ASSERT_EQ(g.sinks().size(), 1u);
+  EXPECT_EQ(g.sources()[0], 0u);
+  EXPECT_EQ(g.sinks()[0], 2u);
+}
+
+TEST(ServiceGraph, RejectsCyclesAndSelfLoops) {
+  ServiceGraph g;
+  const std::size_t a = g.add_vertex(ServiceId(0));
+  const std::size_t b = g.add_vertex(ServiceId(1));
+  const std::size_t c = g.add_vertex(ServiceId(2));
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  EXPECT_THROW(g.add_edge(c, a), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(b, a), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(a, a), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(a, 9), std::invalid_argument);
+  // Duplicate edges are idempotent.
+  g.add_edge(a, b);
+  EXPECT_EQ(g.successors(a).size(), 1u);
+}
+
+TEST(ServiceGraph, RejectsInvalidService) {
+  ServiceGraph g;
+  EXPECT_THROW((void)g.add_vertex(ServiceId{}), std::invalid_argument);
+}
+
+TEST(ServiceGraph, TopologicalOrderRespectsEdges) {
+  const ServiceGraph g = figure2b();
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> position(4);
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    for (std::size_t w : g.successors(v)) {
+      EXPECT_LT(position[v], position[w]);
+    }
+  }
+}
+
+TEST(ServiceGraph, Figure2bConfigurations) {
+  const ServiceGraph g = figure2b();
+  EXPECT_FALSE(g.is_linear());
+  auto configs = g.configurations();
+  // Exactly the three configurations the paper lists:
+  // s0->s1->s2, s3->s1->s2, s3->s2.
+  ASSERT_EQ(configs.size(), 3u);
+  std::set<std::vector<std::size_t>> set(configs.begin(), configs.end());
+  EXPECT_TRUE(set.count({0, 1, 2}));
+  EXPECT_TRUE(set.count({3, 1, 2}));
+  EXPECT_TRUE(set.count({3, 2}));
+}
+
+TEST(ServiceGraph, DistinctServices) {
+  ServiceGraph g;
+  (void)g.add_vertex(ServiceId(3));
+  (void)g.add_vertex(ServiceId(1));
+  (void)g.add_vertex(ServiceId(3));
+  const auto distinct = g.distinct_services();
+  ASSERT_EQ(distinct.size(), 2u);
+  EXPECT_EQ(distinct[0], ServiceId(1));
+  EXPECT_EQ(distinct[1], ServiceId(3));
+}
+
+TEST(ServiceGraph, EmptyGraph) {
+  ServiceGraph g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_TRUE(g.is_linear());
+  EXPECT_TRUE(g.configurations().empty());
+  EXPECT_TRUE(g.topological_order().empty());
+}
+
+TEST(Workload, AssignServicesCoversCatalog) {
+  WorkloadParams params;
+  params.catalog_size = 40;
+  Rng rng(41);
+  const ServicePlacement placement = assign_services(100, params, rng);
+  ASSERT_EQ(placement.size(), 100u);
+  std::set<ServiceId> hosted;
+  for (const auto& services : placement) {
+    EXPECT_GE(services.size(), params.services_per_proxy_min);
+    EXPECT_LE(services.size(), params.services_per_proxy_max);
+    EXPECT_TRUE(std::is_sorted(services.begin(), services.end()));
+    EXPECT_EQ(std::adjacent_find(services.begin(), services.end()),
+              services.end());
+    hosted.insert(services.begin(), services.end());
+  }
+  EXPECT_EQ(hosted.size(), params.catalog_size);
+}
+
+TEST(Workload, AssignServicesFewProxiesStillCovers) {
+  WorkloadParams params;
+  params.catalog_size = 30;
+  params.services_per_proxy_min = 4;
+  params.services_per_proxy_max = 10;
+  Rng rng(42);
+  const ServicePlacement placement = assign_services(5, params, rng);
+  std::set<ServiceId> hosted;
+  for (const auto& services : placement) {
+    hosted.insert(services.begin(), services.end());
+  }
+  EXPECT_EQ(hosted.size(), params.catalog_size);
+}
+
+TEST(Workload, AssignServicesValidatesParams) {
+  WorkloadParams params;
+  params.catalog_size = 5;
+  params.services_per_proxy_max = 10;  // more than the catalog
+  Rng rng(43);
+  EXPECT_THROW((void)assign_services(10, params, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)assign_services(0, WorkloadParams{}, rng),
+               std::invalid_argument);
+}
+
+TEST(Workload, PlacementSatisfies) {
+  ServicePlacement placement{{ServiceId(0), ServiceId(1)}, {ServiceId(2)}};
+  EXPECT_TRUE(placement_satisfies(
+      placement, ServiceGraph::linear({ServiceId(0), ServiceId(2)})));
+  EXPECT_FALSE(placement_satisfies(
+      placement, ServiceGraph::linear({ServiceId(0), ServiceId(3)})));
+}
+
+TEST(Workload, MakeRequestLinear) {
+  WorkloadParams params;
+  Rng rng(44);
+  const ServiceRequest r =
+      make_request(NodeId(1), NodeId(2), 6, params, rng);
+  EXPECT_EQ(r.source, NodeId(1));
+  EXPECT_EQ(r.destination, NodeId(2));
+  EXPECT_EQ(r.graph.size(), 6u);
+  EXPECT_TRUE(r.graph.is_linear());
+  // Chain services are distinct.
+  EXPECT_EQ(r.graph.distinct_services().size(), 6u);
+}
+
+TEST(Workload, MakeRequestNonlinear) {
+  WorkloadParams params;
+  params.nonlinear_fraction = 1.0;
+  Rng rng(45);
+  int nonlinear = 0;
+  for (int i = 0; i < 20; ++i) {
+    const ServiceRequest r =
+        make_request(NodeId(0), NodeId(1), 5, params, rng);
+    if (!r.graph.is_linear()) ++nonlinear;
+    // Still a DAG with at least one configuration of >= 1 service.
+    EXPECT_FALSE(r.graph.configurations().empty());
+  }
+  EXPECT_EQ(nonlinear, 20);
+}
+
+TEST(Workload, MakeRequestValidation) {
+  WorkloadParams params;
+  params.catalog_size = 4;
+  Rng rng(46);
+  EXPECT_THROW((void)make_request(NodeId(0), NodeId(1), 5, params, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_request(NodeId(0), NodeId(1), 0, params, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_request(NodeId{}, NodeId(1), 2, params, rng),
+               std::invalid_argument);
+}
+
+TEST(Workload, MakeRequestsBatch) {
+  WorkloadParams params;
+  const std::vector<NodeId> pool{NodeId(3), NodeId(7), NodeId(9)};
+  Rng rng(47);
+  const auto requests = make_requests(50, pool, params, rng);
+  ASSERT_EQ(requests.size(), 50u);
+  for (const ServiceRequest& r : requests) {
+    EXPECT_TRUE(std::count(pool.begin(), pool.end(), r.source) > 0);
+    EXPECT_TRUE(std::count(pool.begin(), pool.end(), r.destination) > 0);
+    EXPECT_NE(r.source, r.destination);  // pool of 3 always allows distinct
+    EXPECT_GE(r.graph.size(), params.request_length_min);
+    EXPECT_LE(r.graph.size(), params.request_length_max);
+  }
+  EXPECT_THROW((void)make_requests(1, {}, params, rng),
+               std::invalid_argument);
+}
+
+TEST(Workload, SingleEndpointPoolAllowsLoopRequests) {
+  WorkloadParams params;
+  Rng rng(48);
+  const auto requests = make_requests(3, {NodeId(5)}, params, rng);
+  for (const ServiceRequest& r : requests) {
+    EXPECT_EQ(r.source, NodeId(5));
+    EXPECT_EQ(r.destination, NodeId(5));
+  }
+}
+
+}  // namespace
+}  // namespace hfc

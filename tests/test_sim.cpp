@@ -1,0 +1,294 @@
+// Tests for src/sim: the discrete-event engine, the §4 state distribution
+// protocol, and the §5 routing transaction timing model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/zahn.h"
+#include "sim/event_queue.h"
+#include "sim/state_protocol.h"
+#include "sim/transaction.h"
+
+namespace hfc {
+namespace {
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5.0, [&order](Simulator&) { order.push_back(5); });
+  sim.schedule_at(1.0, [&order](Simulator&) { order.push_back(1); });
+  sim.schedule_at(3.0, [&order](Simulator&) { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5}));
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulator, FifoTieBreak) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(2.0, [&order, i](Simulator&) { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_at(1.0, [&times](Simulator& s) {
+    times.push_back(s.now());
+    s.schedule_in(2.5, [&times](Simulator& s2) { times.push_back(s2.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 3.5);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&fired](Simulator&) { ++fired; });
+  sim.schedule_at(10.0, [&fired](Simulator&) { ++fired; });
+  EXPECT_EQ(sim.run(5.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RejectsPastAndNull) {
+  Simulator sim;
+  sim.schedule_at(4.0, [](Simulator&) {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [](Simulator&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(sim.schedule_in(-1.0, [](Simulator&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(sim.schedule_in(1.0, nullptr), std::invalid_argument);
+}
+
+TEST(Simulator, StepByStep) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&fired](Simulator&) { ++fired; });
+  sim.schedule_at(2.0, [&fired](Simulator&) { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+// ------------------------------------------------------ state protocol ----
+
+/// Three separated squares, services spread so aggregates differ.
+struct ProtocolWorld {
+  std::vector<Point> coords;
+  OverlayNetwork net;
+  Clustering clustering;
+  HfcTopology topo;
+
+  ProtocolWorld()
+      : coords(make_coords()),
+        net(coords, make_placement()),
+        clustering(cluster_points(coords)),
+        topo(clustering, net.coord_distance_fn()) {}
+
+  static std::vector<Point> make_coords() {
+    std::vector<Point> pts;
+    for (const Point& base : std::vector<Point>{{0, 0}, {80, 0}, {40, 80}}) {
+      pts.push_back({base[0], base[1]});
+      pts.push_back({base[0] + 2, base[1]});
+      pts.push_back({base[0], base[1] + 2});
+    }
+    return pts;
+  }
+  static ServicePlacement make_placement() {
+    ServicePlacement p(9);
+    for (std::size_t i = 0; i < 9; ++i) {
+      p[i] = {ServiceId(static_cast<std::int32_t>(i))};
+    }
+    return p;
+  }
+};
+
+TEST(StateProtocol, ConvergesToGroundTruth) {
+  ProtocolWorld w;
+  StateProtocolSim sim(w.net, w.topo, w.net.coord_distance_fn());
+  sim.run();
+  EXPECT_TRUE(sim.fully_converged());
+  EXPECT_GT(sim.metrics().convergence_time_ms, 0.0);
+}
+
+TEST(StateProtocol, TablesHoldExpectedEntries) {
+  ProtocolWorld w;
+  StateProtocolSim sim(w.net, w.topo, w.net.coord_distance_fn());
+  sim.run();
+  const NodeId node(0);
+  const ProxyStateTables& t = sim.tables(node);
+  const ClusterId own = w.topo.cluster_of(node);
+  EXPECT_EQ(t.sct_p.size(), w.topo.members(own).size());
+  EXPECT_EQ(t.sct_c.size(), w.topo.cluster_count());
+  // Aggregates match union of members' services.
+  for (std::size_t c = 0; c < w.topo.cluster_count(); ++c) {
+    const ClusterId cluster(static_cast<int>(c));
+    EXPECT_EQ(t.sct_c.at(cluster), sim.aggregate_of(cluster));
+  }
+}
+
+TEST(StateProtocol, MessageCountsMatchTopology) {
+  ProtocolWorld w;
+  StateProtocolParams params;
+  params.rounds = 1;
+  StateProtocolSim sim(w.net, w.topo, w.net.coord_distance_fn(), params);
+  sim.run();
+  const StateProtocolMetrics& m = sim.metrics();
+  // Local: every node floods its own cluster (cluster size - 1 messages).
+  std::size_t expected_local = 0;
+  for (std::size_t c = 0; c < w.topo.cluster_count(); ++c) {
+    const std::size_t size =
+        w.topo.members(ClusterId(static_cast<int>(c))).size();
+    expected_local += size * (size - 1);
+  }
+  EXPECT_EQ(m.local_messages, expected_local);
+  // Aggregate: one message per ordered cluster pair.
+  const std::size_t c = w.topo.cluster_count();
+  EXPECT_EQ(m.aggregate_messages, c * (c - 1));
+  // Forwarding: every received aggregate is fanned out cluster-wide.
+  std::size_t expected_forwarded = 0;
+  for (std::size_t i = 0; i < c; ++i) {
+    const std::size_t size =
+        w.topo.members(ClusterId(static_cast<int>(i))).size();
+    expected_forwarded += (c - 1) * (size - 1);
+  }
+  EXPECT_EQ(m.forwarded_messages, expected_forwarded);
+  EXPECT_GT(m.service_names_carried, 0u);
+}
+
+TEST(StateProtocol, SingleClusterNeedsNoAggregates) {
+  const std::vector<Point> pts{{0, 0}, {1, 0}, {0, 1}};
+  ServicePlacement placement(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    placement[i] = {ServiceId(static_cast<std::int32_t>(i))};
+  }
+  const OverlayNetwork net(pts, placement);
+  const HfcTopology topo(cluster_points(pts), net.coord_distance_fn());
+  ASSERT_EQ(topo.cluster_count(), 1u);
+  StateProtocolSim sim(net, topo, net.coord_distance_fn());
+  sim.run();
+  EXPECT_TRUE(sim.fully_converged());
+  EXPECT_EQ(sim.metrics().aggregate_messages, 0u);
+}
+
+TEST(StateProtocol, ConvergenceFractionIsOneWhenConverged) {
+  ProtocolWorld w;
+  StateProtocolSim sim(w.net, w.topo, w.net.coord_distance_fn());
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.convergence_fraction(), 1.0);
+}
+
+TEST(StateProtocol, LossDegradesConvergence) {
+  ProtocolWorld w;
+  StateProtocolParams lossy;
+  lossy.rounds = 1;
+  lossy.loss_probability = 0.6;
+  lossy.loss_seed = 7;
+  StateProtocolSim sim(w.net, w.topo, w.net.coord_distance_fn(), lossy);
+  sim.run();
+  EXPECT_GT(sim.metrics().lost_messages, 0u);
+  EXPECT_FALSE(sim.fully_converged());
+  const double fraction = sim.convergence_fraction();
+  EXPECT_GT(fraction, 0.0);
+  EXPECT_LT(fraction, 1.0);
+}
+
+TEST(StateProtocol, SoftStateRepairsLoss) {
+  // More refresh rounds repair what a lossy round dropped: convergence is
+  // monotone (statistically) in the round count.
+  ProtocolWorld w;
+  StateProtocolParams lossy;
+  lossy.rounds = 1;
+  lossy.loss_probability = 0.4;
+  lossy.loss_seed = 11;
+  StateProtocolSim one(w.net, w.topo, w.net.coord_distance_fn(), lossy);
+  one.run();
+  lossy.rounds = 8;
+  StateProtocolSim many(w.net, w.topo, w.net.coord_distance_fn(), lossy);
+  many.run();
+  EXPECT_GE(many.convergence_fraction(), one.convergence_fraction());
+  EXPECT_GT(many.convergence_fraction(), 0.95);
+}
+
+TEST(StateProtocol, RejectsBadLossProbability) {
+  ProtocolWorld w;
+  StateProtocolParams bad;
+  bad.loss_probability = 1.0;
+  EXPECT_THROW(
+      StateProtocolSim(w.net, w.topo, w.net.coord_distance_fn(), bad),
+      std::invalid_argument);
+}
+
+TEST(StateProtocol, RunsOnlyOnce) {
+  ProtocolWorld w;
+  StateProtocolSim sim(w.net, w.topo, w.net.coord_distance_fn());
+  sim.run();
+  EXPECT_THROW(sim.run(), std::invalid_argument);
+}
+
+// --------------------------------------------------------- transaction ----
+
+TEST(Transaction, DispatchAndCompose) {
+  ProtocolWorld w;
+  const HierarchicalServiceRouter router(w.net, w.topo,
+                                         w.net.coord_distance_fn());
+  ServiceRequest request;
+  request.source = NodeId(0);
+  request.destination = NodeId(8);
+  // Services 0 (in C of node 0) and 6 (in C of node 6..8): crosses
+  // clusters, so at least one remote child must be dispatched.
+  request.graph = ServiceGraph::linear({ServiceId(0), ServiceId(6)});
+  const RoutingTransaction txn = simulate_routing_transaction(
+      router, w.topo, request, w.net.coord_distance_fn());
+  ASSERT_TRUE(txn.path.found);
+  EXPECT_TRUE(satisfies(txn.path, request, w.net));
+  EXPECT_GE(txn.child_requests, 2u);
+  EXPECT_GT(txn.control_messages, 0u);
+  EXPECT_EQ(txn.control_messages % 2, 0u);  // request+reply pairs
+  EXPECT_GT(txn.setup_latency_ms, 0.0);
+  // The transaction path equals the plain route() output.
+  EXPECT_EQ(txn.path.hops, router.route(request).hops);
+}
+
+TEST(Transaction, LocalRequestNeedsNoMessages) {
+  ProtocolWorld w;
+  const HierarchicalServiceRouter router(w.net, w.topo,
+                                         w.net.coord_distance_fn());
+  ServiceRequest request;
+  request.source = NodeId(6);
+  request.destination = NodeId(8);
+  request.graph = ServiceGraph::linear({ServiceId(7)});
+  const RoutingTransaction txn = simulate_routing_transaction(
+      router, w.topo, request, w.net.coord_distance_fn());
+  ASSERT_TRUE(txn.path.found);
+  EXPECT_EQ(txn.control_messages, 0u);
+  EXPECT_DOUBLE_EQ(txn.setup_latency_ms, 0.0);
+}
+
+TEST(Transaction, UnsatisfiableYieldsNoPath) {
+  ProtocolWorld w;
+  const HierarchicalServiceRouter router(w.net, w.topo,
+                                         w.net.coord_distance_fn());
+  ServiceRequest request;
+  request.source = NodeId(0);
+  request.destination = NodeId(8);
+  request.graph = ServiceGraph::linear({ServiceId(77)});
+  const RoutingTransaction txn = simulate_routing_transaction(
+      router, w.topo, request, w.net.coord_distance_fn());
+  EXPECT_FALSE(txn.path.found);
+  EXPECT_EQ(txn.child_requests, 0u);
+}
+
+}  // namespace
+}  // namespace hfc

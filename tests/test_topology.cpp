@@ -1,0 +1,291 @@
+// Tests for src/topology: physical network graph, transit-stub generator,
+// shortest paths, overlay placement and the latency oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "topology/overlay_placement.h"
+#include "topology/physical_network.h"
+#include "topology/shortest_paths.h"
+#include "topology/transit_stub.h"
+#include "util/rng.h"
+
+namespace hfc {
+namespace {
+
+PhysicalNetwork triangle_with_tail() {
+  // r0 --1-- r1 --2-- r2, r0 --5-- r2, r2 --3-- r3
+  PhysicalNetwork net;
+  const RouterId r0 = net.add_router(RouterKind::kTransit);
+  const RouterId r1 = net.add_router(RouterKind::kStub);
+  const RouterId r2 = net.add_router(RouterKind::kStub);
+  const RouterId r3 = net.add_router(RouterKind::kStub);
+  net.add_link(r0, r1, 1.0);
+  net.add_link(r1, r2, 2.0);
+  net.add_link(r0, r2, 5.0);
+  net.add_link(r2, r3, 3.0);
+  return net;
+}
+
+TEST(PhysicalNetwork, AddAndQuery) {
+  PhysicalNetwork net = triangle_with_tail();
+  EXPECT_EQ(net.router_count(), 4u);
+  EXPECT_EQ(net.link_count(), 4u);
+  EXPECT_EQ(net.kind(RouterId(0)), RouterKind::kTransit);
+  EXPECT_EQ(net.kind(RouterId(1)), RouterKind::kStub);
+  EXPECT_EQ(net.neighbors(RouterId(2)).size(), 3u);
+  EXPECT_EQ(net.routers_of_kind(RouterKind::kStub).size(), 3u);
+}
+
+TEST(PhysicalNetwork, RejectsBadLinks) {
+  PhysicalNetwork net;
+  const RouterId r0 = net.add_router(RouterKind::kStub);
+  const RouterId r1 = net.add_router(RouterKind::kStub);
+  EXPECT_THROW(net.add_link(r0, r0, 1.0), std::invalid_argument);
+  EXPECT_THROW(net.add_link(r0, r1, 0.0), std::invalid_argument);
+  EXPECT_THROW(net.add_link(r0, r1, -3.0), std::invalid_argument);
+  EXPECT_THROW(net.add_link(r0, RouterId(7), 1.0), std::invalid_argument);
+  EXPECT_THROW(net.add_link(RouterId{}, r1, 1.0), std::invalid_argument);
+}
+
+TEST(PhysicalNetwork, Connectivity) {
+  PhysicalNetwork net = triangle_with_tail();
+  EXPECT_TRUE(net.connected());
+  (void)net.add_router(RouterKind::kStub);  // isolated router
+  EXPECT_FALSE(net.connected());
+  PhysicalNetwork empty;
+  EXPECT_TRUE(empty.connected());
+}
+
+TEST(Dijkstra, KnownDistances) {
+  PhysicalNetwork net = triangle_with_tail();
+  const ShortestPathTree tree = dijkstra(net, RouterId(0));
+  EXPECT_DOUBLE_EQ(tree.delay_ms[0], 0.0);
+  EXPECT_DOUBLE_EQ(tree.delay_ms[1], 1.0);
+  EXPECT_DOUBLE_EQ(tree.delay_ms[2], 3.0);  // via r1, not the 5.0 link
+  EXPECT_DOUBLE_EQ(tree.delay_ms[3], 6.0);
+}
+
+TEST(Dijkstra, PathExtraction) {
+  PhysicalNetwork net = triangle_with_tail();
+  const ShortestPathTree tree = dijkstra(net, RouterId(0));
+  const std::vector<RouterId> path = extract_path(tree, RouterId(3));
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[0], RouterId(0));
+  EXPECT_EQ(path[1], RouterId(1));
+  EXPECT_EQ(path[2], RouterId(2));
+  EXPECT_EQ(path[3], RouterId(3));
+  // Source to itself.
+  const std::vector<RouterId> self = extract_path(tree, RouterId(0));
+  ASSERT_EQ(self.size(), 1u);
+}
+
+TEST(Dijkstra, UnreachableIsInfinite) {
+  PhysicalNetwork net = triangle_with_tail();
+  const RouterId isolated = net.add_router(RouterKind::kStub);
+  const ShortestPathTree tree = dijkstra(net, RouterId(0));
+  EXPECT_TRUE(std::isinf(tree.delay_ms[isolated.idx()]));
+  EXPECT_TRUE(extract_path(tree, isolated).empty());
+}
+
+TEST(PairwiseDelays, SymmetricZeroDiagonal) {
+  PhysicalNetwork net = triangle_with_tail();
+  const std::vector<RouterId> subset{RouterId(0), RouterId(2), RouterId(3)};
+  const SymMatrix<double> delays = pairwise_delays(net, subset);
+  EXPECT_DOUBLE_EQ(delays.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(delays.at(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(delays.at(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(delays.at(0, 2), 6.0);
+  EXPECT_DOUBLE_EQ(delays.at(1, 2), 3.0);
+}
+
+TEST(PairwiseDelays, TriangleInequality) {
+  Rng rng(5);
+  const TransitStubTopology topo =
+      generate_transit_stub(TransitStubParams::for_total_routers(300), rng);
+  Rng prng(6);
+  const auto stubs = topo.network.routers_of_kind(RouterKind::kStub);
+  std::vector<RouterId> subset;
+  for (std::size_t i : prng.sample_indices(stubs.size(), 20)) {
+    subset.push_back(stubs[i]);
+  }
+  const SymMatrix<double> d = pairwise_delays(topo.network, subset);
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < 20; ++j) {
+      for (std::size_t k = 0; k < 20; ++k) {
+        EXPECT_LE(d.at(i, j), d.at(i, k) + d.at(k, j) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(TransitStub, TotalRouterScaling) {
+  for (std::size_t total : {300u, 600u, 900u, 1200u}) {
+    const TransitStubParams params =
+        TransitStubParams::for_total_routers(total);
+    EXPECT_EQ(params.total_routers(), total);
+  }
+  EXPECT_THROW((void)TransitStubParams::for_total_routers(10),
+               std::invalid_argument);
+}
+
+TEST(TransitStub, GeneratedStructure) {
+  Rng rng(1);
+  const TransitStubParams params = TransitStubParams::for_total_routers(300);
+  const TransitStubTopology topo = generate_transit_stub(params, rng);
+  EXPECT_EQ(topo.network.router_count(), 300u);
+  EXPECT_TRUE(topo.network.connected());
+  EXPECT_EQ(topo.transit_domain_members.size(), params.transit_domains);
+  const std::size_t expected_stub_domains = params.transit_domains *
+                                            params.transit_routers_per_domain *
+                                            params.stub_domains_per_transit;
+  EXPECT_EQ(topo.stub_domain_members.size(), expected_stub_domains);
+  for (const auto& stub : topo.stub_domain_members) {
+    EXPECT_EQ(stub.size(), params.routers_per_stub);
+    for (RouterId r : stub) {
+      EXPECT_EQ(topo.network.kind(r), RouterKind::kStub);
+    }
+  }
+  const std::size_t transit_count =
+      topo.network.routers_of_kind(RouterKind::kTransit).size();
+  EXPECT_EQ(transit_count,
+            params.transit_domains * params.transit_routers_per_domain);
+}
+
+TEST(TransitStub, DelayTiers) {
+  Rng rng(2);
+  const TransitStubParams params = TransitStubParams::for_total_routers(300);
+  const TransitStubTopology topo = generate_transit_stub(params, rng);
+  for (const Link& link : topo.network.links()) {
+    const bool a_transit =
+        topo.network.kind(link.a) == RouterKind::kTransit;
+    const bool b_transit =
+        topo.network.kind(link.b) == RouterKind::kTransit;
+    if (!a_transit && !b_transit) {
+      // stub-stub links are intra-stub
+      EXPECT_GE(link.delay_ms, params.intra_stub_delay_min);
+      EXPECT_LE(link.delay_ms, params.intra_stub_delay_max);
+    } else if (a_transit != b_transit) {
+      // access link
+      EXPECT_GE(link.delay_ms, params.access_delay_min);
+      EXPECT_LE(link.delay_ms, params.access_delay_max);
+    } else {
+      // transit-transit: intra-domain or inter-domain
+      EXPECT_GE(link.delay_ms, params.intra_transit_delay_min);
+      EXPECT_LE(link.delay_ms, params.inter_domain_delay_max);
+    }
+  }
+}
+
+TEST(TransitStub, Deterministic) {
+  Rng rng1(9);
+  Rng rng2(9);
+  const TransitStubParams params = TransitStubParams::for_total_routers(300);
+  const auto t1 = generate_transit_stub(params, rng1);
+  const auto t2 = generate_transit_stub(params, rng2);
+  ASSERT_EQ(t1.network.link_count(), t2.network.link_count());
+  for (std::size_t i = 0; i < t1.network.links().size(); ++i) {
+    EXPECT_EQ(t1.network.links()[i].a, t2.network.links()[i].a);
+    EXPECT_EQ(t1.network.links()[i].b, t2.network.links()[i].b);
+    EXPECT_DOUBLE_EQ(t1.network.links()[i].delay_ms,
+                     t2.network.links()[i].delay_ms);
+  }
+}
+
+TEST(Placement, CountsAndKinds) {
+  Rng rng(3);
+  const TransitStubTopology topo =
+      generate_transit_stub(TransitStubParams::for_total_routers(300), rng);
+  PlacementParams params;
+  params.proxies = 100;
+  params.landmarks = 10;
+  params.clients = 25;
+  Rng prng(4);
+  const OverlayPlacement placement = place_overlay(topo, params, prng);
+  EXPECT_EQ(placement.proxy_routers.size(), 100u);
+  EXPECT_EQ(placement.landmark_routers.size(), 10u);
+  EXPECT_EQ(placement.client_routers.size(), 25u);
+  // Proxies are distinct stub routers.
+  std::set<RouterId> distinct(placement.proxy_routers.begin(),
+                              placement.proxy_routers.end());
+  EXPECT_EQ(distinct.size(), 100u);
+  for (RouterId r : placement.proxy_routers) {
+    EXPECT_EQ(topo.network.kind(r), RouterKind::kStub);
+  }
+  for (RouterId r : placement.landmark_routers) {
+    EXPECT_EQ(topo.network.kind(r), RouterKind::kStub);
+  }
+}
+
+TEST(Placement, LandmarksInDistinctStubDomains) {
+  Rng rng(3);
+  const TransitStubTopology topo =
+      generate_transit_stub(TransitStubParams::for_total_routers(300), rng);
+  Rng prng(4);
+  const OverlayPlacement placement =
+      place_overlay(topo, PlacementParams{}, prng);
+  std::set<std::size_t> domains;
+  for (RouterId landmark : placement.landmark_routers) {
+    for (std::size_t d = 0; d < topo.stub_domain_members.size(); ++d) {
+      if (std::find(topo.stub_domain_members[d].begin(),
+                    topo.stub_domain_members[d].end(),
+                    landmark) != topo.stub_domain_members[d].end()) {
+        domains.insert(d);
+      }
+    }
+  }
+  EXPECT_EQ(domains.size(), placement.landmark_routers.size());
+}
+
+TEST(Placement, RejectsOversizedRequests) {
+  Rng rng(3);
+  const TransitStubTopology topo =
+      generate_transit_stub(TransitStubParams::for_total_routers(300), rng);
+  PlacementParams params;
+  params.proxies = 100000;
+  Rng prng(4);
+  EXPECT_THROW((void)place_overlay(topo, params, prng),
+               std::invalid_argument);
+}
+
+TEST(LatencyOracle, ZeroNoiseIsExact) {
+  PhysicalNetwork net = triangle_with_tail();
+  LatencyOracle oracle(net, {RouterId(0), RouterId(2), RouterId(3)}, 0.0,
+                       Rng(1));
+  EXPECT_DOUBLE_EQ(oracle.measure(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(oracle.measure(0, 2), 6.0);
+  EXPECT_DOUBLE_EQ(oracle.true_delay(1, 2), 3.0);
+}
+
+TEST(LatencyOracle, NoiseOnlyInflates) {
+  PhysicalNetwork net = triangle_with_tail();
+  LatencyOracle oracle(net, {RouterId(0), RouterId(2)}, 0.5, Rng(1));
+  for (int i = 0; i < 200; ++i) {
+    const double m = oracle.measure(0, 1);
+    EXPECT_GE(m, 3.0);
+    EXPECT_LE(m, 3.0 * 1.5 + 1e-12);
+  }
+}
+
+TEST(LatencyOracle, MinOfProbesApproachesTruth) {
+  PhysicalNetwork net = triangle_with_tail();
+  LatencyOracle oracle(net, {RouterId(0), RouterId(2)}, 0.5, Rng(1));
+  const double one = oracle.measure_min_of(0, 1, 1);
+  const double many = oracle.measure_min_of(0, 1, 50);
+  EXPECT_LE(many, one + 1e-12);
+  EXPECT_NEAR(many, 3.0, 0.2);
+  EXPECT_THROW((void)oracle.measure_min_of(0, 1, 0), std::invalid_argument);
+}
+
+TEST(LatencyOracle, CountsProbes) {
+  PhysicalNetwork net = triangle_with_tail();
+  LatencyOracle oracle(net, {RouterId(0), RouterId(2)}, 0.0, Rng(1));
+  (void)oracle.measure(0, 1);
+  (void)oracle.measure_min_of(0, 1, 5);
+  EXPECT_EQ(oracle.probe_count(), 6u);
+}
+
+}  // namespace
+}  // namespace hfc

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_backtracking"
+  "../bench/bench_ablation_backtracking.pdb"
+  "CMakeFiles/bench_ablation_backtracking.dir/bench_ablation_backtracking.cpp.o"
+  "CMakeFiles/bench_ablation_backtracking.dir/bench_ablation_backtracking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_backtracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_landmarks"
+  "../bench/bench_ablation_landmarks.pdb"
+  "CMakeFiles/bench_ablation_landmarks.dir/bench_ablation_landmarks.cpp.o"
+  "CMakeFiles/bench_ablation_landmarks.dir/bench_ablation_landmarks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_landmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

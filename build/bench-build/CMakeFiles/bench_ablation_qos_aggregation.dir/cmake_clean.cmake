@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_qos_aggregation"
+  "../bench/bench_ablation_qos_aggregation.pdb"
+  "CMakeFiles/bench_ablation_qos_aggregation.dir/bench_ablation_qos_aggregation.cpp.o"
+  "CMakeFiles/bench_ablation_qos_aggregation.dir/bench_ablation_qos_aggregation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_qos_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

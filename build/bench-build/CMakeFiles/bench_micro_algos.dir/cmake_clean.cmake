@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_algos"
+  "../bench/bench_micro_algos.pdb"
+  "CMakeFiles/bench_micro_algos.dir/bench_micro_algos.cpp.o"
+  "CMakeFiles/bench_micro_algos.dir/bench_micro_algos.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_environments"
+  "../bench/bench_table1_environments.pdb"
+  "CMakeFiles/bench_table1_environments.dir/bench_table1_environments.cpp.o"
+  "CMakeFiles/bench_table1_environments.dir/bench_table1_environments.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_environments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_transaction_latency"
+  "../bench/bench_transaction_latency.pdb"
+  "CMakeFiles/bench_transaction_latency.dir/bench_transaction_latency.cpp.o"
+  "CMakeFiles/bench_transaction_latency.dir/bench_transaction_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transaction_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hfc_cli.dir/hfc_cli.cpp.o"
+  "CMakeFiles/example_hfc_cli.dir/hfc_cli.cpp.o.d"
+  "example_hfc_cli"
+  "example_hfc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hfc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

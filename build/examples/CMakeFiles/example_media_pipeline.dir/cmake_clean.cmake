@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_media_pipeline.dir/media_pipeline.cpp.o"
+  "CMakeFiles/example_media_pipeline.dir/media_pipeline.cpp.o.d"
+  "example_media_pipeline"
+  "example_media_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_media_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multicast_streaming.dir/multicast_streaming.cpp.o"
+  "CMakeFiles/example_multicast_streaming.dir/multicast_streaming.cpp.o.d"
+  "example_multicast_streaming"
+  "example_multicast_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multicast_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

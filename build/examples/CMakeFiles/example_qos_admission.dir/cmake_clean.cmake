@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_qos_admission.dir/qos_admission.cpp.o"
+  "CMakeFiles/example_qos_admission.dir/qos_admission.cpp.o.d"
+  "example_qos_admission"
+  "example_qos_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_qos_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

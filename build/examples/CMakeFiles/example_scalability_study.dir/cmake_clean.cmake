@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_scalability_study.dir/scalability_study.cpp.o"
+  "CMakeFiles/example_scalability_study.dir/scalability_study.cpp.o.d"
+  "example_scalability_study"
+  "example_scalability_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_scalability_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_state_protocol_demo.dir/state_protocol_demo.cpp.o"
+  "CMakeFiles/example_state_protocol_demo.dir/state_protocol_demo.cpp.o.d"
+  "example_state_protocol_demo"
+  "example_state_protocol_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_state_protocol_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("topology")
+subdirs("coords")
+subdirs("cluster")
+subdirs("services")
+subdirs("overlay")
+subdirs("routing")
+subdirs("dynamic")
+subdirs("qos")
+subdirs("multilevel")
+subdirs("multicast")
+subdirs("sim")
+subdirs("core")

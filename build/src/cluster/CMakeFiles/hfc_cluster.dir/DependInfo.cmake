@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/mst.cpp" "src/cluster/CMakeFiles/hfc_cluster.dir/mst.cpp.o" "gcc" "src/cluster/CMakeFiles/hfc_cluster.dir/mst.cpp.o.d"
+  "/root/repo/src/cluster/zahn.cpp" "src/cluster/CMakeFiles/hfc_cluster.dir/zahn.cpp.o" "gcc" "src/cluster/CMakeFiles/hfc_cluster.dir/zahn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hfc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/coords/CMakeFiles/hfc_coords.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/hfc_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

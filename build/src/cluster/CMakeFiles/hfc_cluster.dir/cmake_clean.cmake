@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfc_cluster.dir/mst.cpp.o"
+  "CMakeFiles/hfc_cluster.dir/mst.cpp.o.d"
+  "CMakeFiles/hfc_cluster.dir/zahn.cpp.o"
+  "CMakeFiles/hfc_cluster.dir/zahn.cpp.o.d"
+  "libhfc_cluster.a"
+  "libhfc_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfc_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

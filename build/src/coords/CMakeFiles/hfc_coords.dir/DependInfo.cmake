@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coords/gnp.cpp" "src/coords/CMakeFiles/hfc_coords.dir/gnp.cpp.o" "gcc" "src/coords/CMakeFiles/hfc_coords.dir/gnp.cpp.o.d"
+  "/root/repo/src/coords/nelder_mead.cpp" "src/coords/CMakeFiles/hfc_coords.dir/nelder_mead.cpp.o" "gcc" "src/coords/CMakeFiles/hfc_coords.dir/nelder_mead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hfc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/hfc_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfc_coords.dir/gnp.cpp.o"
+  "CMakeFiles/hfc_coords.dir/gnp.cpp.o.d"
+  "CMakeFiles/hfc_coords.dir/nelder_mead.cpp.o"
+  "CMakeFiles/hfc_coords.dir/nelder_mead.cpp.o.d"
+  "libhfc_coords.a"
+  "libhfc_coords.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfc_coords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

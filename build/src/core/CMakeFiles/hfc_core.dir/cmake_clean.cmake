@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfc_core.dir/experiment.cpp.o"
+  "CMakeFiles/hfc_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/hfc_core.dir/framework.cpp.o"
+  "CMakeFiles/hfc_core.dir/framework.cpp.o.d"
+  "libhfc_core.a"
+  "libhfc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

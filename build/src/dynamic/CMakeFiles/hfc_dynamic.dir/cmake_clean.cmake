@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfc_dynamic.dir/dynamic_overlay.cpp.o"
+  "CMakeFiles/hfc_dynamic.dir/dynamic_overlay.cpp.o.d"
+  "libhfc_dynamic.a"
+  "libhfc_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfc_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

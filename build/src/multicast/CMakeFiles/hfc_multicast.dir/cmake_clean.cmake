@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfc_multicast.dir/service_multicast.cpp.o"
+  "CMakeFiles/hfc_multicast.dir/service_multicast.cpp.o.d"
+  "libhfc_multicast.a"
+  "libhfc_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfc_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

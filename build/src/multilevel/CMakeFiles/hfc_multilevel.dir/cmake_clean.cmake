@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfc_multilevel.dir/multilevel_hierarchy.cpp.o"
+  "CMakeFiles/hfc_multilevel.dir/multilevel_hierarchy.cpp.o.d"
+  "CMakeFiles/hfc_multilevel.dir/multilevel_router.cpp.o"
+  "CMakeFiles/hfc_multilevel.dir/multilevel_router.cpp.o.d"
+  "libhfc_multilevel.a"
+  "libhfc_multilevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfc_multilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

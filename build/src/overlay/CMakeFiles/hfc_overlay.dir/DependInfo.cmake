@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/dot_export.cpp" "src/overlay/CMakeFiles/hfc_overlay.dir/dot_export.cpp.o" "gcc" "src/overlay/CMakeFiles/hfc_overlay.dir/dot_export.cpp.o.d"
+  "/root/repo/src/overlay/hfc_topology.cpp" "src/overlay/CMakeFiles/hfc_overlay.dir/hfc_topology.cpp.o" "gcc" "src/overlay/CMakeFiles/hfc_overlay.dir/hfc_topology.cpp.o.d"
+  "/root/repo/src/overlay/mesh_topology.cpp" "src/overlay/CMakeFiles/hfc_overlay.dir/mesh_topology.cpp.o" "gcc" "src/overlay/CMakeFiles/hfc_overlay.dir/mesh_topology.cpp.o.d"
+  "/root/repo/src/overlay/overlay_network.cpp" "src/overlay/CMakeFiles/hfc_overlay.dir/overlay_network.cpp.o" "gcc" "src/overlay/CMakeFiles/hfc_overlay.dir/overlay_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hfc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/coords/CMakeFiles/hfc_coords.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hfc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/hfc_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/hfc_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

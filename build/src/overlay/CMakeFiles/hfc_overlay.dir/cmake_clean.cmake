@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfc_overlay.dir/dot_export.cpp.o"
+  "CMakeFiles/hfc_overlay.dir/dot_export.cpp.o.d"
+  "CMakeFiles/hfc_overlay.dir/hfc_topology.cpp.o"
+  "CMakeFiles/hfc_overlay.dir/hfc_topology.cpp.o.d"
+  "CMakeFiles/hfc_overlay.dir/mesh_topology.cpp.o"
+  "CMakeFiles/hfc_overlay.dir/mesh_topology.cpp.o.d"
+  "CMakeFiles/hfc_overlay.dir/overlay_network.cpp.o"
+  "CMakeFiles/hfc_overlay.dir/overlay_network.cpp.o.d"
+  "libhfc_overlay.a"
+  "libhfc_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfc_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfc_qos.dir/qos_manager.cpp.o"
+  "CMakeFiles/hfc_qos.dir/qos_manager.cpp.o.d"
+  "libhfc_qos.a"
+  "libhfc_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfc_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/brute_force.cpp" "src/routing/CMakeFiles/hfc_routing.dir/brute_force.cpp.o" "gcc" "src/routing/CMakeFiles/hfc_routing.dir/brute_force.cpp.o.d"
+  "/root/repo/src/routing/flat_router.cpp" "src/routing/CMakeFiles/hfc_routing.dir/flat_router.cpp.o" "gcc" "src/routing/CMakeFiles/hfc_routing.dir/flat_router.cpp.o.d"
+  "/root/repo/src/routing/full_state_router.cpp" "src/routing/CMakeFiles/hfc_routing.dir/full_state_router.cpp.o" "gcc" "src/routing/CMakeFiles/hfc_routing.dir/full_state_router.cpp.o.d"
+  "/root/repo/src/routing/hierarchical_router.cpp" "src/routing/CMakeFiles/hfc_routing.dir/hierarchical_router.cpp.o" "gcc" "src/routing/CMakeFiles/hfc_routing.dir/hierarchical_router.cpp.o.d"
+  "/root/repo/src/routing/path_expansion.cpp" "src/routing/CMakeFiles/hfc_routing.dir/path_expansion.cpp.o" "gcc" "src/routing/CMakeFiles/hfc_routing.dir/path_expansion.cpp.o.d"
+  "/root/repo/src/routing/service_dag.cpp" "src/routing/CMakeFiles/hfc_routing.dir/service_dag.cpp.o" "gcc" "src/routing/CMakeFiles/hfc_routing.dir/service_dag.cpp.o.d"
+  "/root/repo/src/routing/service_path.cpp" "src/routing/CMakeFiles/hfc_routing.dir/service_path.cpp.o" "gcc" "src/routing/CMakeFiles/hfc_routing.dir/service_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/overlay/CMakeFiles/hfc_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/hfc_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hfc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hfc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/coords/CMakeFiles/hfc_coords.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/hfc_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

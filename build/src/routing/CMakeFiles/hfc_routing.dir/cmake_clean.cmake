@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfc_routing.dir/brute_force.cpp.o"
+  "CMakeFiles/hfc_routing.dir/brute_force.cpp.o.d"
+  "CMakeFiles/hfc_routing.dir/flat_router.cpp.o"
+  "CMakeFiles/hfc_routing.dir/flat_router.cpp.o.d"
+  "CMakeFiles/hfc_routing.dir/full_state_router.cpp.o"
+  "CMakeFiles/hfc_routing.dir/full_state_router.cpp.o.d"
+  "CMakeFiles/hfc_routing.dir/hierarchical_router.cpp.o"
+  "CMakeFiles/hfc_routing.dir/hierarchical_router.cpp.o.d"
+  "CMakeFiles/hfc_routing.dir/path_expansion.cpp.o"
+  "CMakeFiles/hfc_routing.dir/path_expansion.cpp.o.d"
+  "CMakeFiles/hfc_routing.dir/service_dag.cpp.o"
+  "CMakeFiles/hfc_routing.dir/service_dag.cpp.o.d"
+  "CMakeFiles/hfc_routing.dir/service_path.cpp.o"
+  "CMakeFiles/hfc_routing.dir/service_path.cpp.o.d"
+  "libhfc_routing.a"
+  "libhfc_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfc_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfc_services.dir/service_graph.cpp.o"
+  "CMakeFiles/hfc_services.dir/service_graph.cpp.o.d"
+  "CMakeFiles/hfc_services.dir/workload.cpp.o"
+  "CMakeFiles/hfc_services.dir/workload.cpp.o.d"
+  "libhfc_services.a"
+  "libhfc_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfc_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/state_protocol.cpp" "src/sim/CMakeFiles/hfc_sim.dir/state_protocol.cpp.o" "gcc" "src/sim/CMakeFiles/hfc_sim.dir/state_protocol.cpp.o.d"
+  "/root/repo/src/sim/transaction.cpp" "src/sim/CMakeFiles/hfc_sim.dir/transaction.cpp.o" "gcc" "src/sim/CMakeFiles/hfc_sim.dir/transaction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/overlay/CMakeFiles/hfc_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/hfc_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hfc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hfc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/coords/CMakeFiles/hfc_coords.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/hfc_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/hfc_services.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

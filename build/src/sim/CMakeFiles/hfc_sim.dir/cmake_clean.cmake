@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfc_sim.dir/state_protocol.cpp.o"
+  "CMakeFiles/hfc_sim.dir/state_protocol.cpp.o.d"
+  "CMakeFiles/hfc_sim.dir/transaction.cpp.o"
+  "CMakeFiles/hfc_sim.dir/transaction.cpp.o.d"
+  "libhfc_sim.a"
+  "libhfc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/overlay_placement.cpp" "src/topology/CMakeFiles/hfc_topology.dir/overlay_placement.cpp.o" "gcc" "src/topology/CMakeFiles/hfc_topology.dir/overlay_placement.cpp.o.d"
+  "/root/repo/src/topology/physical_network.cpp" "src/topology/CMakeFiles/hfc_topology.dir/physical_network.cpp.o" "gcc" "src/topology/CMakeFiles/hfc_topology.dir/physical_network.cpp.o.d"
+  "/root/repo/src/topology/shortest_paths.cpp" "src/topology/CMakeFiles/hfc_topology.dir/shortest_paths.cpp.o" "gcc" "src/topology/CMakeFiles/hfc_topology.dir/shortest_paths.cpp.o.d"
+  "/root/repo/src/topology/transit_stub.cpp" "src/topology/CMakeFiles/hfc_topology.dir/transit_stub.cpp.o" "gcc" "src/topology/CMakeFiles/hfc_topology.dir/transit_stub.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hfc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfc_topology.dir/overlay_placement.cpp.o"
+  "CMakeFiles/hfc_topology.dir/overlay_placement.cpp.o.d"
+  "CMakeFiles/hfc_topology.dir/physical_network.cpp.o"
+  "CMakeFiles/hfc_topology.dir/physical_network.cpp.o.d"
+  "CMakeFiles/hfc_topology.dir/shortest_paths.cpp.o"
+  "CMakeFiles/hfc_topology.dir/shortest_paths.cpp.o.d"
+  "CMakeFiles/hfc_topology.dir/transit_stub.cpp.o"
+  "CMakeFiles/hfc_topology.dir/transit_stub.cpp.o.d"
+  "libhfc_topology.a"
+  "libhfc_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfc_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfc_util.dir/stats.cpp.o"
+  "CMakeFiles/hfc_util.dir/stats.cpp.o.d"
+  "libhfc_util.a"
+  "libhfc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhfc_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_api_contracts.dir/test_api_contracts.cpp.o"
+  "CMakeFiles/test_api_contracts.dir/test_api_contracts.cpp.o.d"
+  "test_api_contracts"
+  "test_api_contracts.pdb"
+  "test_api_contracts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_api_contracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coords.dir/test_coords.cpp.o"
+  "CMakeFiles/test_coords.dir/test_coords.cpp.o.d"
+  "test_coords"
+  "test_coords.pdb"
+  "test_coords[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure_avoidance.dir/test_failure_avoidance.cpp.o"
+  "CMakeFiles/test_failure_avoidance.dir/test_failure_avoidance.cpp.o.d"
+  "test_failure_avoidance"
+  "test_failure_avoidance.pdb"
+  "test_failure_avoidance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure_avoidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/test_routing.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/test_routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hfc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamic/CMakeFiles/hfc_dynamic.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/hfc_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/multilevel/CMakeFiles/hfc_multilevel.dir/DependInfo.cmake"
+  "/root/repo/build/src/multicast/CMakeFiles/hfc_multicast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hfc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/hfc_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/hfc_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hfc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/coords/CMakeFiles/hfc_coords.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/hfc_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/hfc_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hfc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_units_extra.dir/test_units_extra.cpp.o"
+  "CMakeFiles/test_units_extra.dir/test_units_extra.cpp.o.d"
+  "test_units_extra"
+  "test_units_extra.pdb"
+  "test_units_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_units_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_api_contracts[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_coords[1]_include.cmake")
+include("/root/repo/build/tests/test_dot_export[1]_include.cmake")
+include("/root/repo/build/tests/test_dynamic[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_avoidance[1]_include.cmake")
+include("/root/repo/build/tests/test_framework[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchical[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_multicast[1]_include.cmake")
+include("/root/repo/build/tests/test_multilevel[1]_include.cmake")
+include("/root/repo/build/tests/test_overlay[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_example[1]_include.cmake")
+include("/root/repo/build/tests/test_property_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_qos[1]_include.cmake")
+include("/root/repo/build/tests/test_routing[1]_include.cmake")
+include("/root/repo/build/tests/test_services[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_units_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")

@@ -4,7 +4,8 @@
 // a single proxy maintains: n for a flat topology versus |own cluster| +
 // |all border nodes| for the HFC topology, averaged over proxies and over
 // several independently generated underlays (the paper uses 10; default
-// here is 3, HFC_FULL=1 restores 10).
+// here is 3, HFC_FULL=1 restores 10). Underlay trials are independent
+// framework builds and run in parallel via benchutil::run_trials.
 #include <iostream>
 
 #include "bench/common.h"
@@ -15,20 +16,25 @@ int main() {
   using namespace hfc;
   const std::size_t topologies = benchutil::env_size(
       "HFC_TOPOLOGIES", benchutil::full_scale() ? 10 : 3);
+  benchutil::BenchJson json("fig9a_coord_overhead");
 
   std::cout << "Figure 9(a): coordinates-related node-states per proxy\n";
-  std::cout << "(averaged over " << topologies << " underlays per size)\n";
+  std::cout << "(averaged over " << topologies << " underlays per size, "
+            << benchutil::threads_used() << " threads)\n";
   std::cout << format_row({"proxies", "flat", "HFC", "HFC stddev",
                            "clusters(avg)"})
             << "\n";
   for (const Environment& env : paper_environments()) {
+    const std::vector<OverheadSample> samples = benchutil::run_trials(
+        topologies, [&](std::size_t t) {
+          const auto fw = HfcFramework::build(config_for(env, 1000 + 17 * t));
+          return measure_state_overhead(*fw);
+        });
+    json.add_trials(topologies);
     RunningStat hfc_stat;
     RunningStat cluster_stat;
     double flat = 0.0;
-    for (std::size_t t = 0; t < topologies; ++t) {
-      const auto fw =
-          HfcFramework::build(config_for(env, 1000 + 17 * t));
-      const OverheadSample s = measure_state_overhead(*fw);
+    for (const OverheadSample& s : samples) {
       flat = s.flat_coordinate;
       hfc_stat.add(s.hfc_coordinate);
       cluster_stat.add(static_cast<double>(s.clusters));

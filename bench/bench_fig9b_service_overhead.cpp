@@ -13,20 +13,25 @@ int main() {
   using namespace hfc;
   const std::size_t topologies = benchutil::env_size(
       "HFC_TOPOLOGIES", benchutil::full_scale() ? 10 : 3);
+  benchutil::BenchJson json("fig9b_service_overhead");
 
   std::cout << "Figure 9(b): service-capability node-states per proxy\n";
-  std::cout << "(averaged over " << topologies << " underlays per size)\n";
+  std::cout << "(averaged over " << topologies << " underlays per size, "
+            << benchutil::threads_used() << " threads)\n";
   std::cout << format_row({"proxies", "flat", "HFC", "HFC stddev",
                            "clusters(avg)"})
             << "\n";
   for (const Environment& env : paper_environments()) {
+    const std::vector<OverheadSample> samples = benchutil::run_trials(
+        topologies, [&](std::size_t t) {
+          const auto fw = HfcFramework::build(config_for(env, 2000 + 23 * t));
+          return measure_state_overhead(*fw);
+        });
+    json.add_trials(topologies);
     RunningStat hfc_stat;
     RunningStat cluster_stat;
     double flat = 0.0;
-    for (std::size_t t = 0; t < topologies; ++t) {
-      const auto fw =
-          HfcFramework::build(config_for(env, 2000 + 23 * t));
-      const OverheadSample s = measure_state_overhead(*fw);
+    for (const OverheadSample& s : samples) {
       flat = s.flat_service;
       hfc_stat.add(s.hfc_service);
       cluster_stat.add(static_cast<double>(s.clusters));

@@ -1,0 +1,106 @@
+// Serial-vs-parallel wall clock for the two hottest construction stages:
+// the per-source Dijkstra fan-out of pairwise_delays and the per-proxy
+// GNP coordinate solves. Both are run with a 1-thread pool and with the
+// configured pool (HFC_THREADS / hardware), at n >= 512 endpoints, and
+// the speedups land in BENCH_parallel_speedup.json so the perf
+// trajectory is tracked across PRs. Results are asserted bit-identical
+// between the two runs before any time is reported.
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench/common.h"
+#include "coords/gnp.h"
+#include "topology/overlay_placement.h"
+#include "topology/shortest_paths.h"
+#include "topology/transit_stub.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace hfc;
+  const std::size_t n = benchutil::env_size("HFC_SPEEDUP_N", 512);
+  benchutil::BenchJson json("parallel_speedup");
+  const std::size_t threads = benchutil::threads_used();
+
+  Rng rng(404);
+  const TransitStubTopology topo = generate_transit_stub(
+      TransitStubParams::for_total_routers(std::max<std::size_t>(n + 88, 600)),
+      rng);
+  PlacementParams pp;
+  pp.proxies = n;
+  pp.landmarks = 16;
+  pp.clients = 0;
+  Rng prng(405);
+  const OverlayPlacement placement = place_overlay(topo, pp, prng);
+
+  std::cout << "Parallel speedup at n=" << n << " (pool: " << threads
+            << " threads)\n";
+
+  // Stage 1: pairwise_delays over the n proxy routers.
+  set_global_threads(1);
+  auto t0 = std::chrono::steady_clock::now();
+  const SymMatrix<double> serial_delays =
+      pairwise_delays(topo.network, placement.proxy_routers);
+  const double dijkstra_serial_ms = ms_since(t0);
+  set_global_threads(0);
+  t0 = std::chrono::steady_clock::now();
+  const SymMatrix<double> parallel_delays =
+      pairwise_delays(topo.network, placement.proxy_routers);
+  const double dijkstra_parallel_ms = ms_since(t0);
+  if (!(serial_delays == parallel_delays)) {
+    std::cerr << "FATAL: parallel pairwise_delays diverged from serial\n";
+    return 1;
+  }
+
+  // Stage 2: GNP pipeline (landmark embed + n per-proxy solves).
+  std::vector<RouterId> endpoints = placement.landmark_routers;
+  endpoints.insert(endpoints.end(), placement.proxy_routers.begin(),
+                   placement.proxy_routers.end());
+  const auto run_gnp = [&] {
+    LatencyOracle oracle(topo.network, endpoints, 0.2, Rng(406));
+    GnpParams params;
+    Rng grng(407);
+    const auto start = std::chrono::steady_clock::now();
+    DistanceMap map = build_distance_map(oracle, pp.landmarks, params, grng);
+    return std::make_pair(std::move(map), ms_since(start));
+  };
+  set_global_threads(1);
+  const auto [serial_map, gnp_serial_ms] = run_gnp();
+  set_global_threads(0);
+  const auto [parallel_map, gnp_parallel_ms] = run_gnp();
+  if (serial_map.proxy_coords != parallel_map.proxy_coords) {
+    std::cerr << "FATAL: parallel GNP coordinates diverged from serial\n";
+    return 1;
+  }
+
+  json.add_trials(2);
+  const double dijkstra_speedup = dijkstra_serial_ms / dijkstra_parallel_ms;
+  const double gnp_speedup = gnp_serial_ms / gnp_parallel_ms;
+  json.note("n", static_cast<double>(n));
+  json.note("dijkstra_serial_ms", dijkstra_serial_ms);
+  json.note("dijkstra_parallel_ms", dijkstra_parallel_ms);
+  json.note("dijkstra_speedup", dijkstra_speedup);
+  json.note("gnp_serial_ms", gnp_serial_ms);
+  json.note("gnp_parallel_ms", gnp_parallel_ms);
+  json.note("gnp_speedup", gnp_speedup);
+
+  std::cout << "pairwise_delays: serial "
+            << benchutil::fmt(dijkstra_serial_ms, 1) << " ms, parallel "
+            << benchutil::fmt(dijkstra_parallel_ms, 1) << " ms ("
+            << benchutil::fmt(dijkstra_speedup) << "x)\n";
+  std::cout << "gnp pipeline:    serial " << benchutil::fmt(gnp_serial_ms, 1)
+            << " ms, parallel " << benchutil::fmt(gnp_parallel_ms, 1)
+            << " ms (" << benchutil::fmt(gnp_speedup) << "x)\n";
+  std::cout << "(results verified bit-identical before timing was reported)\n";
+  return 0;
+}

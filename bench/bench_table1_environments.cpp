@@ -2,24 +2,42 @@
 //
 // Regenerates the environment matrix: for each row the underlay is
 // actually generated and the realised sizes are printed next to the
-// paper's declared parameters.
+// paper's declared parameters. The four environment builds are
+// independent, so they run as parallel trials; rows still print in
+// table order.
 #include <iostream>
+#include <memory>
 
+#include "bench/common.h"
 #include "core/experiment.h"
 
 int main() {
   using namespace hfc;
+  benchutil::BenchJson json("table1_environments");
+  const std::vector<Environment> envs = paper_environments();
+
+  struct Row {
+    FrameworkConfig config;
+    std::unique_ptr<HfcFramework> fw;
+  };
+  std::vector<Row> rows = benchutil::run_trials(
+      envs.size(), [&](std::size_t e) {
+        Row row{config_for(envs[e], /*seed=*/42), nullptr};
+        row.fw = HfcFramework::build(row.config);
+        return row;
+      });
+  json.add_trials(envs.size());
+
   std::cout << "Table 1: simulation test environments\n";
   std::cout << format_row({"phys. topo", "landmarks", "proxies", "clients",
                            "services/proxy", "req. length"})
             << "\n";
-  for (const Environment& env : paper_environments()) {
-    const FrameworkConfig config = config_for(env, /*seed=*/42);
-    const auto fw = HfcFramework::build(config);
+  for (const Row& row : rows) {
+    const FrameworkConfig& config = row.config;
     std::cout << format_row(
-                     {std::to_string(fw->underlay().network.router_count()),
+                     {std::to_string(row.fw->underlay().network.router_count()),
                       std::to_string(config.landmarks),
-                      std::to_string(fw->overlay().size()),
+                      std::to_string(row.fw->overlay().size()),
                       std::to_string(config.clients),
                       std::to_string(config.workload.services_per_proxy_min) +
                           "-" +

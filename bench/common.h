@@ -4,12 +4,27 @@
 // so the whole suite finishes in minutes; set HFC_FULL=1 to reproduce the
 // paper's full scale (10 underlays for Figure 9, 5 underlays x 1000
 // requests for Figure 10).
+//
+// Repeated independent trials (one framework build per underlay seed, one
+// run per environment row, ...) go through `run_trials`, which fans them
+// out over the global thread pool: trial t always computes the same thing
+// regardless of thread count, and results come back indexed by trial, so
+// aggregation stays deterministic. `BenchJson` records the run
+// (trial count, wall-clock ms, threads) as BENCH_<name>.json next to the
+// binary's working directory, making the perf trajectory across PRs
+// machine-readable; set HFC_BENCH_JSON=0 to suppress the file.
 #pragma once
 
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <type_traits>
+#include <vector>
+
+#include "src/util/thread_pool.h"
 
 namespace hfc::benchutil {
 
@@ -31,5 +46,69 @@ inline std::string fmt(double value, int decimals = 2) {
   os << value;
   return os.str();
 }
+
+/// Effective parallelism of this process (HFC_THREADS / hardware).
+inline std::size_t threads_used() { return global_pool().thread_count(); }
+
+/// Run `trials` independent trials of fn(t) on the global pool and return
+/// the results in trial order. fn must derive all randomness from t (every
+/// bench seeds each trial explicitly), so the output is identical for any
+/// thread count.
+template <typename F>
+auto run_trials(std::size_t trials, F&& fn) {
+  using R = std::invoke_result_t<F&, std::size_t>;
+  static_assert(!std::is_void_v<R>, "run_trials: fn must return a value");
+  std::vector<R> out(trials);
+  parallel_for(trials, 1, [&](std::size_t t) { out[t] = fn(t); });
+  return out;
+}
+
+/// Scoped recorder: created at the top of a bench main, it times the whole
+/// run and writes BENCH_<name>.json on destruction.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  /// Total trials executed (sum over all sweep points).
+  void add_trials(std::size_t n) { trials_ += n; }
+
+  /// Optional named scalar carried into the JSON (e.g. a speedup or the
+  /// largest problem size), for cross-PR trend tooling.
+  void note(const std::string& key, double value) {
+    extras_.emplace_back(key, value);
+  }
+
+  ~BenchJson() {
+    const char* v = std::getenv("HFC_BENCH_JSON");
+    if (v != nullptr && std::string(v) == "0") return;
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    std::ofstream out("BENCH_" + name_ + ".json");
+    if (!out) return;
+    out.setf(std::ios::fixed);
+    out.precision(3);
+    out << "{\n"
+        << "  \"name\": \"" << name_ << "\",\n"
+        << "  \"trials\": " << trials_ << ",\n"
+        << "  \"wall_ms\": " << wall_ms << ",\n"
+        << "  \"threads\": " << threads_used();
+    for (const auto& [key, value] : extras_) {
+      out << ",\n  \"" << key << "\": " << value;
+    }
+    out << "\n}\n";
+    std::cerr << "[bench-json] BENCH_" << name_ << ".json: trials=" << trials_
+              << " wall_ms=" << fmt(wall_ms, 1)
+              << " threads=" << threads_used() << "\n";
+  }
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::size_t trials_ = 0;
+  std::vector<std::pair<std::string, double>> extras_;
+};
 
 }  // namespace hfc::benchutil

@@ -5,6 +5,7 @@
 
 #include "util/require.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace hfc {
 
@@ -123,15 +124,23 @@ DistanceMap build_distance_map(LatencyOracle& oracle,
   map.system = embed_landmarks(landmark_delays, params, rng);
 
   // Step 3: each proxy measures the landmarks and solves its coordinates.
-  map.proxy_coords.reserve(proxies);
-  for (std::size_t p = 0; p < proxies; ++p) {
+  // The solves are independent Nelder-Mead runs, the hottest loop of the
+  // construction pipeline; proxy p is one parallel task with its own
+  // `rng.split(p)` stream (a pure function of the seed, not of how many
+  // draws the embedding consumed), so the coordinates are bit-identical
+  // for any thread count. The oracle's counter-based noise keeps the
+  // measurements deterministic too: each task probes only its own
+  // (proxy, landmark) pairs.
+  map.proxy_coords.assign(proxies, Point(map.system.dimensions, 0.0));
+  parallel_for(proxies, 1, [&](std::size_t p) {
     std::vector<double> to_landmarks(landmark_count);
     for (std::size_t l = 0; l < landmark_count; ++l) {
       to_landmarks[l] = oracle.measure_min_of(landmark_count + p, l,
                                               params.probes_per_measurement);
     }
-    map.proxy_coords.push_back(solve_host(map.system, to_landmarks, params, rng));
-  }
+    Rng host_rng = rng.split(p);
+    map.proxy_coords[p] = solve_host(map.system, to_landmarks, params, host_rng);
+  });
   map.probes_used = oracle.probe_count() - probes_before;
   return map;
 }

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/require.h"
+#include "util/thread_pool.h"
 
 namespace hfc {
 
@@ -26,46 +27,67 @@ HfcTopology::HfcTopology(Clustering clustering,
     for (std::size_t i = 0; i < c; ++i) hub[i] = clustering_.members[i].front();
   }
 
-  for (std::size_t a = 0; a + 1 < c; ++a) {
-    for (std::size_t b = a + 1; b < c; ++b) {
-      const std::vector<NodeId>& xs = clustering_.members[a];
-      const std::vector<NodeId>& ys = clustering_.members[b];
-      NodeId xb;
-      NodeId yb;
-      switch (selection) {
-        case BorderSelection::kClosestPair: {
-          double best = std::numeric_limits<double>::infinity();
-          for (NodeId x : xs) {
-            for (NodeId y : ys) {
-              const double d = distance(x, y);
-              if (d < best) {
-                best = d;
-                xb = x;
-                yb = y;
-              }
+  // The O(C^2) cluster pairs are independent: pair (a, b) scans
+  // |a| * |b| candidate links and writes only its own border / length
+  // slots, so the selection sweep — the O(n^2)-ish hot spot of the
+  // topology build — runs as one parallel task per pair. Flattened pair
+  // index -> (a, b) keeps the task space dense. The shared `is_border_`
+  // flags are applied in a serial pass afterwards (vector<bool> packs
+  // bits, so concurrent writes to different nodes would still race).
+  const std::size_t pair_count = c * (c - 1) / 2;
+  parallel_for(pair_count, 4, [&](std::size_t pair) {
+    // Invert pair = a * c - a * (a + 1) / 2 + (b - a - 1) by scanning
+    // rows; c is at most a few hundred, so this is negligible next to
+    // the member scan.
+    std::size_t a = 0;
+    std::size_t row_start = 0;
+    while (row_start + (c - a - 1) <= pair) {
+      row_start += c - a - 1;
+      ++a;
+    }
+    const std::size_t b = a + 1 + (pair - row_start);
+    const std::vector<NodeId>& xs = clustering_.members[a];
+    const std::vector<NodeId>& ys = clustering_.members[b];
+    NodeId xb;
+    NodeId yb;
+    switch (selection) {
+      case BorderSelection::kClosestPair: {
+        double best = std::numeric_limits<double>::infinity();
+        for (NodeId x : xs) {
+          for (NodeId y : ys) {
+            const double d = distance(x, y);
+            if (d < best) {
+              best = d;
+              xb = x;
+              yb = y;
             }
           }
-          break;
         }
-        case BorderSelection::kRandomPair: {
-          // Deterministic pseudo-random pick keyed on the cluster pair, so
-          // the ablation does not need to thread an Rng through here.
-          const std::uint64_t h = splitmix64((a << 20) ^ b);
-          xb = xs[h % xs.size()];
-          yb = ys[(h >> 20) % ys.size()];
-          break;
-        }
-        case BorderSelection::kSingleHub:
-          xb = hub[a];
-          yb = hub[b];
-          break;
+        break;
       }
-      ensure(xb.valid() && yb.valid(), "HfcTopology: border selection failed");
-      border_[a * c + b] = xb;
-      border_[b * c + a] = yb;
-      external_length_.at(a, b) = distance(xb, yb);
-      is_border_[xb.idx()] = true;
-      is_border_[yb.idx()] = true;
+      case BorderSelection::kRandomPair: {
+        // Deterministic pseudo-random pick keyed on the cluster pair, so
+        // the ablation does not need to thread an Rng through here.
+        const std::uint64_t h = splitmix64((a << 20) ^ b);
+        xb = xs[h % xs.size()];
+        yb = ys[(h >> 20) % ys.size()];
+        break;
+      }
+      case BorderSelection::kSingleHub:
+        xb = hub[a];
+        yb = hub[b];
+        break;
+    }
+    ensure(xb.valid() && yb.valid(), "HfcTopology: border selection failed");
+    border_[a * c + b] = xb;
+    border_[b * c + a] = yb;
+    external_length_.at(a, b) = distance(xb, yb);
+  });
+
+  for (std::size_t a = 0; a + 1 < c; ++a) {
+    for (std::size_t b = a + 1; b < c; ++b) {
+      is_border_[border_[a * c + b].idx()] = true;
+      is_border_[border_[b * c + a].idx()] = true;
     }
   }
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/require.h"
+#include "util/thread_pool.h"
 
 namespace hfc {
 
@@ -170,9 +171,20 @@ std::vector<ServiceId> StateProtocolSim::aggregate_of(
 }
 
 double StateProtocolSim::convergence_fraction() const {
-  std::size_t expected = 0;
-  std::size_t correct = 0;
-  for (NodeId node : net_.all_nodes()) {
+  // Ground-truth aggregates once, not once per (node, cluster): the check
+  // was O(n * C * |cluster|) recomputation before this hoist.
+  std::vector<std::vector<ServiceId>> truth(topo_.cluster_count());
+  for (std::size_t c = 0; c < truth.size(); ++c) {
+    truth[c] = aggregate_of(ClusterId(static_cast<int>(c)));
+  }
+  // Per-node verification is read-only and independent; each task fills
+  // its own slot and the final sum over slots is order-independent.
+  const std::vector<NodeId>& nodes = net_.all_nodes();
+  std::vector<std::pair<std::size_t, std::size_t>> per_node(nodes.size());
+  parallel_for(nodes.size(), 8, [&](std::size_t ni) {
+    const NodeId node = nodes[ni];
+    std::size_t expected = 0;
+    std::size_t correct = 0;
     const ProxyStateTables& t = tables_[node.idx()];
     const ClusterId own = topo_.cluster_of(node);
     for (NodeId member : topo_.members(own)) {
@@ -184,12 +196,18 @@ double StateProtocolSim::convergence_fraction() const {
     }
     for (std::size_t c = 0; c < topo_.cluster_count(); ++c) {
       ++expected;
-      const ClusterId cluster(static_cast<int>(c));
-      const auto it = t.sct_c.find(cluster);
-      if (it != t.sct_c.end() && it->second == aggregate_of(cluster)) {
+      const auto it = t.sct_c.find(ClusterId(static_cast<int>(c)));
+      if (it != t.sct_c.end() && it->second == truth[c]) {
         ++correct;
       }
     }
+    per_node[ni] = {expected, correct};
+  });
+  std::size_t expected = 0;
+  std::size_t correct = 0;
+  for (const auto& [e, k] : per_node) {
+    expected += e;
+    correct += k;
   }
   return expected == 0
              ? 1.0

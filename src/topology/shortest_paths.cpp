@@ -5,6 +5,8 @@
 #include <queue>
 #include <utility>
 
+#include "util/thread_pool.h"
+
 namespace hfc {
 
 ShortestPathTree dijkstra(const PhysicalNetwork& net, RouterId source) {
@@ -57,12 +59,15 @@ std::vector<RouterId> extract_path(const ShortestPathTree& tree,
 SymMatrix<double> pairwise_delays(const PhysicalNetwork& net,
                                   const std::vector<RouterId>& subset) {
   SymMatrix<double> out(subset.size(), 0.0);
-  for (std::size_t i = 0; i < subset.size(); ++i) {
+  // One Dijkstra per source; source i writes only row i of the packed
+  // triangle, so the fan-out parallelises with no synchronisation and
+  // the result is identical for any thread count.
+  parallel_for(subset.size(), 1, [&](std::size_t i) {
     const ShortestPathTree tree = dijkstra(net, subset[i]);
     for (std::size_t j = 0; j <= i; ++j) {
       out.at(i, j) = tree.delay_ms[subset[j].idx()];
     }
-  }
+  });
   return out;
 }
 
@@ -70,15 +75,36 @@ LatencyOracle::LatencyOracle(const PhysicalNetwork& net,
                              std::vector<RouterId> endpoints, double noise,
                              Rng rng)
     : truth_(pairwise_delays(net, endpoints)), noise_(noise),
-      rng_(std::move(rng)) {
+      noise_seed_(rng.seed()) {
   require(noise >= 0.0, "LatencyOracle: negative noise");
+  const std::size_t pairs = truth_.size() * (truth_.size() + 1) / 2;
+  pair_probes_ = std::make_unique<std::atomic<std::uint64_t>[]>(pairs);
+  for (std::size_t p = 0; p < pairs; ++p) pair_probes_[p] = 0;
+}
+
+double LatencyOracle::probe_noise_factor(std::size_t i, std::size_t j,
+                                         std::uint64_t probe_idx) const {
+  // Counter-based noise: each probe's inflation is a pure function of
+  // (seed, unordered pair, probe index), so measurements are reproducible
+  // no matter which thread measures which pair in which order.
+  const std::uint64_t lo = static_cast<std::uint64_t>(std::min(i, j));
+  const std::uint64_t hi = static_cast<std::uint64_t>(std::max(i, j));
+  std::uint64_t h = splitmix64(noise_seed_ ^ 0xa24baed4963ee407ULL);
+  h = splitmix64(h ^ (hi << 32 | lo));
+  h = splitmix64(h ^ probe_idx);
+  // 53 high bits -> uniform double in [0, 1).
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return 1.0 + noise_ * u;
 }
 
 double LatencyOracle::measure(std::size_t i, std::size_t j) {
-  ++probe_count_;
+  probe_count_.fetch_add(1, std::memory_order_relaxed);
   const double base = truth_.at(i, j);
   if (noise_ == 0.0) return base;
-  return base * (1.0 + rng_.uniform_real(0.0, noise_));
+  const std::size_t slot = i >= j ? i * (i + 1) / 2 + j : j * (j + 1) / 2 + i;
+  const std::uint64_t probe_idx =
+      pair_probes_[slot].fetch_add(1, std::memory_order_relaxed);
+  return base * probe_noise_factor(i, j, probe_idx);
 }
 
 double LatencyOracle::measure_min_of(std::size_t i, std::size_t j,

@@ -9,7 +9,10 @@
 // while experiments can still query exact ground truth.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "topology/physical_network.h"
@@ -51,6 +54,13 @@ struct ShortestPathTree {
 /// delay inflated by multiplicative noise, never below the true value
 /// (queueing only adds delay). `measure_min_of` takes the minimum over
 /// several probes, the paper's §3.1 noise-reduction discipline.
+///
+/// Safe for concurrent measurement: probe accounting is atomic, and each
+/// probe's noise is a pure function of (seed, endpoint pair, per-pair
+/// probe index) rather than a draw from shared mutable RNG state, so a
+/// parallel measurement schedule yields the same values as a serial one
+/// as long as each pair is measured by a single task (the construction
+/// paths measure disjoint pairs per task).
 class LatencyOracle {
  public:
   /// `noise` is the maximum relative inflation per probe (0.2 = up to
@@ -73,13 +83,21 @@ class LatencyOracle {
                                       std::size_t probes);
 
   /// Number of probes issued so far (for measurement-cost accounting).
-  [[nodiscard]] std::size_t probe_count() const { return probe_count_; }
+  [[nodiscard]] std::size_t probe_count() const {
+    return probe_count_.load(std::memory_order_relaxed);
+  }
 
  private:
+  [[nodiscard]] double probe_noise_factor(std::size_t i, std::size_t j,
+                                          std::uint64_t probe_idx) const;
+
   SymMatrix<double> truth_;
   double noise_;
-  Rng rng_;
-  std::size_t probe_count_ = 0;
+  std::uint64_t noise_seed_;
+  std::atomic<std::size_t> probe_count_{0};
+  /// Per-unordered-pair probe counters (packed lower triangle), so each
+  /// probe of a pair gets a fresh deterministic noise draw.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> pair_probes_;
 };
 
 }  // namespace hfc

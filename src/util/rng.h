@@ -38,6 +38,17 @@ class Rng {
     return Rng(splitmix64(seed_ ^ splitmix64(tag + 0x5bf03635ULL)));
   }
 
+  /// Derive the per-task stream for parallel work: task `index` of a loop
+  /// seeded by this Rng gets `split(index)`. Depends only on (seed, index)
+  /// — not on how many values this Rng has drawn — so a parallel loop and
+  /// its serial fallback produce bit-identical streams, and the derivation
+  /// is distinct from `fork`'s so loop indices never collide with the
+  /// component tags used at the top level.
+  [[nodiscard]] Rng split(std::uint64_t index) const {
+    return Rng(splitmix64(splitmix64(seed_ + 0x8c72a1c5a1ed5b1dULL) ^
+                          splitmix64(index ^ 0xd6e8feb86659fd93ULL)));
+  }
+
   /// Uniform integer in [lo, hi] inclusive.
   [[nodiscard]] int uniform_int(int lo, int hi) {
     require(lo <= hi, "Rng::uniform_int: empty range");

@@ -1,0 +1,188 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/require.h"
+
+namespace hfc {
+
+namespace {
+
+/// Set while a pool worker runs chunks, so nested parallel_for calls
+/// (e.g. parallel trials whose framework build itself parallelises
+/// Dijkstra fan-out) degrade to inline execution instead of deadlocking
+/// on the pool they are already occupying.
+thread_local bool t_inside_worker = false;
+
+std::size_t resolve_default_threads() {
+  if (const char* v = std::getenv("HFC_THREADS")) {
+    const unsigned long long parsed = std::strtoull(v, nullptr, 10);
+    if (parsed >= 1) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+/// One parallel_for invocation: participants (workers + caller) claim
+/// chunk numbers from `next_chunk` until exhausted. Completion is
+/// tracked in whole chunks so the caller can wait without knowing which
+/// participant ran what. After the first exception the remaining chunks
+/// are claimed and skipped, so `finished` always reaches `total_chunks`
+/// and nobody blocks forever.
+struct ForJob {
+  std::size_t n = 0;
+  std::size_t chunk = 1;
+  std::size_t total_chunks = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<std::size_t> finished{0};
+  std::atomic<bool> failed{false};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::exception_ptr error;
+
+  void run_chunks() {
+    for (;;) {
+      const std::size_t c = next_chunk.fetch_add(1);
+      if (c >= total_chunks) return;
+      if (!failed.load(std::memory_order_relaxed)) {
+        const std::size_t begin = c * chunk;
+        const std::size_t end = begin + chunk < n ? begin + chunk : n;
+        try {
+          for (std::size_t i = begin; i < end; ++i) (*fn)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(mu);
+          if (!error) error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      std::size_t done;
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        done = finished.fetch_add(1) + 1;
+      }
+      if (done == total_chunks) done_cv.notify_all();
+    }
+  }
+};
+
+struct ThreadPool::Impl {
+  std::size_t thread_count = 1;
+  std::vector<std::thread> workers;
+
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::shared_ptr<ForJob> job;       // current job, null when idle
+  std::uint64_t generation = 0;      // bumped per job so workers re-wake
+  bool stopping = false;
+
+  void worker_loop() {
+    t_inside_worker = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<ForJob> j;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        work_cv.wait(lk, [&] { return stopping || generation != seen; });
+        if (stopping) return;
+        seen = generation;
+        j = job;
+      }
+      if (j) j->run_chunks();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
+  require(threads >= 1, "ThreadPool: need >= 1 thread");
+  impl_->thread_count = threads;
+  impl_->workers.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& w : impl_->workers) w.join();
+}
+
+std::size_t ThreadPool::thread_count() const { return impl_->thread_count; }
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
+                              const std::function<void(std::size_t)>& fn) {
+  require(chunk >= 1, "ThreadPool::parallel_for: chunk must be >= 1");
+  if (n == 0) return;
+  // Serial fallback: size-1 pool, nested call, or too little work to be
+  // worth waking anyone. Same per-index work, so same results.
+  if (impl_->workers.empty() || t_inside_worker || n <= chunk) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto j = std::make_shared<ForJob>();
+  j->n = n;
+  j->chunk = chunk;
+  j->total_chunks = (n + chunk - 1) / chunk;
+  j->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->job = j;
+    ++impl_->generation;
+  }
+  impl_->work_cv.notify_all();
+
+  j->run_chunks();  // the caller participates
+  {
+    std::unique_lock<std::mutex> lk(j->mu);
+    j->done_cv.wait(lk, [&] { return j->finished == j->total_chunks; });
+  }
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->job.reset();
+  }
+  if (j->error) std::rethrow_exception(j->error);
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+
+}  // namespace
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(resolve_default_threads());
+  return *g_pool;
+}
+
+void set_global_threads(std::size_t threads) {
+  auto next = std::make_unique<ThreadPool>(
+      threads == 0 ? resolve_default_threads() : threads);
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  g_pool = std::move(next);  // old pool drains and joins here
+}
+
+void parallel_for(std::size_t n, std::size_t chunk,
+                  const std::function<void(std::size_t)>& fn) {
+  global_pool().parallel_for(n, chunk, fn);
+}
+
+}  // namespace hfc

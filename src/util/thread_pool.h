@@ -1,0 +1,75 @@
+// Deterministic parallel execution for construction hot paths.
+//
+// The paper's pitch is scalability (O(m^2 + nm) measurements, §3.1), and
+// every construction stage — per-source Dijkstra fan-out, per-proxy
+// coordinate solves, border-pair selection, repeated benchmark trials —
+// is embarrassingly parallel: task i reads shared immutable state and
+// writes only slot i of a preallocated output. `parallel_for` exploits
+// exactly that shape, so parallel output is bit-identical to serial
+// output by construction: determinism comes from what each index does,
+// never from the order indices run in. Call sites that need randomness
+// derive a per-task stream with `Rng::split(task_index)`.
+//
+// Thread count resolution (first match wins):
+//   1. `set_global_threads(k)` — explicit override, used by tests to run
+//      the same code serially (k=1) and in parallel (k=4) and assert
+//      bit-identical results;
+//   2. the `HFC_THREADS` environment variable;
+//   3. `std::thread::hardware_concurrency()`.
+// A pool of size 1 runs everything inline on the calling thread — the
+// serial fallback path, with no worker threads started at all.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace hfc {
+
+/// Fixed-size worker pool. Workers are started in the constructor and
+/// joined in the destructor; work is submitted via `parallel_for`.
+class ThreadPool {
+ public:
+  /// `threads` >= 1 is the total parallelism including the calling
+  /// thread: a pool of size k starts k-1 workers, and `parallel_for`
+  /// runs chunks on the caller too.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const;
+
+  /// Run fn(i) for every i in [0, n), distributing contiguous chunks of
+  /// `chunk` indices over the workers and the calling thread. Blocks
+  /// until every index has run. The first exception thrown by any fn(i)
+  /// is rethrown on the caller after remaining work is drained (each
+  /// index runs at most once; indices after a failure may be skipped).
+  ///
+  /// Nested calls from inside a worker run inline serially — safe, and
+  /// the outer loop already owns the parallelism.
+  void parallel_for(std::size_t n, std::size_t chunk,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The process-wide pool, created lazily at first use with the resolved
+/// thread count (see file comment for resolution order).
+[[nodiscard]] ThreadPool& global_pool();
+
+/// Replace the global pool with one of `threads` threads (0 = re-resolve
+/// from HFC_THREADS / hardware_concurrency). Waits for the old pool to
+/// drain. Intended for tests and benches that compare serial vs parallel
+/// runs of the same code; do not call concurrently with `parallel_for`
+/// on the global pool.
+void set_global_threads(std::size_t threads);
+
+/// `global_pool().parallel_for(...)` — the form the hot paths use.
+void parallel_for(std::size_t n, std::size_t chunk,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace hfc

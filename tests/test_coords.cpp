@@ -10,6 +10,7 @@
 #include "topology/transit_stub.h"
 #include "topology/overlay_placement.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace hfc {
 namespace {
@@ -177,6 +178,41 @@ TEST(Gnp, RequiresTwoLandmarks) {
   Rng rng(1);
   EXPECT_THROW((void)embed_landmarks(one, params, rng),
                std::invalid_argument);
+}
+
+TEST(Gnp, ParallelPipelineMatchesSerial) {
+  // The full distance-map pipeline — noisy measurements included — must be
+  // bit-identical under the serial fallback (HFC_THREADS=1 equivalent) and
+  // a 4-thread pool: per-proxy solves draw from Rng::split(p) streams and
+  // the oracle's noise is counter-based, so thread scheduling is invisible.
+  Rng rng(21);
+  const TransitStubTopology topo =
+      generate_transit_stub(TransitStubParams::for_total_routers(300), rng);
+  PlacementParams pp;
+  pp.proxies = 40;
+  pp.landmarks = 8;
+  pp.clients = 0;
+  Rng prng(22);
+  const OverlayPlacement placement = place_overlay(topo, pp, prng);
+  std::vector<RouterId> endpoints = placement.landmark_routers;
+  endpoints.insert(endpoints.end(), placement.proxy_routers.begin(),
+                   placement.proxy_routers.end());
+  GnpParams params;
+
+  const auto run = [&] {
+    LatencyOracle oracle(topo.network, endpoints, 0.3, Rng(23));
+    Rng grng(24);
+    return build_distance_map(oracle, 8, params, grng);
+  };
+  set_global_threads(1);
+  const DistanceMap serial = run();
+  set_global_threads(4);
+  const DistanceMap parallel = run();
+  set_global_threads(0);
+
+  EXPECT_EQ(serial.system.landmark_coords, parallel.system.landmark_coords);
+  EXPECT_EQ(serial.proxy_coords, parallel.proxy_coords);  // bit-identical
+  EXPECT_EQ(serial.probes_used, parallel.probes_used);
 }
 
 TEST(Gnp, HigherDimensionEmbedsBetter) {

@@ -12,6 +12,7 @@
 #include "overlay/mesh_topology.h"
 #include "overlay/overlay_network.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace hfc {
 namespace {
@@ -314,6 +315,48 @@ TEST(MeshTopology, WalkFollowsEdgesAndMatchesDistance) {
         total += net.coord_distance(walk[i], walk[i + 1]);
       }
       EXPECT_NEAR(total, routing.distance.at(u, v), 1e-9);
+    }
+  }
+}
+
+TEST(HfcTopology, ParallelBorderSelectionMatchesSerial) {
+  // Many clusters so the O(C^2) border-pair sweep actually fans out: a
+  // 4x4 grid of well-separated squares -> 16 clusters, 120 cluster pairs.
+  std::vector<Point> pts;
+  for (int gx = 0; gx < 4; ++gx) {
+    for (int gy = 0; gy < 4; ++gy) {
+      const double bx = gx * 100.0;
+      const double by = gy * 100.0;
+      pts.push_back({bx, by});
+      pts.push_back({bx + 2, by});
+      pts.push_back({bx, by + 2});
+      pts.push_back({bx + 2, by + 2});
+    }
+  }
+  const OverlayNetwork net(pts, trivial_placement(pts.size()));
+  const Clustering clustering = cluster_points(pts);
+  ASSERT_GE(clustering.cluster_count(), 8u);
+
+  for (const BorderSelection selection :
+       {BorderSelection::kClosestPair, BorderSelection::kRandomPair,
+        BorderSelection::kSingleHub}) {
+    set_global_threads(1);
+    const HfcTopology serial(clustering, net.coord_distance_fn(), selection);
+    set_global_threads(4);
+    const HfcTopology parallel(clustering, net.coord_distance_fn(), selection);
+    set_global_threads(0);
+
+    EXPECT_EQ(serial.all_borders(), parallel.all_borders());
+    const std::size_t c = serial.cluster_count();
+    for (std::size_t a = 0; a < c; ++a) {
+      for (std::size_t b = 0; b < c; ++b) {
+        if (a == b) continue;
+        const ClusterId ca(static_cast<int>(a));
+        const ClusterId cb(static_cast<int>(b));
+        ASSERT_EQ(serial.border(ca, cb), parallel.border(ca, cb));
+        ASSERT_DOUBLE_EQ(serial.external_length(ca, cb),
+                         parallel.external_length(ca, cb));
+      }
     }
   }
 }

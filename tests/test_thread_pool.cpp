@@ -1,0 +1,119 @@
+// Tests for src/util/thread_pool: pool lifecycle, exact index coverage,
+// exception propagation, nesting, and the global-pool override used by the
+// serial-vs-parallel equivalence tests elsewhere in the suite.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace hfc {
+namespace {
+
+TEST(ThreadPool, StartsAndStopsCleanly) {
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.thread_count(), threads);
+    // Destructor joins the workers; a second pool can start immediately.
+  }
+}
+
+TEST(ThreadPool, RejectsZeroThreadsAndZeroChunk) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(4, 0, [](std::size_t) {}),
+               std::invalid_argument);
+}
+
+TEST(ThreadPool, CoversAllIndicesExactlyOnce) {
+  constexpr std::size_t kN = 10000;
+  for (std::size_t threads : {1u, 4u}) {
+    for (std::size_t chunk : {1u, 7u, 64u, 20000u}) {
+      ThreadPool pool(threads);
+      std::vector<std::atomic<int>> hits(kN);
+      pool.parallel_for(kN, chunk, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+      std::size_t total = 0;
+      for (const auto& h : hits) total += h.load();
+      EXPECT_EQ(total, kN) << "threads=" << threads << " chunk=" << chunk;
+      for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+    }
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(0, 1, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, PropagatesWorkerExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(1000, 1,
+                                 [](std::size_t i) {
+                                   if (i == 537) {
+                                     throw std::runtime_error("worker boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool stays usable after a failed loop.
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(100, 1, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 100u);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64 * 64);
+  pool.parallel_for(64, 1, [&](std::size_t outer) {
+    // Nested loops inside a worker must not deadlock on the same pool.
+    pool.parallel_for(64, 8, [&](std::size_t inner) {
+      hits[outer * 64 + inner].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, GlobalPoolOverride) {
+  set_global_threads(3);
+  EXPECT_EQ(global_pool().thread_count(), 3u);
+  std::atomic<std::size_t> count{0};
+  parallel_for(50, 1, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 50u);
+  set_global_threads(0);  // back to HFC_THREADS / hardware default
+  EXPECT_GE(global_pool().thread_count(), 1u);
+}
+
+TEST(Rng, SplitIsDrawIndependent) {
+  // split(i) depends only on (seed, i): consuming values from the parent
+  // must not change the derived streams — that is what makes parallel
+  // loops bit-identical to their serial fallback.
+  Rng fresh(42);
+  Rng drained(42);
+  for (int i = 0; i < 100; ++i) (void)drained.uniform_int(0, 1000);
+  for (std::uint64_t task = 0; task < 8; ++task) {
+    Rng a = fresh.split(task);
+    Rng b = drained.split(task);
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_EQ(a.uniform_int(0, 1 << 30), b.uniform_int(0, 1 << 30));
+    }
+  }
+}
+
+TEST(Rng, SplitStreamsDifferFromEachOtherAndFromFork) {
+  Rng rng(7);
+  Rng s0 = rng.split(0);
+  Rng s1 = rng.split(1);
+  Rng f0 = rng.fork(0);
+  EXPECT_NE(s0.seed(), s1.seed());
+  EXPECT_NE(s0.seed(), f0.seed());
+}
+
+}  // namespace
+}  // namespace hfc

@@ -11,6 +11,7 @@
 #include "topology/shortest_paths.h"
 #include "topology/transit_stub.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace hfc {
 namespace {
@@ -285,6 +286,44 @@ TEST(LatencyOracle, CountsProbes) {
   (void)oracle.measure(0, 1);
   (void)oracle.measure_min_of(0, 1, 5);
   EXPECT_EQ(oracle.probe_count(), 6u);
+}
+
+TEST(LatencyOracle, NoiseIsIndependentOfMeasurementOrder) {
+  // Counter-based noise: the k-th probe of a pair sees the same inflation
+  // no matter which other pairs were measured in between — the property
+  // that makes parallel measurement schedules reproducible.
+  PhysicalNetwork net = triangle_with_tail();
+  LatencyOracle forward(net, {RouterId(0), RouterId(2), RouterId(3)}, 0.5,
+                        Rng(9));
+  LatencyOracle shuffled(net, {RouterId(0), RouterId(2), RouterId(3)}, 0.5,
+                         Rng(9));
+  const double f01 = forward.measure(0, 1);
+  const double f02 = forward.measure(0, 2);
+  const double f12 = forward.measure(1, 2);
+  const double s12 = shuffled.measure(1, 2);
+  const double s01 = shuffled.measure(0, 1);
+  const double s02 = shuffled.measure(0, 2);
+  EXPECT_DOUBLE_EQ(f01, s01);
+  EXPECT_DOUBLE_EQ(f02, s02);
+  EXPECT_DOUBLE_EQ(f12, s12);
+  // ... and probing (i, j) is the same as probing (j, i).
+  EXPECT_DOUBLE_EQ(forward.measure(2, 0), shuffled.measure(0, 2));
+}
+
+TEST(PairwiseDelays, ParallelMatchesSerial) {
+  Rng rng(33);
+  const TransitStubTopology topo =
+      generate_transit_stub(TransitStubParams::for_total_routers(300), rng);
+  std::vector<RouterId> subset;
+  for (int r = 0; r < 60; ++r) subset.push_back(RouterId(r * 4));
+
+  set_global_threads(1);
+  const SymMatrix<double> serial = pairwise_delays(topo.network, subset);
+  set_global_threads(4);
+  const SymMatrix<double> parallel = pairwise_delays(topo.network, subset);
+  set_global_threads(0);
+
+  EXPECT_TRUE(serial == parallel);  // bit-identical, not just close
 }
 
 }  // namespace

@@ -5,12 +5,19 @@
 // the speedups land in BENCH_parallel_speedup.json so the perf
 // trajectory is tracked across PRs. Results are asserted bit-identical
 // between the two runs before any time is reported.
-#include <chrono>
+//
+// All numbers come from the observability registry rather than local
+// stopwatches: stage wall-clock is the delta of the stage's *_ms
+// histogram sum, and the work counters (`dijkstra.sources`,
+// `gnp.host_solves`) are asserted identical between the serial and
+// parallel runs — the registry's exactness guarantee, checked end-to-end.
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "bench/common.h"
 #include "coords/gnp.h"
+#include "src/obs/metrics.h"
 #include "topology/overlay_placement.h"
 #include "topology/shortest_paths.h"
 #include "topology/transit_stub.h"
@@ -18,11 +25,9 @@
 
 namespace {
 
-double ms_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
-      .count();
-}
+using Snapshot = std::vector<hfc::obs::MetricSnapshot>;
+
+Snapshot snap() { return hfc::obs::MetricsRegistry::global().snapshot(); }
 
 }  // namespace
 
@@ -46,40 +51,61 @@ int main() {
   std::cout << "Parallel speedup at n=" << n << " (pool: " << threads
             << " threads)\n";
 
-  // Stage 1: pairwise_delays over the n proxy routers.
+  // Stage 1: pairwise_delays over the n proxy routers. Wall clock and
+  // source counts are read back from the registry deltas around each run.
   set_global_threads(1);
-  auto t0 = std::chrono::steady_clock::now();
+  Snapshot before = snap();
   const SymMatrix<double> serial_delays =
       pairwise_delays(topo.network, placement.proxy_routers);
-  const double dijkstra_serial_ms = ms_since(t0);
+  Snapshot mid = snap();
   set_global_threads(0);
-  t0 = std::chrono::steady_clock::now();
   const SymMatrix<double> parallel_delays =
       pairwise_delays(topo.network, placement.proxy_routers);
-  const double dijkstra_parallel_ms = ms_since(t0);
+  Snapshot after = snap();
+  const double dijkstra_serial_ms =
+      obs::sum_delta(before, mid, "dijkstra.pairwise_ms");
+  const double dijkstra_parallel_ms =
+      obs::sum_delta(mid, after, "dijkstra.pairwise_ms");
   if (!(serial_delays == parallel_delays)) {
     std::cerr << "FATAL: parallel pairwise_delays diverged from serial\n";
     return 1;
   }
+  if (obs::counter_delta(before, mid, "dijkstra.sources") !=
+      obs::counter_delta(mid, after, "dijkstra.sources")) {
+    std::cerr << "FATAL: dijkstra.sources differs serial vs parallel\n";
+    return 1;
+  }
 
   // Stage 2: GNP pipeline (landmark embed + n per-proxy solves).
-  std::vector<RouterId> endpoints = placement.landmark_routers;
-  endpoints.insert(endpoints.end(), placement.proxy_routers.begin(),
-                   placement.proxy_routers.end());
   const auto run_gnp = [&] {
-    LatencyOracle oracle(topo.network, endpoints, 0.2, Rng(406));
+    LatencyOracle oracle(topo.network, [&] {
+      std::vector<RouterId> endpoints = placement.landmark_routers;
+      endpoints.insert(endpoints.end(), placement.proxy_routers.begin(),
+                       placement.proxy_routers.end());
+      return endpoints;
+    }(), 0.2, Rng(406));
     GnpParams params;
     Rng grng(407);
-    const auto start = std::chrono::steady_clock::now();
-    DistanceMap map = build_distance_map(oracle, pp.landmarks, params, grng);
-    return std::make_pair(std::move(map), ms_since(start));
+    return build_distance_map(oracle, pp.landmarks, params, grng);
   };
   set_global_threads(1);
-  const auto [serial_map, gnp_serial_ms] = run_gnp();
+  before = snap();
+  const DistanceMap serial_map = run_gnp();
+  mid = snap();
   set_global_threads(0);
-  const auto [parallel_map, gnp_parallel_ms] = run_gnp();
+  const DistanceMap parallel_map = run_gnp();
+  after = snap();
+  const double gnp_serial_ms = obs::sum_delta(before, mid, "gnp.build_ms");
+  const double gnp_parallel_ms = obs::sum_delta(mid, after, "gnp.build_ms");
   if (serial_map.proxy_coords != parallel_map.proxy_coords) {
     std::cerr << "FATAL: parallel GNP coordinates diverged from serial\n";
+    return 1;
+  }
+  if (obs::counter_delta(before, mid, "gnp.host_solves") !=
+          obs::counter_delta(mid, after, "gnp.host_solves") ||
+      obs::counter_delta(before, mid, "gnp.probes") !=
+          obs::counter_delta(mid, after, "gnp.probes")) {
+    std::cerr << "FATAL: gnp counters differ serial vs parallel\n";
     return 1;
   }
 
@@ -101,6 +127,7 @@ int main() {
   std::cout << "gnp pipeline:    serial " << benchutil::fmt(gnp_serial_ms, 1)
             << " ms, parallel " << benchutil::fmt(gnp_parallel_ms, 1)
             << " ms (" << benchutil::fmt(gnp_speedup) << "x)\n";
-  std::cout << "(results verified bit-identical before timing was reported)\n";
+  std::cout << "(results and registry counters verified identical between "
+               "the serial and parallel runs)\n";
   return 0;
 }

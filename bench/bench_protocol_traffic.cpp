@@ -3,14 +3,30 @@
 // Runs the hierarchical protocol on the event simulator and reports its
 // per-round message and bandwidth cost next to what flat flooding (every
 // proxy advertising to every other proxy) would cost at the same scale.
+//
+// All reported counts come from the observability registry: each sim run
+// (and each construction-cost measurement) is bracketed by registry
+// snapshots and reported as `obs::counter_delta` between them, rather
+// than from any per-run tallies kept by the simulator itself.
 #include <iostream>
+#include <vector>
 
 #include "bench/common.h"
 #include "core/experiment.h"
 #include "sim/state_protocol.h"
+#include "src/obs/metrics.h"
+
+namespace {
+
+using Snapshot = std::vector<hfc::obs::MetricSnapshot>;
+
+Snapshot snap() { return hfc::obs::MetricsRegistry::global().snapshot(); }
+
+}  // namespace
 
 int main() {
   using namespace hfc;
+  benchutil::BenchJson json("protocol_traffic");
   std::cout << "State distribution protocol traffic per refresh round\n";
   std::cout << format_row({"proxies", "local msgs", "agg msgs", "fwd msgs",
                            "total", "flat flood", "conv (ms)"})
@@ -21,19 +37,30 @@ int main() {
     params.rounds = 1;
     StateProtocolSim sim(fw->overlay(), fw->topology(), fw->true_distance(),
                          params);
+    const Snapshot before = snap();
     sim.run();
-    const StateProtocolMetrics& m = sim.metrics();
-    const std::size_t total =
-        m.local_messages + m.aggregate_messages + m.forwarded_messages;
+    const Snapshot after = snap();
+    const std::uint64_t local =
+        obs::counter_delta(before, after, "protocol.local_messages");
+    const std::uint64_t aggregate =
+        obs::counter_delta(before, after, "protocol.aggregate_messages");
+    const std::uint64_t forwarded =
+        obs::counter_delta(before, after, "protocol.forwarded_messages");
+    const std::uint64_t total = local + aggregate + forwarded;
     const std::size_t flat_flood = env.proxies * (env.proxies - 1);
     std::cout << format_row({std::to_string(env.proxies),
-                             std::to_string(m.local_messages),
-                             std::to_string(m.aggregate_messages),
-                             std::to_string(m.forwarded_messages),
+                             std::to_string(local),
+                             std::to_string(aggregate),
+                             std::to_string(forwarded),
                              std::to_string(total),
                              std::to_string(flat_flood),
-                             benchutil::fmt(m.convergence_time_ms, 1)})
+                             benchutil::fmt(sim.metrics().convergence_time_ms,
+                                            1)})
               << "\n";
+    json.add_trials(1);
+    if (env.proxies == 250) {
+      json.note("messages_total_250", static_cast<double>(total));
+    }
     if (!sim.fully_converged()) {
       std::cout << "  WARNING: protocol did not fully converge\n";
     }
@@ -46,15 +73,24 @@ int main() {
             << "\n";
   for (const Environment& env : paper_environments()) {
     const auto fw = HfcFramework::build(config_for(env, 8050));
-    const ConstructionCost cost = measure_construction_cost(*fw);
+    const Snapshot before = snap();
+    (void)measure_construction_cost(*fw);
+    const Snapshot after = snap();
+    const std::uint64_t probes =
+        obs::counter_delta(before, after, "construction.measurement_probes");
+    const std::uint64_t messages =
+        obs::counter_delta(before, after, "construction.report_messages") +
+        obs::counter_delta(before, after, "construction.info_messages");
+    const std::uint64_t states =
+        obs::counter_delta(before, after, "construction.info_node_states");
     std::cout << format_row(
                      {std::to_string(env.proxies),
-                      std::to_string(cost.measurement_probes),
+                      std::to_string(probes),
                       std::to_string(env.proxies * (env.proxies - 1) / 2),
-                      std::to_string(cost.report_messages +
-                                     cost.info_messages),
-                      std::to_string(cost.info_node_states)})
+                      std::to_string(messages),
+                      std::to_string(states)})
               << "\n";
+    json.add_trials(1);
   }
 
   // Failure injection: soft-state repair under 30% message loss.
@@ -68,12 +104,17 @@ int main() {
     lossy.loss_probability = 0.3;
     StateProtocolSim sim(fw->overlay(), fw->topology(), fw->true_distance(),
                          lossy);
+    const Snapshot before = snap();
     sim.run();
+    const Snapshot after = snap();
+    const std::uint64_t lost =
+        obs::counter_delta(before, after, "protocol.lost_messages");
     std::cout << format_row(
                      {std::to_string(rounds),
-                      std::to_string(sim.metrics().lost_messages),
+                      std::to_string(lost),
                       benchutil::fmt(sim.convergence_fraction(), 4)})
               << "\n";
+    json.add_trials(1);
   }
   return 0;
 }

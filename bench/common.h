@@ -12,9 +12,14 @@
 // aggregation stays deterministic. `BenchJson` records the run
 // (trial count, wall-clock ms, threads) as BENCH_<name>.json next to the
 // binary's working directory, making the perf trajectory across PRs
-// machine-readable; set HFC_BENCH_JSON=0 to suppress the file.
+// machine-readable; set HFC_BENCH_JSON=0 to suppress the file. The file
+// also carries a "metrics" object — the process-wide obs::MetricsRegistry
+// snapshot at exit — with escaped keys in sorted order, so runs diff
+// cleanly and every counter the instrumented layers recorded lands in the
+// same machine-readable place.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -24,6 +29,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
 #include "src/util/thread_pool.h"
 
 namespace hfc::benchutil {
@@ -88,16 +95,26 @@ class BenchJson {
             .count();
     std::ofstream out("BENCH_" + name_ + ".json");
     if (!out) return;
-    out.setf(std::ios::fixed);
-    out.precision(3);
+    // Fixed keys first, then extras sorted by key, then the registry
+    // snapshot (itself name-sorted): a stable order, with every string
+    // escaped, so two runs of the same binary diff only where values
+    // genuinely differ.
+    std::vector<std::pair<std::string, double>> extras = extras_;
+    std::stable_sort(extras.begin(), extras.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
     out << "{\n"
-        << "  \"name\": \"" << name_ << "\",\n"
+        << "  \"name\": \"" << obs::json_escape(name_) << "\",\n"
         << "  \"trials\": " << trials_ << ",\n"
-        << "  \"wall_ms\": " << wall_ms << ",\n"
+        << "  \"wall_ms\": " << obs::json_number(wall_ms) << ",\n"
         << "  \"threads\": " << threads_used();
-    for (const auto& [key, value] : extras_) {
-      out << ",\n  \"" << key << "\": " << value;
+    for (const auto& [key, value] : extras) {
+      out << ",\n  \"" << obs::json_escape(key)
+          << "\": " << obs::json_number(value);
     }
+    out << ",\n  \"metrics\": ";
+    obs::MetricsRegistry::global().write_json(out, 2);
     out << "\n}\n";
     std::cerr << "[bench-json] BENCH_" << name_ << ".json: trials=" << trials_
               << " wall_ms=" << fmt(wall_ms, 1)

@@ -33,10 +33,18 @@ std::string describe(const hfc::ServicePath& path) {
       out += "(relay)";
     } else {
       const auto it = kServiceNames.find(hop.service.value());
-      out += it != kServiceNames.end() ? it->second
-                                       : "S" + std::to_string(hop.service.value());
+      // Separate appends instead of `"lit" + std::to_string(...)`: GCC 12
+      // -O2 trips a -Wrestrict false positive on operator+ with a
+      // temporary string.
+      if (it != kServiceNames.end()) {
+        out += it->second;
+      } else {
+        out += 'S';
+        out += std::to_string(hop.service.value());
+      }
     }
-    out += "@P" + std::to_string(hop.proxy.value());
+    out += "@P";
+    out += std::to_string(hop.proxy.value());
   }
   return out;
 }

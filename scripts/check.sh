@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Repo-wide verification gate. Run from anywhere:
+#
+#   scripts/check.sh          # -Werror build + full test suite + TSan gate
+#   scripts/check.sh --fast   # skip the TSan build (quick local iteration)
+#
+# Stages:
+#   1. Configure + build with -Wall -Wextra -Werror (HFC_WERROR=ON) into
+#      build-check/, so new warnings fail the gate instead of scrolling by.
+#   2. Run the full ctest suite (tier-1 gate).
+#   3. Build with -DHFC_SANITIZE=thread into build-tsan/ and re-run the
+#      concurrency-sensitive tests (obs metrics, thread pool, sim/protocol,
+#      parallel construction paths) with a 4-thread pool, so data races in
+#      the metrics registry or the pool fail loudly.
+#
+# The TSan stage is the expensive one (~10 min on 1 core); --fast skips it.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then
+  FAST=1
+elif [[ -n "${1:-}" ]]; then
+  echo "usage: scripts/check.sh [--fast]" >&2
+  exit 2
+fi
+
+echo "== [1/3] -Werror build =="
+cmake -B build-check -S . -DHFC_WERROR=ON
+cmake --build build-check -j"$JOBS"
+
+echo "== [2/3] full test suite =="
+ctest --test-dir build-check -j"$JOBS" --output-on-failure
+
+if [[ "$FAST" == "1" ]]; then
+  echo "== [3/3] TSan gate skipped (--fast) =="
+  exit 0
+fi
+
+echo "== [3/3] TSan gate =="
+cmake -B build-tsan -S . -DHFC_SANITIZE=thread
+cmake --build build-tsan -j"$JOBS"
+HFC_THREADS=4 ctest --test-dir build-tsan -j"$JOBS" --output-on-failure \
+  -R 'Obs|Metrics|Trace|ThreadPool|Parallel|StateProtocol|Simulator'
+
+echo "== all checks passed =="

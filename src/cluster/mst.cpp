@@ -2,11 +2,15 @@
 
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/require.h"
 
 namespace hfc {
 
 std::vector<MstEdge> mst_dense(std::size_t n, const DistanceFn& distance) {
+  HFC_TRACE_SPAN("cluster.mst");
+  obs::MetricsRegistry::global().counter("cluster.mst_builds").add(1);
   std::vector<MstEdge> edges;
   if (n <= 1) return edges;
   edges.reserve(n - 1);

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <queue>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/require.h"
 
 namespace hfc {
@@ -175,6 +177,7 @@ std::vector<std::size_t> find_inconsistent_edges(
 
 Clustering zahn_cluster(std::size_t n, const std::vector<MstEdge>& mst,
                         const ZahnParams& params, const DistanceFn& distance) {
+  HFC_TRACE_SPAN("cluster.zahn");
   require(mst.size() + 1 == n || (n <= 1 && mst.empty()),
           "zahn: edge list is not a spanning tree of n nodes");
   const std::vector<std::size_t> inconsistent =
@@ -188,10 +191,17 @@ Clustering zahn_cluster(std::size_t n, const std::vector<MstEdge>& mst,
     if (!removed[e]) uf.unite(mst[e].a, mst[e].b);
   }
   Clustering clustering = components_to_clustering(n, uf);
+  const std::size_t before_merge = clustering.cluster_count();
   if (params.min_cluster_size > 1) {
     clustering = merge_small_clusters(std::move(clustering),
                                       params.min_cluster_size, distance);
   }
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("cluster.inconsistent_edges").add(inconsistent.size());
+  registry.counter("cluster.small_cluster_merges")
+      .add(before_merge - clustering.cluster_count());
+  registry.gauge("cluster.clusters")
+      .set(static_cast<double>(clustering.cluster_count()));
   return clustering;
 }
 

@@ -1,8 +1,11 @@
 #include "coords/gnp.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/require.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -32,6 +35,8 @@ double squared_rel_error(double estimated, double measured) {
 
 CoordinateSystem embed_landmarks(const SymMatrix<double>& landmark_delays,
                                  const GnpParams& params, Rng& rng) {
+  HFC_TRACE_SPAN("gnp.embed_landmarks");
+  obs::MetricsRegistry::global().counter("gnp.landmark_embeds").add(1);
   const std::size_t m = landmark_delays.size();
   require(m >= 2, "embed_landmarks: need >= 2 landmarks");
   require(params.dimensions >= 1, "embed_landmarks: zero dimensions");
@@ -73,6 +78,10 @@ CoordinateSystem embed_landmarks(const SymMatrix<double>& landmark_delays,
 Point solve_host(const CoordinateSystem& system,
                  const std::vector<double>& delays_to_landmarks,
                  const GnpParams& params, Rng& rng) {
+  HFC_TRACE_SPAN("gnp.solve_host");
+  static obs::Counter& solves =
+      obs::MetricsRegistry::global().counter("gnp.host_solves");
+  solves.add(1);
   require(system.dimensions >= 1, "solve_host: empty coordinate system");
   require(delays_to_landmarks.size() == system.landmark_coords.size(),
           "solve_host: one delay per landmark required");
@@ -104,6 +113,8 @@ Point solve_host(const CoordinateSystem& system,
 DistanceMap build_distance_map(LatencyOracle& oracle,
                                std::size_t landmark_count,
                                const GnpParams& params, Rng& rng) {
+  HFC_TRACE_SPAN("gnp.build_distance_map");
+  const auto wall_start = std::chrono::steady_clock::now();
   require(landmark_count >= 2, "build_distance_map: need >= 2 landmarks");
   require(oracle.endpoint_count() > landmark_count,
           "build_distance_map: oracle must hold landmarks plus proxies");
@@ -142,6 +153,14 @@ DistanceMap build_distance_map(LatencyOracle& oracle,
     map.proxy_coords[p] = solve_host(map.system, to_landmarks, params, host_rng);
   });
   map.probes_used = oracle.probe_count() - probes_before;
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("gnp.probes").add(map.probes_used);
+  registry
+      .histogram("gnp.build_ms",
+                 {1.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 30000.0})
+      .observe(std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - wall_start)
+                   .count());
   return map;
 }
 

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "overlay/mesh_topology.h"
 #include "routing/flat_router.h"
 #include "routing/full_state_router.h"
@@ -33,6 +35,7 @@ FrameworkConfig config_for(const Environment& env, std::uint64_t seed) {
 }
 
 OverheadSample measure_state_overhead(const HfcFramework& fw) {
+  HFC_TRACE_SPAN("protocol.state_overhead");
   const HfcTopology& topo = fw.topology();
   const std::size_t n = topo.node_count();
   OverheadSample sample;
@@ -106,6 +109,7 @@ PathEfficiencySample measure_path_efficiency(const HfcFramework& fw,
 }
 
 ConstructionCost measure_construction_cost(const HfcFramework& fw) {
+  HFC_TRACE_SPAN("construction.measure_cost");
   ConstructionCost cost;
   cost.measurement_probes = fw.distance_map().probes_used;
   cost.report_messages = fw.overlay().size();
@@ -121,6 +125,14 @@ ConstructionCost measure_construction_cost(const HfcFramework& fw) {
                              border_table_entries +
                              topo.coordinate_state_count(node);
   }
+  // The returned struct is a snapshot view; the registry's cumulative
+  // "construction.*" counters are the durable record (benches report the
+  // per-call delta between two snapshots).
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("construction.measurement_probes").add(cost.measurement_probes);
+  reg.counter("construction.report_messages").add(cost.report_messages);
+  reg.counter("construction.info_messages").add(cost.info_messages);
+  reg.counter("construction.info_node_states").add(cost.info_node_states);
   return cost;
 }
 

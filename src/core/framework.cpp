@@ -3,6 +3,8 @@
 #include <limits>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "topology/shortest_paths.h"
 #include "util/require.h"
 
@@ -10,6 +12,8 @@ namespace hfc {
 
 std::unique_ptr<HfcFramework> HfcFramework::build(
     const FrameworkConfig& config) {
+  HFC_TRACE_SPAN("framework.build");
+  obs::MetricsRegistry::global().counter("framework.builds").add(1);
   require(config.proxies >= 2, "HfcFramework: need >= 2 proxies");
   require(config.landmarks >= 2, "HfcFramework: need >= 2 landmarks");
 

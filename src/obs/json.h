@@ -1,0 +1,64 @@
+// Minimal JSON emission helpers shared by the observability exporters
+// (metrics snapshots, chrome-trace files) and bench/common.h.
+//
+// Only the writing direction is needed anywhere in the repo, so this stays
+// a header of two functions instead of a JSON library: escaping per RFC
+// 8259 §7, and number formatting that never emits the tokens `nan`/`inf`
+// (invalid JSON) — non-finite values degrade to null.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace hfc::obs {
+
+/// Escape `raw` for placement between double quotes in a JSON document:
+/// quote, backslash, and all control characters below 0x20 (the only
+/// characters RFC 8259 requires escaping). Everything else — including
+/// multi-byte UTF-8 sequences — passes through untouched.
+inline std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (char ch : raw) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          out += "\\u00";
+          out += kHex[c >> 4];
+          out += kHex[c & 0xf];
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+/// Format a double as a JSON value: fixed precision for finite values,
+/// `null` for NaN / infinity (which are not representable in JSON).
+inline std::string json_number(double value, int decimals = 3) {
+  if (!std::isfinite(value)) return "null";
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << value;
+  return os.str();
+}
+
+inline std::string json_number(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+}  // namespace hfc::obs

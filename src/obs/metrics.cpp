@@ -1,0 +1,235 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+#include "obs/json.h"
+#include "util/require.h"
+
+namespace hfc::obs {
+
+namespace detail {
+
+std::size_t this_thread_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace detail
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  require(std::is_sorted(bounds_.begin(), bounds_.end()),
+          "Histogram: bounds must be ascending");
+  buckets_ = std::make_unique<Counter[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].add(1);
+  count_.add(1);
+  sum_.add(v);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t b = 0; b < out.size(); ++b) out[b] = buckets_[b].value();
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t b = 0; b <= bounds_.size(); ++b) buckets_[b].reset();
+  count_.reset();
+  sum_.reset();
+}
+
+namespace {
+
+struct Entry {
+  MetricSnapshot::Kind kind = MetricSnapshot::Kind::kCounter;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  // std::map keeps names sorted, so snapshots and JSON need no re-sort,
+  // and node-based storage keeps metric addresses stable across inserts.
+  std::map<std::string, Entry, std::less<>> entries;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed:
+  // hot call sites cache references in local statics and worker threads
+  // may outlive static destruction order.
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  require(!name.empty(), "MetricsRegistry::counter: empty name");
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  auto it = impl_->entries.find(name);
+  if (it == impl_->entries.end()) {
+    Entry e;
+    e.kind = MetricSnapshot::Kind::kCounter;
+    e.counter = std::make_unique<Counter>();
+    it = impl_->entries.emplace(std::string(name), std::move(e)).first;
+  }
+  require(it->second.kind == MetricSnapshot::Kind::kCounter,
+          "MetricsRegistry: '" + std::string(name) +
+              "' already registered as a different kind");
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  require(!name.empty(), "MetricsRegistry::gauge: empty name");
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  auto it = impl_->entries.find(name);
+  if (it == impl_->entries.end()) {
+    Entry e;
+    e.kind = MetricSnapshot::Kind::kGauge;
+    e.gauge = std::make_unique<Gauge>();
+    it = impl_->entries.emplace(std::string(name), std::move(e)).first;
+  }
+  require(it->second.kind == MetricSnapshot::Kind::kGauge,
+          "MetricsRegistry: '" + std::string(name) +
+              "' already registered as a different kind");
+  return *it->second.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  require(!name.empty(), "MetricsRegistry::histogram: empty name");
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  auto it = impl_->entries.find(name);
+  if (it == impl_->entries.end()) {
+    Entry e;
+    e.kind = MetricSnapshot::Kind::kHistogram;
+    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+    return *impl_->entries.emplace(std::string(name), std::move(e))
+                .first->second.histogram;
+  }
+  require(it->second.kind == MetricSnapshot::Kind::kHistogram,
+          "MetricsRegistry: '" + std::string(name) +
+              "' already registered as a different kind");
+  require(it->second.histogram->bounds() == bounds,
+          "MetricsRegistry: '" + std::string(name) +
+              "' re-registered with different bounds");
+  return *it->second.histogram;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  std::vector<MetricSnapshot> out;
+  out.reserve(impl_->entries.size());
+  for (const auto& [name, entry] : impl_->entries) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        s.count = entry.counter->value();
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        s.value = entry.gauge->value();
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        s.count = entry.histogram->count();
+        s.value = entry.histogram->sum();
+        s.bounds = entry.histogram->bounds();
+        s.buckets = entry.histogram->bucket_counts();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricsRegistry::write_json(std::ostream& out, int indent) const {
+  const std::vector<MetricSnapshot> snap = snapshot();
+  const std::string pad(static_cast<std::size_t>(std::max(indent, 0)), ' ');
+  out << "{";
+  bool first = true;
+  for (const MetricSnapshot& s : snap) {
+    out << (first ? "\n" : ",\n") << pad << "  \"" << json_escape(s.name)
+        << "\": ";
+    first = false;
+    switch (s.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        out << json_number(s.count);
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        out << json_number(s.value);
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        out << "{\"count\": " << json_number(s.count)
+            << ", \"sum\": " << json_number(s.value) << ", \"bounds\": [";
+        for (std::size_t b = 0; b < s.bounds.size(); ++b) {
+          out << (b ? ", " : "") << json_number(s.bounds[b]);
+        }
+        out << "], \"buckets\": [";
+        for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+          out << (b ? ", " : "") << json_number(s.buckets[b]);
+        }
+        out << "]}";
+        break;
+      }
+    }
+  }
+  if (!first) out << "\n" << pad;
+  out << "}";
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  for (auto& [name, entry] : impl_->entries) {
+    switch (entry.kind) {
+      case MetricSnapshot::Kind::kCounter: entry.counter->reset(); break;
+      case MetricSnapshot::Kind::kGauge: entry.gauge->reset(); break;
+      case MetricSnapshot::Kind::kHistogram: entry.histogram->reset(); break;
+    }
+  }
+}
+
+namespace {
+
+const MetricSnapshot* find(const std::vector<MetricSnapshot>& snap,
+                           std::string_view name) {
+  for (const MetricSnapshot& s : snap) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::uint64_t counter_value(const std::vector<MetricSnapshot>& snap,
+                            std::string_view name) {
+  const MetricSnapshot* s = find(snap, name);
+  return s == nullptr ? 0 : s->count;
+}
+
+std::uint64_t counter_delta(const std::vector<MetricSnapshot>& before,
+                            const std::vector<MetricSnapshot>& after,
+                            std::string_view name) {
+  return counter_value(after, name) - counter_value(before, name);
+}
+
+double sum_delta(const std::vector<MetricSnapshot>& before,
+                 const std::vector<MetricSnapshot>& after,
+                 std::string_view name) {
+  const MetricSnapshot* b = find(before, name);
+  const MetricSnapshot* a = find(after, name);
+  return (a == nullptr ? 0.0 : a->value) - (b == nullptr ? 0.0 : b->value);
+}
+
+}  // namespace hfc::obs

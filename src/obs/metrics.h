@@ -1,0 +1,183 @@
+// Observability subsystem — process-wide metrics registry.
+//
+// The paper's claims are cost claims (measurement probes §3.1, protocol
+// messages and service-names carried §4, path-efficiency penalties §6.2),
+// so the repo needs one uniform place where every layer records what it
+// spent. This registry holds three metric kinds under dot-separated
+// hierarchical names (`<subsystem>.<quantity>`, e.g.
+// "protocol.local_messages", "gnp.host_solves"):
+//
+//   Counter   — monotone event count. The hot-path `add` is one relaxed
+//               atomic increment on a per-thread shard (no lock, no CAS
+//               retry under contention); `value` sums the shards. Integer
+//               sums are order-independent, so counter totals are *exact*
+//               and identical for serial and parallel runs of the same
+//               deterministic work — the same guarantee the PR-1 thread
+//               pool gives for computed results.
+//   Gauge     — last-written double (plus atomic add), for instantaneous
+//               levels like queue depth or convergence time.
+//   Histogram — fixed upper-bound buckets plus count and sum, for
+//               durations and sizes. Bucket counts are exact; the sum is
+//               a floating accumulation and therefore only
+//               order-deterministic in serial runs.
+//
+// Registration is thread-safe and idempotent: the first `counter(name)`
+// creates, later calls return the same object, and references stay valid
+// for the process lifetime (hot call sites cache them in local statics).
+// `snapshot()` returns all metrics sorted by name; `write_json` emits the
+// snapshot with escaped keys and stable ordering so exported files diff
+// cleanly across runs.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hfc::obs {
+
+namespace detail {
+/// Stable per-thread shard index in [0, kShards), assigned round-robin at
+/// first use so pool workers spread across shards.
+[[nodiscard]] std::size_t this_thread_shard() noexcept;
+inline constexpr std::size_t kShards = 16;
+}  // namespace detail
+
+/// Monotone event counter, sharded per thread to keep the hot-path `add`
+/// a single uncontended relaxed increment.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[detail::this_thread_shard()].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, detail::kShards> shards_;
+};
+
+/// Last-value gauge with atomic add, for levels rather than events.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds,
+/// with an implicit +inf overflow bucket, so there are bounds.size() + 1
+/// buckets in total.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_.value(); }
+  [[nodiscard]] double sum() const noexcept { return sum_.value(); }
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<Counter[]> buckets_;  // bounds_.size() + 1 entries
+  Counter count_;
+  Gauge sum_;
+};
+
+/// One metric's state at snapshot time. `count` carries the counter value
+/// or the histogram observation count; `value` carries the gauge value or
+/// the histogram sum.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::uint64_t count = 0;
+  double value = 0.0;
+  std::vector<double> bounds;           // histogram only
+  std::vector<std::uint64_t> buckets;   // histogram only
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every instrumented layer records into.
+  [[nodiscard]] static MetricsRegistry& global();
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create. Throws std::invalid_argument if `name` is empty or is
+  /// already registered as a different metric kind (or, for histograms,
+  /// with different bounds).
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::vector<double> bounds);
+
+  /// All metrics, sorted by name.
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+
+  /// Emit the snapshot as one JSON object with escaped keys in sorted
+  /// order. `indent` spaces prefix every member line (0 = compact-ish but
+  /// still one member per line).
+  void write_json(std::ostream& out, int indent = 2) const;
+
+  /// Zero every registered metric (registration survives). For tests and
+  /// benches that measure deltas from a clean slate.
+  void reset();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Lookup helpers over snapshot vectors, for benches that report deltas
+/// between two registry snapshots. Missing names read as zero.
+[[nodiscard]] std::uint64_t counter_value(
+    const std::vector<MetricSnapshot>& snap, std::string_view name);
+[[nodiscard]] std::uint64_t counter_delta(
+    const std::vector<MetricSnapshot>& before,
+    const std::vector<MetricSnapshot>& after, std::string_view name);
+/// Histogram sum delta (e.g. accumulated milliseconds of a stage).
+[[nodiscard]] double sum_delta(const std::vector<MetricSnapshot>& before,
+                               const std::vector<MetricSnapshot>& after,
+                               std::string_view name);
+
+}  // namespace hfc::obs

@@ -1,0 +1,180 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace hfc::obs {
+
+namespace {
+
+constexpr std::size_t kDefaultCapacity = 131072;
+
+std::atomic<bool> g_enabled{false};
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// Dense thread index: the main thread and each pool worker get a small
+/// stable id, which chrome://tracing renders as one row per thread.
+std::uint32_t this_thread_index() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+thread_local std::uint32_t t_span_depth = 0;
+
+void write_trace_at_exit() {
+  const char* path = std::getenv("HFC_TRACE_FILE");
+  const std::string file = path != nullptr ? path : "hfc_trace.json";
+  if (TraceBuffer::global().write_chrome_trace_file(file)) {
+    std::cerr << "[hfc-trace] wrote " << TraceBuffer::global().events().size()
+              << " spans to " << file;
+    if (TraceBuffer::global().dropped() > 0) {
+      std::cerr << " (" << TraceBuffer::global().dropped()
+                << " dropped after the buffer filled)";
+    }
+    std::cerr << "\n";
+  } else {
+    std::cerr << "[hfc-trace] could not write " << file << "\n";
+  }
+}
+
+bool init_trace_flag() {
+  const char* v = std::getenv("HFC_TRACE");
+  const bool on = v != nullptr && std::string(v) == "1";
+  if (on) {
+    trace_epoch();                 // pin the epoch before any span
+    (void)TraceBuffer::global();   // construct the buffer before registering
+                                   // the exit hook, so it outlives the flush
+    std::atexit(write_trace_at_exit);
+  }
+  g_enabled.store(on, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace
+
+bool trace_enabled() noexcept {
+  static const bool initialised = init_trace_flag();
+  (void)initialised;
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled_for_testing(bool enabled) {
+  (void)trace_enabled();  // run the env-based init first so it can't overwrite
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : capacity_(capacity), ring_(new TraceEvent[capacity]) {}
+
+TraceBuffer& TraceBuffer::global() {
+  static TraceBuffer* buffer = [] {
+    std::size_t capacity = kDefaultCapacity;
+    if (const char* v = std::getenv("HFC_TRACE_BUF")) {
+      const unsigned long long parsed = std::strtoull(v, nullptr, 10);
+      if (parsed >= 1) capacity = static_cast<std::size_t>(parsed);
+    }
+    return new TraceBuffer(capacity);  // never freed: spans may close during
+                                       // static destruction
+  }();
+  return *buffer;
+}
+
+void TraceBuffer::record(const TraceEvent& event) noexcept {
+  const std::size_t slot = next_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= capacity_) return;  // full: count as dropped, keep the head
+  ring_[slot] = event;
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  const std::size_t n =
+      std::min(next_.load(std::memory_order_relaxed), capacity_);
+  return std::vector<TraceEvent>(ring_.get(), ring_.get() + n);
+}
+
+std::size_t TraceBuffer::dropped() const noexcept {
+  const std::size_t n = next_.load(std::memory_order_relaxed);
+  return n > capacity_ ? n - capacity_ : 0;
+}
+
+void TraceBuffer::clear() noexcept {
+  next_.store(0, std::memory_order_relaxed);
+}
+
+void TraceBuffer::resize_for_testing(std::size_t capacity) {
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_ = std::make_unique<TraceEvent[]>(capacity_);
+  next_.store(0, std::memory_order_relaxed);
+}
+
+void TraceBuffer::write_chrome_trace(std::ostream& out) const {
+  std::vector<TraceEvent> spans = events();
+  // Stable start-time order: chrome://tracing accepts any order, but a
+  // sorted file is readable raw and diffs more cleanly.
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : spans) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    // Complete ("X") events; timestamps are microseconds in this format.
+    out << " {\"name\": \"" << json_escape(e.name != nullptr ? e.name : "?")
+        << "\", \"ph\": \"X\", \"ts\": "
+        << json_number(static_cast<double>(e.start_ns) / 1000.0)
+        << ", \"dur\": "
+        << json_number(static_cast<double>(e.duration_ns) / 1000.0)
+        << ", \"pid\": 1, \"tid\": " << e.thread
+        << ", \"args\": {\"depth\": " << e.depth << "}}";
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+bool TraceBuffer::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out);
+  return static_cast<bool>(out);
+}
+
+void TraceSpan::open(const char* name) noexcept {
+  name_ = name;
+  depth_ = t_span_depth++;
+  start_ns_ = trace_now_ns();
+}
+
+void TraceSpan::close() noexcept {
+  TraceEvent event;
+  event.name = name_;
+  event.start_ns = start_ns_;
+  event.duration_ns = trace_now_ns() - start_ns_;
+  event.thread = this_thread_index();
+  event.depth = depth_;
+  --t_span_depth;
+  TraceBuffer::global().record(event);
+}
+
+}  // namespace hfc::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/require.h"
 #include "util/thread_pool.h"
 
@@ -12,6 +14,7 @@ HfcTopology::HfcTopology(Clustering clustering,
                          const OverlayDistance& distance,
                          BorderSelection selection)
     : clustering_(std::move(clustering)) {
+  HFC_TRACE_SPAN("topology.select_borders");
   require(clustering_.cluster_count() >= 1, "HfcTopology: empty clustering");
   require(static_cast<bool>(distance), "HfcTopology: null distance");
   const std::size_t c = clustering_.cluster_count();
@@ -35,6 +38,10 @@ HfcTopology::HfcTopology(Clustering clustering,
   // flags are applied in a serial pass afterwards (vector<bool> packs
   // bits, so concurrent writes to different nodes would still race).
   const std::size_t pair_count = c * (c - 1) / 2;
+  static obs::Counter& pairs =
+      obs::MetricsRegistry::global().counter("topology.border_pairs");
+  static obs::Counter& candidates =
+      obs::MetricsRegistry::global().counter("topology.candidate_links");
   parallel_for(pair_count, 4, [&](std::size_t pair) {
     // Invert pair = a * c - a * (a + 1) / 2 + (b - a - 1) by scanning
     // rows; c is at most a few hundred, so this is negligible next to
@@ -48,6 +55,10 @@ HfcTopology::HfcTopology(Clustering clustering,
     const std::size_t b = a + 1 + (pair - row_start);
     const std::vector<NodeId>& xs = clustering_.members[a];
     const std::vector<NodeId>& ys = clustering_.members[b];
+    pairs.add(1);
+    if (selection == BorderSelection::kClosestPair) {
+      candidates.add(xs.size() * ys.size());
+    }
     NodeId xb;
     NodeId yb;
     switch (selection) {

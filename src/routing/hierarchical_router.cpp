@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/require.h"
 
 namespace hfc {
@@ -36,6 +38,7 @@ HierarchicalServiceRouter::HierarchicalServiceRouter(
       distance_(std::move(decision_distance)),
       params_(params),
       flat_(net, distance_) {
+  HFC_TRACE_SPAN("routing.derive_capabilities");
   require(static_cast<bool>(distance_),
           "HierarchicalServiceRouter: null distance");
   require(topo_.node_count() == net_.size(),
@@ -83,6 +86,10 @@ HierarchicalServiceRouter::Csp HierarchicalServiceRouter::compute_csp(
 HierarchicalServiceRouter::Csp HierarchicalServiceRouter::compute_csp(
     const ServiceRequest& request, const RoutingFilters& filters,
     const Exclusions& exclusions) const {
+  HFC_TRACE_SPAN("routing.csp");
+  static obs::Counter& csp_calls =
+      obs::MetricsRegistry::global().counter("routing.csp_calls");
+  csp_calls.add(1);
   Csp csp;
   const ServiceGraph& graph = request.graph;
   const ClusterId src_cluster = topo_.cluster_of(request.source);
@@ -213,11 +220,14 @@ HierarchicalServiceRouter::Csp HierarchicalServiceRouter::compute_csp(
 std::vector<HierarchicalServiceRouter::ChildRequest>
 HierarchicalServiceRouter::divide(const Csp& csp,
                                   const ServiceRequest& request) const {
+  HFC_TRACE_SPAN("routing.divide");
   require(csp.found, "divide: CSP not found");
   std::vector<ChildRequest> children;
   const ClusterId src_cluster = topo_.cluster_of(request.source);
   const ClusterId dst_cluster = topo_.cluster_of(request.destination);
 
+  static obs::Counter& child_requests =
+      obs::MetricsRegistry::global().counter("routing.child_requests");
   std::size_t i = 0;
   while (i < csp.elements.size()) {
     // A child covers the maximal run of consecutive elements in one cluster.
@@ -259,6 +269,7 @@ HierarchicalServiceRouter::divide(const Csp& csp,
     children.push_back(std::move(child));
     i = j + 1;
   }
+  child_requests.add(children.size());
   return children;
 }
 
@@ -288,6 +299,7 @@ HierarchicalServiceRouter::ConquerResult
 HierarchicalServiceRouter::conquer_filtered(
     const Csp& csp, const std::vector<ChildRequest>& children,
     const ServiceRequest& request, const RoutingFilters& filters) const {
+  HFC_TRACE_SPAN("routing.conquer");
   require(csp.found, "conquer: CSP not found");
   const ClusterId src_cluster = topo_.cluster_of(request.source);
   const ClusterId dst_cluster = topo_.cluster_of(request.destination);
@@ -353,6 +365,8 @@ HierarchicalServiceRouter::route_with_crankback(
     std::size_t max_crankbacks) const {
   RouteResult result;
   Exclusions exclusions;
+  static obs::Counter& crankbacks =
+      obs::MetricsRegistry::global().counter("routing.crankbacks");
   for (std::size_t attempt = 0; attempt <= max_crankbacks; ++attempt) {
     const Csp csp = compute_csp(request, filters, exclusions);
     if (!csp.found) return result;  // nothing feasible remains
@@ -364,6 +378,7 @@ HierarchicalServiceRouter::route_with_crankback(
       return result;
     }
     ++result.crankbacks;
+    crankbacks.add(1);
     exclusions.insert(exclusions.end(), conquered.infeasible.begin(),
                       conquered.infeasible.end());
   }
@@ -372,6 +387,10 @@ HierarchicalServiceRouter::route_with_crankback(
 
 ServicePath HierarchicalServiceRouter::route(
     const ServiceRequest& request) const {
+  HFC_TRACE_SPAN("routing.route");
+  static obs::Counter& requests =
+      obs::MetricsRegistry::global().counter("routing.requests");
+  requests.add(1);
   require(request.source.valid() && request.source.idx() < net_.size(),
           "HierarchicalServiceRouter: bad source");
   require(request.destination.valid() &&

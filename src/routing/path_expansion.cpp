@@ -1,8 +1,11 @@
 #include "routing/path_expansion.h"
 
+#include "obs/trace.h"
+
 namespace hfc {
 
 ServicePath expand_hfc_path(const ServicePath& path, const HfcTopology& topo) {
+  HFC_TRACE_SPAN("routing.path_expansion");
   if (!path.found) return path;
   ServicePath expanded;
   expanded.found = true;

@@ -3,10 +3,40 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/require.h"
 #include "util/thread_pool.h"
 
 namespace hfc {
+
+namespace {
+
+/// The protocol's registry handles, resolved once. Counters are the live
+/// tallies; StateProtocolSim instances view them as deltas.
+struct ProtocolMetrics {
+  obs::Counter& local;
+  obs::Counter& aggregate;
+  obs::Counter& forwarded;
+  obs::Counter& names_carried;
+  obs::Counter& lost;
+  obs::Gauge& convergence_time;
+
+  static ProtocolMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static ProtocolMetrics m{
+        reg.counter("protocol.local_messages"),
+        reg.counter("protocol.aggregate_messages"),
+        reg.counter("protocol.forwarded_messages"),
+        reg.counter("protocol.service_names_carried"),
+        reg.counter("protocol.lost_messages"),
+        reg.gauge("protocol.convergence_time_ms"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 StateProtocolSim::StateProtocolSim(const OverlayNetwork& net,
                                    const HfcTopology& topo,
@@ -26,36 +56,45 @@ StateProtocolSim::StateProtocolSim(const OverlayNetwork& net,
           "StateProtocolSim: periods must be positive");
   require(params_.rounds >= 1, "StateProtocolSim: need >= 1 round");
   tables_.resize(net_.size());
+  // Baseline for the per-sim delta view (see metrics()).
+  const ProtocolMetrics& m = ProtocolMetrics::get();
+  base_.local_messages = m.local.value();
+  base_.aggregate_messages = m.aggregate.value();
+  base_.forwarded_messages = m.forwarded.value();
+  base_.service_names_carried = m.names_carried.value();
+  base_.lost_messages = m.lost.value();
 }
 
 bool StateProtocolSim::dropped() {
   if (params_.loss_probability == 0.0) return false;
   if (!loss_rng_.chance(params_.loss_probability)) return false;
-  ++metrics_.lost_messages;
+  ProtocolMetrics::get().lost.add(1);
   return true;
 }
 
 void StateProtocolSim::deliver_local(Simulator& sim, NodeId to, NodeId about,
                                      std::vector<ServiceId> services) {
-  metrics_.service_names_carried += services.size();
+  ProtocolMetrics::get().names_carried.add(services.size());
   tables_[to.idx()].sct_p[about] = std::move(services);
-  metrics_.convergence_time_ms = sim.now();
+  convergence_time_ms_ = sim.now();
+  ProtocolMetrics::get().convergence_time.set(convergence_time_ms_);
 }
 
 void StateProtocolSim::deliver_aggregate(Simulator& sim, NodeId to,
                                          ClusterId about,
                                          std::vector<ServiceId> services,
                                          bool forwarded) {
-  metrics_.service_names_carried += services.size();
+  ProtocolMetrics::get().names_carried.add(services.size());
   tables_[to.idx()].sct_c[about] = services;
-  metrics_.convergence_time_ms = sim.now();
+  convergence_time_ms_ = sim.now();
+  ProtocolMetrics::get().convergence_time.set(convergence_time_ms_);
   if (forwarded) return;
   // A border proxy that receives a fresh aggregate from a peer border is
   // responsible for fanning it out inside its own cluster (§4 step 2).
   const ClusterId own = topo_.cluster_of(to);
   for (NodeId member : topo_.members(own)) {
     if (member == to) continue;
-    ++metrics_.forwarded_messages;
+    ProtocolMetrics::get().forwarded.add(1);
     if (dropped()) continue;
     std::vector<ServiceId> copy = services;
     sim.schedule_in(delay_(to, member),
@@ -73,7 +112,7 @@ void StateProtocolSim::send_local_state(Simulator& sim, NodeId from) {
   tables_[from.idx()].sct_p[from] = services;
   for (NodeId member : topo_.members(topo_.cluster_of(from))) {
     if (member == from) continue;
-    ++metrics_.local_messages;
+    ProtocolMetrics::get().local.add(1);
     if (dropped()) continue;
     sim.schedule_in(delay_(from, member),
                     [this, member, from, services](Simulator& s) {
@@ -102,7 +141,7 @@ void StateProtocolSim::send_aggregate_state(Simulator& sim, NodeId border) {
     // Only the border facing `other` speaks for the cluster on that edge.
     if (topo_.border(own, other) != border) continue;
     const NodeId peer = topo_.border(other, own);
-    ++metrics_.aggregate_messages;
+    ProtocolMetrics::get().aggregate.add(1);
     if (dropped()) continue;
     std::vector<ServiceId> copy = aggregate;
     sim.schedule_in(delay_(border, peer),
@@ -115,6 +154,7 @@ void StateProtocolSim::send_aggregate_state(Simulator& sim, NodeId border) {
 }
 
 void StateProtocolSim::run() {
+  HFC_TRACE_SPAN("protocol.run");
   require(!ran_, "StateProtocolSim::run: already ran");
   ran_ = true;
   Simulator sim;
@@ -149,6 +189,20 @@ void StateProtocolSim::run() {
                     aggregate.end());
     tables_[node.idx()].sct_c[topo_.cluster_of(node)] = std::move(aggregate);
   }
+}
+
+const StateProtocolMetrics& StateProtocolSim::metrics() const {
+  const ProtocolMetrics& m = ProtocolMetrics::get();
+  metrics_view_.local_messages = m.local.value() - base_.local_messages;
+  metrics_view_.aggregate_messages =
+      m.aggregate.value() - base_.aggregate_messages;
+  metrics_view_.forwarded_messages =
+      m.forwarded.value() - base_.forwarded_messages;
+  metrics_view_.service_names_carried =
+      m.names_carried.value() - base_.service_names_carried;
+  metrics_view_.lost_messages = m.lost.value() - base_.lost_messages;
+  metrics_view_.convergence_time_ms = convergence_time_ms_;
+  return metrics_view_;
 }
 
 const ProxyStateTables& StateProtocolSim::tables(NodeId node) const {

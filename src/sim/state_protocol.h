@@ -38,7 +38,11 @@ struct StateProtocolParams {
   std::uint64_t loss_seed = 1;
 };
 
-/// Protocol traffic accounting.
+/// Protocol traffic accounting. Since the observability subsystem landed,
+/// the live tallies are the process-wide `obs::MetricsRegistry` counters
+/// under the "protocol." prefix; this struct is the per-sim snapshot view
+/// (the delta since the sim was constructed), kept so existing callers of
+/// `metrics()` stay source-compatible.
 struct StateProtocolMetrics {
   std::size_t local_messages = 0;
   std::size_t aggregate_messages = 0;       ///< border-to-border
@@ -71,9 +75,13 @@ class StateProtocolSim {
   void run();
 
   [[nodiscard]] const ProxyStateTables& tables(NodeId node) const;
-  [[nodiscard]] const StateProtocolMetrics& metrics() const {
-    return metrics_;
-  }
+
+  /// This sim's traffic as a delta of the registry's "protocol.*" counters
+  /// since construction. Exact for the (universal) case of sims whose
+  /// message processing does not interleave with another sim's; two sims
+  /// running their event loops concurrently would blend into the same
+  /// process-wide counters.
+  [[nodiscard]] const StateProtocolMetrics& metrics() const;
 
   /// True when every proxy's SCT_P matches its cluster's placement and its
   /// SCT_C matches every cluster's aggregate service set.
@@ -102,7 +110,9 @@ class StateProtocolSim {
   OverlayDistance delay_;
   StateProtocolParams params_;
   std::vector<ProxyStateTables> tables_;
-  StateProtocolMetrics metrics_;
+  StateProtocolMetrics base_;  ///< registry counter values at construction
+  mutable StateProtocolMetrics metrics_view_;
+  double convergence_time_ms_ = 0.0;
   Rng loss_rng_;
   bool ran_ = false;
 };

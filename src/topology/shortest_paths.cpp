@@ -1,10 +1,13 @@
 #include "topology/shortest_paths.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <queue>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace hfc {
@@ -58,16 +61,27 @@ std::vector<RouterId> extract_path(const ShortestPathTree& tree,
 
 SymMatrix<double> pairwise_delays(const PhysicalNetwork& net,
                                   const std::vector<RouterId>& subset) {
+  HFC_TRACE_SPAN("dijkstra.pairwise");
+  const auto wall_start = std::chrono::steady_clock::now();
+  static obs::Counter& sources =
+      obs::MetricsRegistry::global().counter("dijkstra.sources");
   SymMatrix<double> out(subset.size(), 0.0);
   // One Dijkstra per source; source i writes only row i of the packed
   // triangle, so the fan-out parallelises with no synchronisation and
   // the result is identical for any thread count.
   parallel_for(subset.size(), 1, [&](std::size_t i) {
+    sources.add(1);
     const ShortestPathTree tree = dijkstra(net, subset[i]);
     for (std::size_t j = 0; j <= i; ++j) {
       out.at(i, j) = tree.delay_ms[subset[j].idx()];
     }
   });
+  obs::MetricsRegistry::global()
+      .histogram("dijkstra.pairwise_ms",
+                 {1.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 30000.0})
+      .observe(std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - wall_start)
+                   .count());
   return out;
 }
 
@@ -98,6 +112,9 @@ double LatencyOracle::probe_noise_factor(std::size_t i, std::size_t j,
 }
 
 double LatencyOracle::measure(std::size_t i, std::size_t j) {
+  static obs::Counter& probes =
+      obs::MetricsRegistry::global().counter("oracle.probes");
+  probes.add(1);
   probe_count_.fetch_add(1, std::memory_order_relaxed);
   const double base = truth_.at(i, j);
   if (noise_ == 0.0) return base;

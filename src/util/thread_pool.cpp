@@ -10,11 +10,35 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/require.h"
 
 namespace hfc {
 
 namespace {
+
+/// Pool registry handles, resolved once. `pool.tasks` counts every index
+/// executed (identical for serial and parallel runs of the same work);
+/// `pool.chunks` only counts chunks dispatched through workers, so it
+/// reads zero in single-threaded runs. `pool.queue_depth` is the number
+/// of chunks of the in-flight job not yet finished.
+struct PoolMetrics {
+  obs::Counter& calls;
+  obs::Counter& tasks;
+  obs::Counter& chunks;
+  obs::Gauge& queue_depth;
+
+  static PoolMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static PoolMetrics m{
+        reg.counter("pool.parallel_for_calls"),
+        reg.counter("pool.tasks"),
+        reg.counter("pool.chunks"),
+        reg.gauge("pool.queue_depth"),
+    };
+    return m;
+  }
+};
 
 /// Set while a pool worker runs chunks, so nested parallel_for calls
 /// (e.g. parallel trials whose framework build itself parallelises
@@ -54,9 +78,11 @@ struct ForJob {
   std::exception_ptr error;
 
   void run_chunks() {
+    PoolMetrics& metrics = PoolMetrics::get();
     for (;;) {
       const std::size_t c = next_chunk.fetch_add(1);
       if (c >= total_chunks) return;
+      metrics.chunks.add(1);
       if (!failed.load(std::memory_order_relaxed)) {
         const std::size_t begin = c * chunk;
         const std::size_t end = begin + chunk < n ? begin + chunk : n;
@@ -73,6 +99,7 @@ struct ForJob {
         std::lock_guard<std::mutex> lk(mu);
         done = finished.fetch_add(1) + 1;
       }
+      metrics.queue_depth.set(static_cast<double>(total_chunks - done));
       if (done == total_chunks) done_cv.notify_all();
     }
   }
@@ -107,6 +134,8 @@ struct ThreadPool::Impl {
 
 ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
   require(threads >= 1, "ThreadPool: need >= 1 thread");
+  obs::MetricsRegistry::global().gauge("pool.threads")
+      .set(static_cast<double>(threads));
   impl_->thread_count = threads;
   impl_->workers.reserve(threads - 1);
   for (std::size_t i = 0; i + 1 < threads; ++i) {
@@ -129,6 +158,9 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
                               const std::function<void(std::size_t)>& fn) {
   require(chunk >= 1, "ThreadPool::parallel_for: chunk must be >= 1");
   if (n == 0) return;
+  PoolMetrics& metrics = PoolMetrics::get();
+  metrics.calls.add(1);
+  metrics.tasks.add(n);
   // Serial fallback: size-1 pool, nested call, or too little work to be
   // worth waking anyone. Same per-index work, so same results.
   if (impl_->workers.empty() || t_inside_worker || n <= chunk) {
@@ -141,6 +173,7 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
   j->chunk = chunk;
   j->total_chunks = (n + chunk - 1) / chunk;
   j->fn = &fn;
+  metrics.queue_depth.set(static_cast<double>(j->total_chunks));
   {
     std::lock_guard<std::mutex> lk(impl_->mu);
     impl_->job = j;

@@ -1,0 +1,253 @@
+// Tests for src/obs: the metrics registry (counter exactness under the
+// thread pool, gauge/histogram semantics, registration rules, JSON
+// export) and the scoped trace spans (nesting, ring bounding, chrome
+// trace output). Counter tests deliberately run the same work serially
+// and in parallel and require identical totals — the registry's core
+// guarantee.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace hfc::obs {
+namespace {
+
+// ------------------------------------------------------------- json -------
+
+TEST(ObsJson, EscapesSpecialCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(ObsJson, NumbersAreFiniteOrNull) {
+  EXPECT_EQ(json_number(1.5), "1.500");
+  EXPECT_EQ(json_number(2.0, 1), "2.0");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::uint64_t{42}), "42");
+}
+
+// ---------------------------------------------------------- registry ------
+
+TEST(MetricsRegistry, CounterIsExactUnderParallelFor) {
+  MetricsRegistry reg;
+  Counter& serial = reg.counter("test.serial");
+  Counter& parallel = reg.counter("test.parallel");
+  const std::size_t n = 10000;
+
+  set_global_threads(1);
+  parallel_for(n, 64, [&](std::size_t i) { serial.add(i % 3 + 1); });
+  set_global_threads(4);
+  parallel_for(n, 64, [&](std::size_t i) { parallel.add(i % 3 + 1); });
+  set_global_threads(0);
+
+  EXPECT_GT(serial.value(), 0u);
+  EXPECT_EQ(serial.value(), parallel.value());
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameHandle) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x.count");
+  Counter& b = reg.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  Histogram& h1 = reg.histogram("x.hist", {1.0, 2.0});
+  Histogram& h2 = reg.histogram("x.hist", {1.0, 2.0});
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistry, RejectsKindAndBoundsMismatch) {
+  MetricsRegistry reg;
+  (void)reg.counter("m.a");
+  EXPECT_THROW((void)reg.gauge("m.a"), std::invalid_argument);
+  EXPECT_THROW((void)reg.histogram("m.a", {1.0}), std::invalid_argument);
+  (void)reg.histogram("m.h", {1.0, 2.0});
+  EXPECT_THROW((void)reg.histogram("m.h", {1.0, 3.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)reg.counter(""), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, GaugeHoldsLastValueAndAdds) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("g.level");
+  g.set(4.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(MetricsRegistry, HistogramBucketsObservations) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h.ms", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket 0 (<= 1)
+  h.observe(1.0);    // bucket 0 (inclusive upper bound)
+  h.observe(7.0);    // bucket 1
+  h.observe(1000.0); // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1008.5);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::uint64_t>{2, 1, 0, 1}));
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("b.count").add(2);
+  reg.gauge("a.level").set(1.5);
+  (void)reg.histogram("c.ms", {10.0});
+  const std::vector<MetricSnapshot> snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a.level");
+  EXPECT_EQ(snap[0].kind, MetricSnapshot::Kind::kGauge);
+  EXPECT_DOUBLE_EQ(snap[0].value, 1.5);
+  EXPECT_EQ(snap[1].name, "b.count");
+  EXPECT_EQ(snap[1].kind, MetricSnapshot::Kind::kCounter);
+  EXPECT_EQ(snap[1].count, 2u);
+  EXPECT_EQ(snap[2].name, "c.ms");
+  EXPECT_EQ(snap[2].kind, MetricSnapshot::Kind::kHistogram);
+  EXPECT_EQ(snap[2].buckets.size(), 2u);
+}
+
+TEST(MetricsRegistry, DeltaHelpersReadSnapshots) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("d.count");
+  Histogram& h = reg.histogram("d.ms", {10.0});
+  c.add(5);
+  h.observe(2.0);
+  const auto before = reg.snapshot();
+  c.add(7);
+  h.observe(3.0);
+  const auto after = reg.snapshot();
+  EXPECT_EQ(counter_value(before, "d.count"), 5u);
+  EXPECT_EQ(counter_delta(before, after, "d.count"), 7u);
+  EXPECT_DOUBLE_EQ(sum_delta(before, after, "d.ms"), 3.0);
+  EXPECT_EQ(counter_delta(before, after, "missing.name"), 0u);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsRegistration) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("r.count");
+  c.add(9);
+  reg.gauge("r.level").set(3.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(reg.snapshot().size(), 2u);
+  EXPECT_DOUBLE_EQ(reg.snapshot()[1].value, 0.0);
+}
+
+TEST(MetricsRegistry, WriteJsonIsStableAndEscaped) {
+  MetricsRegistry reg;
+  reg.counter("k.count").add(1);
+  reg.gauge("weird\"name").set(2.0);
+  std::ostringstream a;
+  std::ostringstream b;
+  reg.write_json(a, 2);
+  reg.write_json(b, 2);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str().find("\"k.count\": 1"), std::string::npos);
+  EXPECT_NE(a.str().find("weird\\\"name"), std::string::npos);
+}
+
+// ------------------------------------------------------------ tracing -----
+
+/// Enables tracing on a fresh small buffer, restores the previous state
+/// (disabled, whatever HFC_TRACE said) on scope exit.
+class TraceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceBuffer::global().resize_for_testing(64);
+    set_trace_enabled_for_testing(true);
+  }
+  void TearDown() override {
+    set_trace_enabled_for_testing(false);
+    TraceBuffer::global().clear();
+  }
+};
+
+TEST_F(TraceFixture, RecordsNestedSpans) {
+  {
+    HFC_TRACE_SPAN("outer");
+    HFC_TRACE_SPAN("inner");
+  }
+  const std::vector<TraceEvent> events = TraceBuffer::global().events();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans close inner-first.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_STREQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0u);
+  // The outer span brackets the inner one.
+  EXPECT_LE(events[1].start_ns, events[0].start_ns);
+  EXPECT_GE(events[1].start_ns + events[1].duration_ns,
+            events[0].start_ns + events[0].duration_ns);
+}
+
+TEST_F(TraceFixture, DisabledSpansRecordNothing) {
+  set_trace_enabled_for_testing(false);
+  { HFC_TRACE_SPAN("ghost"); }
+  EXPECT_TRUE(TraceBuffer::global().events().empty());
+}
+
+TEST_F(TraceFixture, RingBoundsAndCountsDrops) {
+  TraceBuffer::global().resize_for_testing(8);
+  for (int i = 0; i < 20; ++i) {
+    HFC_TRACE_SPAN("spin");
+  }
+  EXPECT_EQ(TraceBuffer::global().events().size(), 8u);
+  EXPECT_EQ(TraceBuffer::global().dropped(), 12u);
+}
+
+TEST_F(TraceFixture, ChromeTraceIsWellFormed) {
+  {
+    HFC_TRACE_SPAN("phase.a");
+    HFC_TRACE_SPAN("phase.b");
+  }
+  std::ostringstream out;
+  TraceBuffer::global().write_chrome_trace(out);
+  const std::string doc = out.str();
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"phase.a\""), std::string::npos);
+  EXPECT_NE(doc.find("\"phase.b\""), std::string::npos);
+  EXPECT_NE(doc.find("\"displayTimeUnit\""), std::string::npos);
+  // Braces and brackets balance (cheap structural sanity check).
+  long braces = 0;
+  long brackets = 0;
+  for (char c : doc) {
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST_F(TraceFixture, SpansFromPoolWorkersAreRecorded) {
+  set_global_threads(4);
+  parallel_for(32, 1, [](std::size_t) { HFC_TRACE_SPAN("task"); });
+  set_global_threads(0);
+  const std::vector<TraceEvent> events = TraceBuffer::global().events();
+  EXPECT_EQ(events.size(), 32u);
+  for (const TraceEvent& e : events) EXPECT_STREQ(e.name, "task");
+}
+
+TEST(Trace, NowIsMonotonic) {
+  const std::uint64_t a = trace_now_ns();
+  const std::uint64_t b = trace_now_ns();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace hfc::obs

@@ -2,9 +2,11 @@
 // protocol, and the §5 routing transaction timing model.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "cluster/zahn.h"
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 #include "sim/state_protocol.h"
 #include "sim/transaction.h"
@@ -219,6 +221,50 @@ TEST(StateProtocol, SoftStateRepairsLoss) {
   many.run();
   EXPECT_GE(many.convergence_fraction(), one.convergence_fraction());
   EXPECT_GT(many.convergence_fraction(), 0.95);
+}
+
+TEST(StateProtocol, MetricsViewMatchesRegistryDeltas) {
+  // The per-sim metrics struct is a snapshot view over the process-wide
+  // "protocol.*" counters: its numbers must equal the registry deltas
+  // bracketing the run.
+  ProtocolWorld w;
+  const auto before = obs::MetricsRegistry::global().snapshot();
+  StateProtocolParams params;
+  params.rounds = 2;
+  StateProtocolSim sim(w.net, w.topo, w.net.coord_distance_fn(), params);
+  sim.run();
+  const auto after = obs::MetricsRegistry::global().snapshot();
+  const StateProtocolMetrics& m = sim.metrics();
+  EXPECT_EQ(m.local_messages,
+            obs::counter_delta(before, after, "protocol.local_messages"));
+  EXPECT_EQ(m.aggregate_messages,
+            obs::counter_delta(before, after, "protocol.aggregate_messages"));
+  EXPECT_EQ(m.forwarded_messages,
+            obs::counter_delta(before, after, "protocol.forwarded_messages"));
+  EXPECT_EQ(m.service_names_carried,
+            obs::counter_delta(before, after,
+                               "protocol.service_names_carried"));
+  EXPECT_EQ(m.lost_messages,
+            obs::counter_delta(before, after, "protocol.lost_messages"));
+  EXPECT_GT(m.local_messages, 0u);
+}
+
+TEST(StateProtocol, RegistryCountsInjectedLoss) {
+  // With loss_probability > 0 the registry must record lost messages, and
+  // the sim's view must agree with the bracketing deltas.
+  ProtocolWorld w;
+  StateProtocolParams lossy;
+  lossy.rounds = 2;
+  lossy.loss_probability = 0.5;
+  lossy.loss_seed = 3;
+  const auto before = obs::MetricsRegistry::global().snapshot();
+  StateProtocolSim sim(w.net, w.topo, w.net.coord_distance_fn(), lossy);
+  sim.run();
+  const auto after = obs::MetricsRegistry::global().snapshot();
+  const std::uint64_t lost =
+      obs::counter_delta(before, after, "protocol.lost_messages");
+  EXPECT_GT(lost, 0u);
+  EXPECT_EQ(sim.metrics().lost_messages, lost);
 }
 
 TEST(StateProtocol, RejectsBadLossProbability) {

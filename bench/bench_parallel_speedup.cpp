@@ -19,6 +19,7 @@
 #include "coords/gnp.h"
 #include "src/obs/metrics.h"
 #include "topology/overlay_placement.h"
+#include "distance/latency_oracle.h"
 #include "topology/shortest_paths.h"
 #include "topology/transit_stub.h"
 #include "util/thread_pool.h"

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Repo-wide verification gate. Run from anywhere:
 #
-#   scripts/check.sh          # -Werror build + full test suite + TSan gate
-#   scripts/check.sh --fast   # skip the TSan build (quick local iteration)
+#   scripts/check.sh          # -Werror build + tests + TSan + ASan gates
+#   scripts/check.sh --fast   # skip the sanitizer builds (quick iteration)
 #
 # Stages:
 #   1. Configure + build with -Wall -Wextra -Werror (HFC_WERROR=ON) into
@@ -10,10 +10,16 @@
 #   2. Run the full ctest suite (tier-1 gate).
 #   3. Build with -DHFC_SANITIZE=thread into build-tsan/ and re-run the
 #      concurrency-sensitive tests (obs metrics, thread pool, sim/protocol,
-#      parallel construction paths) with a 4-thread pool, so data races in
-#      the metrics registry or the pool fail loudly.
+#      distance row caches, parallel construction paths) with a 4-thread
+#      pool, so data races in the registry, the pool or the sharded LRU
+#      fail loudly.
+#   4. Build with -DHFC_SANITIZE=address (Debug, so the NDEBUG-gated
+#      lifetime asserts are live) into build-asan/, run the memory-heavy
+#      suites, and run the distance-scaling bench at a reduced
+#      HFC_DIST_N=400 so the whole build-and-route pipeline — including
+#      the row-cache eviction churn — is exercised under ASan.
 #
-# The TSan stage is the expensive one (~10 min on 1 core); --fast skips it.
+# The sanitizer stages are the expensive ones; --fast skips both.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,22 +33,31 @@ elif [[ -n "${1:-}" ]]; then
   exit 2
 fi
 
-echo "== [1/3] -Werror build =="
+echo "== [1/4] -Werror build =="
 cmake -B build-check -S . -DHFC_WERROR=ON
 cmake --build build-check -j"$JOBS"
 
-echo "== [2/3] full test suite =="
+echo "== [2/4] full test suite =="
 ctest --test-dir build-check -j"$JOBS" --output-on-failure
 
 if [[ "$FAST" == "1" ]]; then
-  echo "== [3/3] TSan gate skipped (--fast) =="
+  echo "== [3/4] TSan gate skipped (--fast) =="
+  echo "== [4/4] ASan gate skipped (--fast) =="
   exit 0
 fi
 
-echo "== [3/3] TSan gate =="
+echo "== [3/4] TSan gate =="
 cmake -B build-tsan -S . -DHFC_SANITIZE=thread
 cmake --build build-tsan -j"$JOBS"
 HFC_THREADS=4 ctest --test-dir build-tsan -j"$JOBS" --output-on-failure \
-  -R 'Obs|Metrics|Trace|ThreadPool|Parallel|StateProtocol|Simulator'
+  -R 'Obs|Metrics|Trace|ThreadPool|Parallel|StateProtocol|Simulator|Distance|RowCache'
+
+echo "== [4/4] ASan gate =="
+cmake -B build-asan -S . -DHFC_SANITIZE=address -DCMAKE_BUILD_TYPE=Debug
+cmake --build build-asan -j"$JOBS"
+ctest --test-dir build-asan -j"$JOBS" --output-on-failure \
+  -R 'Distance|RowCache|SymMatrix|Oracle|Mesh|Overlay|CoordDistance|Probe'
+HFC_DIST_N=400 HFC_DIST_REQUESTS=200 HFC_BENCH_JSON=0 \
+  ./build-asan/bench/bench_distance_scaling
 
 echo "== all checks passed =="

@@ -50,6 +50,12 @@ std::vector<MstEdge> mst_dense(std::size_t n, const DistanceFn& distance) {
   return edges;
 }
 
+std::vector<MstEdge> mst_dense(const DistanceService& distance) {
+  return mst_dense(distance.size(), [&distance](std::size_t i, std::size_t j) {
+    return distance.at(i, j);
+  });
+}
+
 std::vector<MstEdge> euclidean_mst(const std::vector<Point>& points) {
   return mst_dense(points.size(), [&points](std::size_t i, std::size_t j) {
     return euclidean(points[i], points[j]);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "coords/point.h"
+#include "distance/distance_service.h"
 
 namespace hfc {
 
@@ -28,6 +29,13 @@ using DistanceFn = std::function<double(std::size_t, std::size_t)>;
 /// (empty for n <= 1).
 [[nodiscard]] std::vector<MstEdge> mst_dense(std::size_t n,
                                              const DistanceFn& distance);
+
+/// MST over all nodes of a distance service (same Prim scan, so the edge
+/// set is bit-identical to the callback form over equal distances). The
+/// intended input is the coordinate tier — O(k) per query; the truth tier
+/// works but thrashes a small row cache, since Prim's scan order touches
+/// rows in non-sequential order.
+[[nodiscard]] std::vector<MstEdge> mst_dense(const DistanceService& distance);
 
 /// Convenience: MST of points under Euclidean distance.
 [[nodiscard]] std::vector<MstEdge> euclidean_mst(

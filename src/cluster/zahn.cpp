@@ -213,4 +213,12 @@ Clustering cluster_points(const std::vector<Point>& points,
   return zahn_cluster(points.size(), euclidean_mst(points), params, distance);
 }
 
+Clustering cluster_nodes(const DistanceService& distance,
+                         const ZahnParams& params) {
+  const DistanceFn fn = [&distance](std::size_t i, std::size_t j) {
+    return distance.at(i, j);
+  };
+  return zahn_cluster(distance.size(), mst_dense(distance), params, fn);
+}
+
 }  // namespace hfc

@@ -63,6 +63,13 @@ struct Clustering {
 [[nodiscard]] Clustering cluster_points(const std::vector<Point>& points,
                                         const ZahnParams& params = {});
 
+/// MST + clustering over all nodes of a distance service (the pipeline
+/// form: the framework passes its coordinate tier here). Bit-identical
+/// to `cluster_points` when the service answers with the same Euclidean
+/// distances.
+[[nodiscard]] Clustering cluster_nodes(const DistanceService& distance,
+                                       const ZahnParams& params = {});
+
 /// Indices (into `mst`) of the edges Zahn's test marks inconsistent.
 [[nodiscard]] std::vector<std::size_t> find_inconsistent_edges(
     std::size_t n, const std::vector<MstEdge>& mst, const ZahnParams& params);

@@ -21,7 +21,9 @@ constexpr double kMinDelayMs = 1.0;
 double max_entry(const SymMatrix<double>& m) {
   double best = 0.0;
   for (std::size_t i = 0; i < m.size(); ++i) {
-    for (std::size_t j = 0; j <= i; ++j) best = std::max(best, m.at(i, j));
+    for (std::size_t j = 0; j <= i; ++j) {
+      best = std::max(best, m.at_unsafe(i, j));
+    }
   }
   return best;
 }
@@ -53,7 +55,8 @@ CoordinateSystem embed_landmarks(const SymMatrix<double>& landmark_delays,
           const double delta = x[i * k + d] - x[j * k + d];
           sum += delta * delta;
         }
-        cost += squared_rel_error(std::sqrt(sum), landmark_delays.at(i, j));
+        cost += squared_rel_error(std::sqrt(sum),
+                                  landmark_delays.at_unsafe(i, j));
       }
     }
     return cost;
@@ -171,7 +174,7 @@ EmbeddingQuality evaluate_embedding(const std::vector<Point>& coords,
   std::vector<double> errors;
   for (std::size_t i = 0; i + 1 < coords.size(); ++i) {
     for (std::size_t j = i + 1; j < coords.size(); ++j) {
-      const double truth = true_delays.at(i, j);
+      const double truth = true_delays.at_unsafe(i, j);
       if (truth <= 0.0) continue;
       errors.push_back(std::abs(euclidean(coords[i], coords[j]) - truth) /
                        truth);

@@ -17,7 +17,7 @@
 
 #include "coords/nelder_mead.h"
 #include "coords/point.h"
-#include "topology/shortest_paths.h"
+#include "distance/latency_oracle.h"
 #include "util/rng.h"
 #include "util/sym_matrix.h"
 

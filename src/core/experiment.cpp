@@ -75,7 +75,7 @@ PathEfficiencySample measure_path_efficiency(const HfcFramework& fw,
   const auto mesh_routing =
       std::make_shared<const MeshRouting>(mesh.compute_routing(estimated));
   const OverlayDistance mesh_distance = [mesh_routing](NodeId a, NodeId b) {
-    return mesh_routing->distance.at(a.idx(), b.idx());
+    return mesh_routing->distance(a, b);
   };
   const FlatServiceRouter mesh_router(net, mesh_distance);
 

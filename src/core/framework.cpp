@@ -36,19 +36,26 @@ std::unique_ptr<HfcFramework> HfcFramework::build(
       place_overlay(fw->underlay_, placement_params, place_rng);
 
   // 3. Distance map via landmarks + coordinates (§3.1). The oracle's
-  //    endpoint list is [landmarks..., proxies...].
+  //    endpoint list is [landmarks..., proxies...]; its truth tier keeps a
+  //    bounded row cache instead of materializing all pairs.
   std::vector<RouterId> endpoints = fw->placement_.landmark_routers;
   endpoints.insert(endpoints.end(), fw->placement_.proxy_routers.begin(),
                    fw->placement_.proxy_routers.end());
   LatencyOracle oracle(fw->underlay_.network, std::move(endpoints),
-                       config.measurement_noise, master.fork(3));
+                       config.measurement_noise, master.fork(3),
+                       config.distance_cache_rows);
   Rng gnp_rng = master.fork(4);
   fw->distance_map_ =
       build_distance_map(oracle, config.landmarks, config.gnp, gnp_rng);
 
-  // Ground-truth proxy-pairwise delays, for evaluation only.
-  fw->true_delays_ = std::make_shared<const SymMatrix<double>>(
-      pairwise_delays(fw->underlay_.network, fw->placement_.proxy_routers));
+  // Distance tiers: the coordinate estimate everything downstream decides
+  // with, and the lazily derived proxy-pairwise ground truth evaluation
+  // reads (bounded LRU of per-proxy Dijkstra rows — no dense matrix).
+  fw->coord_service_ = std::make_shared<const CoordDistanceService>(
+      fw->distance_map_.proxy_coords);
+  fw->proxy_truth_ = std::make_shared<const TruthDistanceService>(
+      fw->underlay_.network, fw->placement_.proxy_routers,
+      config.distance_cache_rows);
 
   // 4. Service placement (Table 1: 4-10 services per proxy) and overlay.
   Rng workload_rng = master.fork(5);
@@ -57,17 +64,15 @@ std::unique_ptr<HfcFramework> HfcFramework::build(
       assign_services(config.proxies, config.workload, workload_rng));
 
   // 5. Clustering by MST + inconsistent-edge removal (§3.2) and the HFC
-  //    topology with border selection (§3.3).
-  Clustering clustering =
-      cluster_points(fw->distance_map_.proxy_coords, config.zahn);
+  //    topology with border selection (§3.3), both querying the
+  //    coordinate tier.
+  Clustering clustering = cluster_nodes(*fw->coord_service_, config.zahn);
   fw->topology_ = std::make_unique<HfcTopology>(
-      std::move(clustering), fw->estimated_distance(),
-      config.border_selection);
+      std::move(clustering), *fw->coord_service_, config.border_selection);
 
   // 6. Hierarchical router over the aggregate state (§5).
   fw->router_ = std::make_unique<HierarchicalServiceRouter>(
-      *fw->overlay_, *fw->topology_, fw->estimated_distance(),
-      config.routing);
+      *fw->overlay_, *fw->topology_, *fw->coord_service_, config.routing);
 
   // 7. Client endpoint pool: each client's nearest proxy by true delay.
   fw->client_proxies_.reserve(config.clients);
@@ -89,18 +94,15 @@ std::unique_ptr<HfcFramework> HfcFramework::build(
 }
 
 OverlayDistance HfcFramework::estimated_distance() const {
-  // Captures `this`; the framework is neither copyable nor movable, so the
-  // pointer stays valid for the framework's lifetime.
-  return [this](NodeId a, NodeId b) {
-    return euclidean(distance_map_.proxy_coords[a.idx()],
-                     distance_map_.proxy_coords[b.idx()]);
-  };
+  // Shares ownership of the coordinate tier, so the closure stays valid
+  // even if it outlives the framework object itself.
+  return [svc = coord_service_](NodeId a, NodeId b) { return (*svc)(a, b); };
 }
 
 OverlayDistance HfcFramework::true_distance() const {
-  return [delays = true_delays_](NodeId a, NodeId b) {
-    return delays->at(a.idx(), b.idx());
-  };
+  // Note: the truth tier holds a pointer to the framework's underlay, so
+  // unlike the estimate this must not outlive the framework.
+  return [svc = proxy_truth_](NodeId a, NodeId b) { return (*svc)(a, b); };
 }
 
 std::vector<ServiceRequest> HfcFramework::generate_requests(std::size_t count,

@@ -14,6 +14,8 @@
 
 #include "cluster/zahn.h"
 #include "coords/gnp.h"
+#include "distance/coord_distance.h"
+#include "distance/truth_distance.h"
 #include "overlay/hfc_topology.h"
 #include "overlay/overlay_network.h"
 #include "routing/hierarchical_router.h"
@@ -21,7 +23,6 @@
 #include "topology/overlay_placement.h"
 #include "topology/transit_stub.h"
 #include "util/rng.h"
-#include "util/sym_matrix.h"
 
 namespace hfc {
 
@@ -41,6 +42,12 @@ struct FrameworkConfig {
   BorderSelection border_selection = BorderSelection::kClosestPair;
   WorkloadParams workload;
   HierarchicalRoutingParams routing;
+
+  /// Row-cache capacity for the truth distance tier (0 = resolve via the
+  /// HFC_DIST_CACHE_ROWS environment variable, then the built-in default).
+  /// Bounds resident ground-truth distance state at cache_rows * proxies
+  /// doubles instead of a dense O(proxies^2) matrix.
+  std::size_t distance_cache_rows = 0;
 
   /// Master seed; every stochastic stage forks its own stream from it.
   std::uint64_t seed = 1;
@@ -72,12 +79,26 @@ class HfcFramework {
     return *router_;
   }
 
+  /// The coordinate distance tier every construction stage queries (what
+  /// proxies believe). Valid while the framework lives.
+  [[nodiscard]] const CoordDistanceService& estimated_service() const {
+    return *coord_service_;
+  }
+
+  /// The ground-truth tier: lazily derived per-proxy underlay delay rows
+  /// in a bounded LRU (capacity `config.distance_cache_rows`).
+  [[nodiscard]] const TruthDistanceService& truth_service() const {
+    return *proxy_truth_;
+  }
+
   /// What proxies believe: coordinate-space distance (the system's own
-  /// estimate). Valid while the framework lives.
+  /// estimate). The closure shares ownership of the coordinate service,
+  /// but the framework must outlive it regardless.
   [[nodiscard]] OverlayDistance estimated_distance() const;
 
   /// Ground truth: shortest underlay delay between proxy attachment
-  /// routers — what experiments measure final paths with.
+  /// routers — what experiments measure final paths with. Derived on
+  /// demand from the truth tier; no dense matrix is materialized.
   [[nodiscard]] OverlayDistance true_distance() const;
 
   /// The proxy nearest (in true delay) to each configured client; the
@@ -103,7 +124,10 @@ class HfcFramework {
   TransitStubTopology underlay_;
   OverlayPlacement placement_;
   DistanceMap distance_map_;
-  std::shared_ptr<const SymMatrix<double>> true_delays_;  // proxy-pairwise
+  /// Distance tiers, declared before their consumers (topology_, router_)
+  /// so they are destroyed after them.
+  std::shared_ptr<const CoordDistanceService> coord_service_;
+  std::shared_ptr<const TruthDistanceService> proxy_truth_;
   std::unique_ptr<OverlayNetwork> overlay_;
   std::unique_ptr<HfcTopology> topology_;
   std::unique_ptr<HierarchicalServiceRouter> router_;

@@ -1,0 +1,47 @@
+#include "distance/coord_distance.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/require.h"
+
+namespace hfc {
+
+CoordDistanceService::CoordDistanceService(std::vector<Point> coords)
+    : coords_(std::move(coords)) {
+  require(!coords_.empty(), "CoordDistanceService: no coordinates");
+  const std::size_t dim = coords_.front().size();
+  require(dim >= 1, "CoordDistanceService: zero-dimensional coordinates");
+  for (const Point& p : coords_) {
+    require(p.size() == dim,
+            "CoordDistanceService: inconsistent coordinate dimensions");
+  }
+}
+
+double CoordDistanceService::at(std::size_t a, std::size_t b) const {
+  require(a < coords_.size() && b < coords_.size(),
+          "CoordDistanceService::at: index out of range");
+  return euclidean(coords_[a], coords_[b]);
+}
+
+std::shared_ptr<const std::vector<double>> CoordDistanceService::row(
+    std::size_t source) const {
+  require(source < coords_.size(), "CoordDistanceService::row: bad source");
+  static obs::Counter& rows =
+      obs::MetricsRegistry::global().counter("distance.coord_row_computes");
+  rows.add(1);
+  auto out = std::make_shared<std::vector<double>>(coords_.size(), 0.0);
+  for (std::size_t j = 0; j < coords_.size(); ++j) {
+    (*out)[j] = euclidean(coords_[source], coords_[j]);
+  }
+  return out;
+}
+
+std::size_t CoordDistanceService::resident_bytes() const {
+  // The coordinates themselves are the tier's entire resident state.
+  std::size_t bytes = 0;
+  for (const Point& p : coords_) bytes += p.size() * sizeof(double);
+  return bytes;
+}
+
+}  // namespace hfc

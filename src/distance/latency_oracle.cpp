@@ -1,0 +1,63 @@
+#include "distance/latency_oracle.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/require.h"
+
+namespace hfc {
+
+LatencyOracle::LatencyOracle(const PhysicalNetwork& net,
+                             std::vector<RouterId> endpoints, double noise,
+                             Rng rng, std::size_t cache_rows)
+    : truth_(net, std::move(endpoints), cache_rows), noise_(noise),
+      noise_seed_(rng.seed()) {
+  require(noise >= 0.0, "LatencyOracle: negative noise");
+}
+
+double LatencyOracle::probe_noise_factor(std::size_t i, std::size_t j,
+                                         std::uint64_t probe_idx) const {
+  // Counter-based noise: each probe's inflation is a pure function of
+  // (seed, unordered pair, probe index), so measurements are reproducible
+  // no matter which thread measures which pair in which order.
+  const std::uint64_t lo = static_cast<std::uint64_t>(std::min(i, j));
+  const std::uint64_t hi = static_cast<std::uint64_t>(std::max(i, j));
+  std::uint64_t h = splitmix64(noise_seed_ ^ 0xa24baed4963ee407ULL);
+  h = splitmix64(h ^ (hi << 32 | lo));
+  h = splitmix64(h ^ probe_idx);
+  // 53 high bits -> uniform double in [0, 1).
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return 1.0 + noise_ * u;
+}
+
+std::uint64_t LatencyOracle::next_probe_index(std::size_t i, std::size_t j) {
+  const std::uint64_t lo = static_cast<std::uint64_t>(std::min(i, j));
+  const std::uint64_t hi = static_cast<std::uint64_t>(std::max(i, j));
+  const std::uint64_t key = hi << 32 | lo;
+  ProbeShard& shard = probe_shards_[key % kProbeShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.counts[key]++;
+}
+
+double LatencyOracle::measure(std::size_t i, std::size_t j) {
+  static obs::Counter& probes =
+      obs::MetricsRegistry::global().counter("oracle.probes");
+  probes.add(1);
+  probe_count_.fetch_add(1, std::memory_order_relaxed);
+  const double base = truth_.at(i, j);
+  if (noise_ == 0.0) return base;
+  return base * probe_noise_factor(i, j, next_probe_index(i, j));
+}
+
+double LatencyOracle::measure_min_of(std::size_t i, std::size_t j,
+                                     std::size_t probes) {
+  require(probes >= 1, "LatencyOracle::measure_min_of: need >= 1 probe");
+  double best = measure(i, j);
+  for (std::size_t p = 1; p < probes; ++p) {
+    best = std::min(best, measure(i, j));
+  }
+  return best;
+}
+
+}  // namespace hfc

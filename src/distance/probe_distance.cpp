@@ -1,0 +1,29 @@
+#include "distance/probe_distance.h"
+
+#include "util/require.h"
+
+namespace hfc {
+
+ProbeDistanceService::ProbeDistanceService(LatencyOracle& oracle,
+                                           std::size_t probes_per_measurement)
+    : oracle_(&oracle), probes_(probes_per_measurement) {
+  require(probes_ >= 1, "ProbeDistanceService: need >= 1 probe per query");
+}
+
+double ProbeDistanceService::at(std::size_t a, std::size_t b) const {
+  require(a < size() && b < size(),
+          "ProbeDistanceService::at: index out of range");
+  return oracle_->measure_min_of(a, b, probes_);
+}
+
+std::shared_ptr<const std::vector<double>> ProbeDistanceService::row(
+    std::size_t source) const {
+  require(source < size(), "ProbeDistanceService::row: bad source");
+  auto out = std::make_shared<std::vector<double>>(size(), 0.0);
+  for (std::size_t j = 0; j < size(); ++j) {
+    (*out)[j] = oracle_->measure_min_of(source, j, probes_);
+  }
+  return out;
+}
+
+}  // namespace hfc

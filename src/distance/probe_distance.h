@@ -1,0 +1,52 @@
+// Probe tier: every query is a live noisy measurement through a
+// `LatencyOracle` — what a deployed proxy would actually see before any
+// embedding, with full probe accounting (§3.1).
+//
+// Unlike the deterministic tiers, querying has a cost (it increments the
+// oracle's probe counters) and repeated queries of the same pair return
+// different values when the oracle is noisy (fresh per-probe noise
+// draws). Use it where the measurement discipline itself is under study;
+// use `measure_min_of` semantics by raising `probes_per_measurement`.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "distance/distance_service.h"
+#include "distance/latency_oracle.h"
+
+namespace hfc {
+
+class ProbeDistanceService final : public DistanceService {
+ public:
+  /// Each `at` issues `probes_per_measurement` >= 1 probes and returns
+  /// their minimum (the paper's noise-reduction discipline). The oracle
+  /// must outlive the service.
+  explicit ProbeDistanceService(LatencyOracle& oracle,
+                                std::size_t probes_per_measurement = 1);
+
+  [[nodiscard]] std::size_t size() const override {
+    return oracle_->endpoint_count();
+  }
+  [[nodiscard]] DistanceTier tier() const override {
+    return DistanceTier::kProbe;
+  }
+  [[nodiscard]] double at(std::size_t a, std::size_t b) const override;
+  [[nodiscard]] std::shared_ptr<const std::vector<double>> row(
+      std::size_t source) const override;
+  [[nodiscard]] std::size_t resident_bytes() const override {
+    return oracle_->truth().resident_bytes();
+  }
+
+  /// Probes issued by the underlying oracle so far.
+  [[nodiscard]] std::size_t probe_count() const {
+    return oracle_->probe_count();
+  }
+
+ private:
+  LatencyOracle* oracle_;  ///< non-const: measuring counts probes
+  std::size_t probes_;
+};
+
+}  // namespace hfc

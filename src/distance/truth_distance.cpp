@@ -1,0 +1,65 @@
+#include "distance/truth_distance.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "topology/shortest_paths.h"
+#include "util/require.h"
+
+namespace hfc {
+
+namespace {
+
+RowCache<std::vector<double>>::Counters truth_counters() {
+  auto& registry = obs::MetricsRegistry::global();
+  return {&registry.counter("distance.truth_row_hits"),
+          &registry.counter("distance.truth_row_computes"),
+          &registry.counter("distance.truth_row_evictions")};
+}
+
+}  // namespace
+
+TruthDistanceService::TruthDistanceService(const PhysicalNetwork& net,
+                                           std::vector<RouterId> endpoints,
+                                           std::size_t cache_rows)
+    : net_(&net),
+      endpoints_(std::move(endpoints)),
+      cache_(resolve_cache_rows(cache_rows, 256),
+             endpoints_.size() * sizeof(double), truth_counters()) {
+  require(!endpoints_.empty(), "TruthDistanceService: no endpoints");
+  for (RouterId r : endpoints_) {
+    require(r.valid() && r.idx() < net.router_count(),
+            "TruthDistanceService: endpoint outside the network");
+  }
+}
+
+std::shared_ptr<const std::vector<double>> TruthDistanceService::row(
+    std::size_t source) const {
+  require(source < endpoints_.size(), "TruthDistanceService::row: bad source");
+  return cache_.get_or_compute(source, [this](std::size_t src) {
+    static obs::Counter& sources =
+        obs::MetricsRegistry::global().counter("dijkstra.sources");
+    sources.add(1);
+    const ShortestPathTree tree = dijkstra(*net_, endpoints_[src]);
+    std::vector<double> delays(endpoints_.size(), 0.0);
+    for (std::size_t j = 0; j < endpoints_.size(); ++j) {
+      delays[j] = tree.delay_ms[endpoints_[j].idx()];
+    }
+    return delays;
+  });
+}
+
+double TruthDistanceService::at(std::size_t a, std::size_t b) const {
+  require(a < endpoints_.size() && b < endpoints_.size(),
+          "TruthDistanceService::at: index out of range");
+  // Canonical orientation: read from the higher-indexed source, matching
+  // the packed triangle `pairwise_delays` fills (reversed-order floating
+  // summation along a path can differ in the last ulp, so this is what
+  // keeps truth queries both symmetric and bit-equal to the legacy map).
+  const std::size_t hi = std::max(a, b);
+  const std::size_t lo = std::min(a, b);
+  return (*row(hi))[lo];
+}
+
+}  // namespace hfc

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "distance/distance_service.h"
 #include "util/require.h"
 
 namespace hfc {
@@ -51,6 +52,12 @@ MultiLevelRouter::MultiLevelRouter(const OverlayNetwork& net,
     agg.erase(std::unique(agg.begin(), agg.end()), agg.end());
   }
 }
+
+MultiLevelRouter::MultiLevelRouter(const OverlayNetwork& net,
+                                   const MultiLevelHierarchy& hierarchy,
+                                   const DistanceService& decision_distance)
+    : MultiLevelRouter(net, hierarchy,
+                       OverlayDistance(decision_distance.fn())) {}
 
 bool MultiLevelRouter::group_hosts(std::size_t group,
                                    ServiceId service) const {

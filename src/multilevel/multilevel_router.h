@@ -17,12 +17,20 @@
 
 namespace hfc {
 
+class DistanceService;
+
 class MultiLevelRouter {
  public:
   /// References must outlive the router.
   MultiLevelRouter(const OverlayNetwork& net,
                    const MultiLevelHierarchy& hierarchy,
                    OverlayDistance decision_distance);
+
+  /// Same, drawing the decision metric from a distance service (which must
+  /// outlive the router).
+  MultiLevelRouter(const OverlayNetwork& net,
+                   const MultiLevelHierarchy& hierarchy,
+                   const DistanceService& decision_distance);
 
   /// Route hierarchically through every level of the tree.
   [[nodiscard]] ServicePath route(const ServiceRequest& request) const;

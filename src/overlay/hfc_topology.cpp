@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "distance/distance_service.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/require.h"
@@ -11,15 +12,19 @@
 namespace hfc {
 
 HfcTopology::HfcTopology(Clustering clustering,
+                         const DistanceService& distance,
+                         BorderSelection selection)
+    : HfcTopology(std::move(clustering), distance.fn(), selection) {}
+
+HfcTopology::HfcTopology(Clustering clustering,
                          const OverlayDistance& distance,
                          BorderSelection selection)
-    : clustering_(std::move(clustering)) {
+    : clustering_(std::move(clustering)), distance_(distance) {
   HFC_TRACE_SPAN("topology.select_borders");
   require(clustering_.cluster_count() >= 1, "HfcTopology: empty clustering");
   require(static_cast<bool>(distance), "HfcTopology: null distance");
   const std::size_t c = clustering_.cluster_count();
   border_.assign(c * c, NodeId{});
-  external_length_ = SymMatrix<double>(c, 0.0);
   is_border_.assign(clustering_.node_count(), false);
 
   // For kSingleHub, each cluster designates one representative (its lowest
@@ -92,7 +97,6 @@ HfcTopology::HfcTopology(Clustering clustering,
     ensure(xb.valid() && yb.valid(), "HfcTopology: border selection failed");
     border_[a * c + b] = xb;
     border_[b * c + a] = yb;
-    external_length_.at(a, b) = distance(xb, yb);
   });
 
   for (std::size_t a = 0; a + 1 < c; ++a) {
@@ -129,7 +133,10 @@ double HfcTopology::external_length(ClusterId a, ClusterId b) const {
   require(a.valid() && a.idx() < c && b.valid() && b.idx() < c,
           "HfcTopology::external_length: bad cluster");
   require(a != b, "HfcTopology::external_length: same cluster");
-  return external_length_.at(a.idx(), b.idx());
+  // Derived on demand: same functor, same border pair as at build time,
+  // so the value is bit-equal to the matrix entry this used to store.
+  return distance_(border_[a.idx() * c + b.idx()],
+                   border_[b.idx() * c + a.idx()]);
 }
 
 bool HfcTopology::is_border(NodeId node) const {

@@ -19,9 +19,10 @@
 #include "cluster/zahn.h"
 #include "overlay/overlay_network.h"
 #include "util/ids.h"
-#include "util/sym_matrix.h"
 
 namespace hfc {
+
+class DistanceService;
 
 /// Border selection strategies. `kClosestPair` is the paper's rule; the
 /// alternatives exist for the ablation study (DESIGN.md A3).
@@ -46,8 +47,16 @@ class HfcTopology {
  public:
   /// Build the HFC topology from a clustering of `n` nodes; `distance` is
   /// the coordinate-space distance the system knows (border pairs are
-  /// chosen to minimise it). Throws on an empty clustering.
+  /// chosen to minimise it). The topology keeps a copy of the functor and
+  /// re-evaluates it for `external_length` queries, so whatever state the
+  /// functor references must outlive the topology. Throws on an empty
+  /// clustering.
   HfcTopology(Clustering clustering, const OverlayDistance& distance,
+              BorderSelection selection = BorderSelection::kClosestPair);
+
+  /// Same, querying a distance service (the framework passes its
+  /// coordinate tier). The service must outlive the topology.
+  HfcTopology(Clustering clustering, const DistanceService& distance,
               BorderSelection selection = BorderSelection::kClosestPair);
 
   [[nodiscard]] std::size_t node_count() const {
@@ -68,7 +77,9 @@ class HfcTopology {
   [[nodiscard]] NodeId border(ClusterId from, ClusterId toward) const;
 
   /// Length of the external link between the border pair of two distinct
-  /// clusters, under the distance the topology was built with.
+  /// clusters, under the distance the topology was built with. Derived on
+  /// demand from the stored distance functor — the O(C^2) length matrix
+  /// is no longer materialized.
   [[nodiscard]] double external_length(ClusterId a, ClusterId b) const;
 
   [[nodiscard]] bool is_border(NodeId node) const;
@@ -103,9 +114,11 @@ class HfcTopology {
 
  private:
   Clustering clustering_;
+  /// The distance the topology was built with; external_length re-derives
+  /// link lengths from it instead of storing a matrix.
+  OverlayDistance distance_;
   /// border_[from * C + toward] = border node of `from` facing `toward`.
   std::vector<NodeId> border_;
-  SymMatrix<double> external_length_;
   std::vector<bool> is_border_;
   std::vector<NodeId> all_borders_;
 };

@@ -4,23 +4,95 @@
 #include <limits>
 #include <numeric>
 #include <queue>
+#include <utility>
 
+#include "distance/distance_service.h"
+#include "obs/metrics.h"
 #include "util/require.h"
 
 namespace hfc {
 
+MeshRouting::MeshRouting(std::vector<std::vector<NodeId>> adjacency,
+                         OverlayDistance edge_distance,
+                         std::size_t cache_rows)
+    : adjacency_(std::move(adjacency)),
+      edge_distance_(std::move(edge_distance)) {
+  require(!adjacency_.empty(), "MeshRouting: empty mesh");
+  require(static_cast<bool>(edge_distance_), "MeshRouting: null distance");
+  auto& registry = obs::MetricsRegistry::global();
+  const RowCache<SourceTree>::Counters counters{
+      &registry.counter("distance.mesh_row_hits"),
+      &registry.counter("distance.mesh_row_computes"),
+      &registry.counter("distance.mesh_row_evictions")};
+  // One source tree holds a delay and a predecessor per node.
+  const std::size_t bytes_per_tree =
+      adjacency_.size() * (sizeof(double) + sizeof(NodeId));
+  cache_ = std::make_unique<RowCache<SourceTree>>(
+      resolve_cache_rows(cache_rows, adjacency_.size()), bytes_per_tree,
+      counters);
+}
+
+std::shared_ptr<const MeshRouting::SourceTree> MeshRouting::tree(
+    std::size_t src) const {
+  return cache_->get_or_compute(src, [this](std::size_t source) {
+    const std::size_t n = adjacency_.size();
+    SourceTree out;
+    out.dist.assign(n, std::numeric_limits<double>::infinity());
+    out.pred.assign(n, NodeId{});
+    out.dist[source] = 0.0;
+    using Entry = std::pair<double, std::size_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    heap.emplace(0.0, source);
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (d > out.dist[u]) continue;
+      const NodeId nu(static_cast<std::int32_t>(u));
+      for (NodeId v : adjacency_[u]) {
+        const double nd = d + edge_distance_(nu, v);
+        if (nd < out.dist[v.idx()]) {
+          out.dist[v.idx()] = nd;
+          out.pred[v.idx()] = nu;
+          heap.emplace(nd, v.idx());
+        }
+      }
+    }
+    return out;
+  });
+}
+
+double MeshRouting::distance(NodeId src, NodeId dst) const {
+  require(src.valid() && src.idx() < adjacency_.size(),
+          "MeshRouting::distance: bad src");
+  require(dst.valid() && dst.idx() < adjacency_.size(),
+          "MeshRouting::distance: bad dst");
+  // Canonical orientation: read from the higher-indexed endpoint, the
+  // entry the old packed SymMatrix held for this pair — keeps lazy
+  // results bit-equal to the eager all-pairs computation.
+  const std::size_t hi = std::max(src.idx(), dst.idx());
+  const std::size_t lo = std::min(src.idx(), dst.idx());
+  return tree(hi)->dist[lo];
+}
+
 std::vector<NodeId> MeshRouting::walk(NodeId src, NodeId dst) const {
-  require(src.valid() && src.idx() < pred.size(), "MeshRouting::walk: bad src");
-  require(dst.valid() && dst.idx() < pred.size(), "MeshRouting::walk: bad dst");
+  require(src.valid() && src.idx() < adjacency_.size(),
+          "MeshRouting::walk: bad src");
+  require(dst.valid() && dst.idx() < adjacency_.size(),
+          "MeshRouting::walk: bad dst");
   if (src == dst) return {src};
-  if (!pred[src.idx()][dst.idx()].valid()) return {};
+  const std::shared_ptr<const SourceTree> t = tree(src.idx());
+  if (!t->pred[dst.idx()].valid()) return {};
   std::vector<NodeId> path;
-  for (NodeId v = dst; v != src; v = pred[src.idx()][v.idx()]) {
+  for (NodeId v = dst; v != src; v = t->pred[v.idx()]) {
     path.push_back(v);
   }
   path.push_back(src);
   std::reverse(path.begin(), path.end());
   return path;
+}
+
+std::size_t MeshRouting::resident_bytes() const {
+  return cache_->resident_bytes();
 }
 
 MeshTopology::MeshTopology(std::size_t n, const OverlayDistance& distance,
@@ -151,40 +223,19 @@ bool MeshTopology::connected() const {
   return visited == adjacency_.size();
 }
 
-MeshRouting MeshTopology::compute_routing(
-    const OverlayDistance& distance) const {
-  const std::size_t n = adjacency_.size();
-  MeshRouting routing;
-  routing.distance = SymMatrix<double>(n, 0.0);
-  routing.pred.assign(n, std::vector<NodeId>(n));
+MeshTopology::MeshTopology(const DistanceService& distance,
+                           const MeshParams& params, Rng& rng)
+    : MeshTopology(distance.size(), OverlayDistance(distance.fn()), params,
+                   rng) {}
 
-  using Entry = std::pair<double, std::size_t>;
-  std::vector<double> dist(n);
-  for (std::size_t src = 0; src < n; ++src) {
-    std::fill(dist.begin(), dist.end(),
-              std::numeric_limits<double>::infinity());
-    dist[src] = 0.0;
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-    heap.emplace(0.0, src);
-    while (!heap.empty()) {
-      const auto [d, u] = heap.top();
-      heap.pop();
-      if (d > dist[u]) continue;
-      const NodeId nu(static_cast<std::int32_t>(u));
-      for (NodeId v : adjacency_[u]) {
-        const double nd = d + distance(nu, v);
-        if (nd < dist[v.idx()]) {
-          dist[v.idx()] = nd;
-          routing.pred[src][v.idx()] = nu;
-          heap.emplace(nd, v.idx());
-        }
-      }
-    }
-    for (std::size_t v = 0; v <= src; ++v) {
-      routing.distance.at(src, v) = dist[v];
-    }
-  }
-  return routing;
+MeshRouting MeshTopology::compute_routing(const OverlayDistance& distance,
+                                          std::size_t cache_rows) const {
+  return MeshRouting(adjacency_, distance, cache_rows);
+}
+
+MeshRouting MeshTopology::compute_routing(const DistanceService& distance,
+                                          std::size_t cache_rows) const {
+  return MeshRouting(adjacency_, OverlayDistance(distance.fn()), cache_rows);
 }
 
 }  // namespace hfc

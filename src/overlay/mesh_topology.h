@@ -6,14 +6,17 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "distance/row_cache.h"
 #include "overlay/overlay_network.h"
 #include "util/ids.h"
 #include "util/rng.h"
-#include "util/sym_matrix.h"
 
 namespace hfc {
+
+class DistanceService;
 
 struct MeshParams {
   std::size_t nearest_min = 1;
@@ -22,17 +25,48 @@ struct MeshParams {
   std::size_t random_max = 2;
 };
 
-/// All-pairs routing state over the mesh: shortest overlay distances and
-/// the predecessor matrix needed to expand relay sequences.
-struct MeshRouting {
-  SymMatrix<double> distance;
-  /// pred[src][v] = node before v on a shortest src->v walk (invalid for
-  /// v == src or unreachable v).
-  std::vector<std::vector<NodeId>> pred;
+/// Routing state over the mesh, derived lazily: one Dijkstra per *touched*
+/// source, memoized in a bounded LRU of source trees instead of the dense
+/// distance + predecessor matrices this used to hold (O(cache_rows * n)
+/// resident instead of O(n^2)).
+///
+/// Query orientation matches the old packed matrix: `distance(a, b)` reads
+/// the tree of the higher-indexed endpoint, so values are bit-equal to the
+/// eager all-pairs computation. `walk` runs on the actual source's tree.
+/// The edge-weight functor is kept by value; whatever it references must
+/// outlive this object.
+class MeshRouting {
+ public:
+  /// `cache_rows` = 0 resolves via HFC_DIST_CACHE_ROWS, defaulting to all
+  /// n sources resident (the dense-equivalent working set).
+  MeshRouting(std::vector<std::vector<NodeId>> adjacency,
+              OverlayDistance edge_distance, std::size_t cache_rows = 0);
+
+  [[nodiscard]] std::size_t size() const { return adjacency_.size(); }
+
+  /// Shortest mesh-walk distance between two nodes (infinity if
+  /// unreachable).
+  [[nodiscard]] double distance(NodeId src, NodeId dst) const;
 
   /// Node sequence src..dst along the shortest mesh walk (empty if
   /// unreachable; [src] if src == dst).
   [[nodiscard]] std::vector<NodeId> walk(NodeId src, NodeId dst) const;
+
+  /// Bytes of routing state currently resident (cached source trees).
+  [[nodiscard]] std::size_t resident_bytes() const;
+
+ private:
+  /// Shortest-path tree from one source over the mesh edges.
+  struct SourceTree {
+    std::vector<double> dist;
+    std::vector<NodeId> pred;
+  };
+  [[nodiscard]] std::shared_ptr<const SourceTree> tree(std::size_t src) const;
+
+  std::vector<std::vector<NodeId>> adjacency_;
+  OverlayDistance edge_distance_;
+  /// unique_ptr so MeshRouting stays movable (the cache holds mutexes).
+  std::unique_ptr<RowCache<SourceTree>> cache_;
 };
 
 class MeshTopology {
@@ -44,16 +78,27 @@ class MeshTopology {
   MeshTopology(std::size_t n, const OverlayDistance& distance,
                const MeshParams& params, Rng& rng);
 
+  /// Same, querying a distance service. The service is only used during
+  /// construction.
+  MeshTopology(const DistanceService& distance, const MeshParams& params,
+               Rng& rng);
+
   [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
   [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId node) const;
   [[nodiscard]] bool has_edge(NodeId a, NodeId b) const;
   [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
   [[nodiscard]] bool connected() const;
 
-  /// Dijkstra from every node with edge weights drawn from `distance`
-  /// (normally the same estimate the mesh was built with).
-  [[nodiscard]] MeshRouting compute_routing(
-      const OverlayDistance& distance) const;
+  /// Lazy routing state with edge weights drawn from `distance` (normally
+  /// the same estimate the mesh was built with). The functor is kept by
+  /// value inside the returned object — see MeshRouting's lifetime note.
+  [[nodiscard]] MeshRouting compute_routing(const OverlayDistance& distance,
+                                            std::size_t cache_rows = 0) const;
+
+  /// Same, querying a distance service; the service must outlive the
+  /// returned MeshRouting.
+  [[nodiscard]] MeshRouting compute_routing(const DistanceService& distance,
+                                            std::size_t cache_rows = 0) const;
 
  private:
   void add_edge(NodeId a, NodeId b);

@@ -60,8 +60,8 @@ double OverlayNetwork::coord_distance(NodeId a, NodeId b) const {
   return euclidean(coordinate(a), coordinate(b));
 }
 
-OverlayDistance OverlayNetwork::coord_distance_fn() const {
-  return [this](NodeId a, NodeId b) { return coord_distance(a, b); };
+CoordDistanceRef OverlayNetwork::coord_distance_fn() const {
+  return CoordDistanceRef(this, alive_);
 }
 
 std::vector<NodeId> OverlayNetwork::all_nodes() const {

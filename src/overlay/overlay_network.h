@@ -5,18 +5,55 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "coords/point.h"
 #include "services/workload.h"
 #include "util/ids.h"
+#include "util/require.h"
 
 namespace hfc {
 
 /// Symmetric distance between two overlay nodes. Implementations include
 /// coordinate-space estimates (what proxies actually know) and
 /// ground-truth underlay delays (what experiments measure paths with).
+///
+/// Lifetime contract: an OverlayDistance is a *view*. Whatever state its
+/// closure references — an OverlayNetwork, an HfcFramework, a
+/// DistanceService — must outlive every call through the function.
+/// Closures that must survive their producer should capture owning
+/// handles (shared_ptr) instead.
 using OverlayDistance = std::function<double(NodeId, NodeId)>;
+
+class OverlayNetwork;
+
+/// The coordinate distance of one OverlayNetwork as a small copyable
+/// functor — no std::function allocation, and (in debug builds) a
+/// liveness check that turns the classic use-after-free of a closure
+/// outliving its network into an immediate error instead of a read
+/// through a dangling pointer. The network must still outlive the
+/// functor; the assert is a diagnostic, not a lifetime extension.
+class CoordDistanceRef {
+ public:
+  CoordDistanceRef(const OverlayNetwork* net, std::weak_ptr<const bool> alive)
+      : net_(net) {
+#ifndef NDEBUG
+    alive_ = std::move(alive);
+#else
+    (void)alive;
+#endif
+  }
+
+  [[nodiscard]] double operator()(NodeId a, NodeId b) const;
+
+ private:
+  const OverlayNetwork* net_;
+#ifndef NDEBUG
+  /// Tracks the network's liveness token; expires when it is destroyed.
+  std::weak_ptr<const bool> alive_;
+#endif
+};
 
 class OverlayNetwork {
  public:
@@ -36,9 +73,11 @@ class OverlayNetwork {
   /// Coordinate-space (estimated) distance between two proxies.
   [[nodiscard]] double coord_distance(NodeId a, NodeId b) const;
 
-  /// The coordinate distance as an OverlayDistance closure. The closure
-  /// references this network; keep the network alive while using it.
-  [[nodiscard]] OverlayDistance coord_distance_fn() const;
+  /// The coordinate distance as a copyable functor (convertible to
+  /// OverlayDistance wherever one is expected). The functor references
+  /// this network; keep the network alive while using it — debug builds
+  /// assert on calls after the network is destroyed.
+  [[nodiscard]] CoordDistanceRef coord_distance_fn() const;
 
   [[nodiscard]] std::vector<NodeId> all_nodes() const;
 
@@ -48,6 +87,18 @@ class OverlayNetwork {
   /// hosts_index_[s] = proxies hosting service s (for services < catalog
   /// bound seen in the placement).
   std::vector<std::vector<NodeId>> hosts_index_;
+  /// Liveness token observed by CoordDistanceRef's debug assert: the
+  /// weak_ptrs handed out expire exactly when this network is destroyed.
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
 };
+
+inline double CoordDistanceRef::operator()(NodeId a, NodeId b) const {
+#ifndef NDEBUG
+  ensure(!alive_.expired(),
+         "CoordDistanceRef: the OverlayNetwork this functor references has "
+         "been destroyed");
+#endif
+  return net_->coord_distance(a, b);
+}
 
 }  // namespace hfc

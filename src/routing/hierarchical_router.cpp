@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "distance/distance_service.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/require.h"
@@ -56,6 +57,13 @@ HierarchicalServiceRouter::HierarchicalServiceRouter(
     agg.erase(std::unique(agg.begin(), agg.end()), agg.end());
   }
 }
+
+HierarchicalServiceRouter::HierarchicalServiceRouter(
+    const OverlayNetwork& net, const HfcTopology& topo,
+    const DistanceService& decision_distance, HierarchicalRoutingParams params)
+    : HierarchicalServiceRouter(net, topo,
+                                OverlayDistance(decision_distance.fn()),
+                                params) {}
 
 void HierarchicalServiceRouter::set_cluster_capability(
     ClusterId cluster, std::vector<ServiceId> services) {

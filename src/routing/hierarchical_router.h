@@ -68,6 +68,13 @@ class HierarchicalServiceRouter {
                             OverlayDistance decision_distance,
                             HierarchicalRoutingParams params = {});
 
+  /// Same, drawing the decision metric from a distance service (which must
+  /// outlive the router).
+  HierarchicalServiceRouter(const OverlayNetwork& net,
+                            const HfcTopology& topo,
+                            const DistanceService& decision_distance,
+                            HierarchicalRoutingParams params = {});
+
   /// Full pipeline: map -> CSP -> divide -> conquer.
   [[nodiscard]] ServicePath route(const ServiceRequest& request) const;
 

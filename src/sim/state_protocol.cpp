@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "distance/distance_service.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/require.h"
@@ -64,6 +65,12 @@ StateProtocolSim::StateProtocolSim(const OverlayNetwork& net,
   base_.service_names_carried = m.names_carried.value();
   base_.lost_messages = m.lost.value();
 }
+
+StateProtocolSim::StateProtocolSim(const OverlayNetwork& net,
+                                   const HfcTopology& topo,
+                                   const DistanceService& delay,
+                                   StateProtocolParams params)
+    : StateProtocolSim(net, topo, OverlayDistance(delay.fn()), params) {}
 
 bool StateProtocolSim::dropped() {
   if (params_.loss_probability == 0.0) return false;

@@ -71,6 +71,12 @@ class StateProtocolSim {
   StateProtocolSim(const OverlayNetwork& net, const HfcTopology& topo,
                    OverlayDistance delay, StateProtocolParams params = {});
 
+  /// Same, drawing delays from a distance service (typically the truth
+  /// tier — messages travel the real underlay). Must outlive the sim.
+  StateProtocolSim(const OverlayNetwork& net, const HfcTopology& topo,
+                   const DistanceService& delay,
+                   StateProtocolParams params = {});
+
   /// Run the configured rounds to completion.
   void run();
 

@@ -85,53 +85,4 @@ SymMatrix<double> pairwise_delays(const PhysicalNetwork& net,
   return out;
 }
 
-LatencyOracle::LatencyOracle(const PhysicalNetwork& net,
-                             std::vector<RouterId> endpoints, double noise,
-                             Rng rng)
-    : truth_(pairwise_delays(net, endpoints)), noise_(noise),
-      noise_seed_(rng.seed()) {
-  require(noise >= 0.0, "LatencyOracle: negative noise");
-  const std::size_t pairs = truth_.size() * (truth_.size() + 1) / 2;
-  pair_probes_ = std::make_unique<std::atomic<std::uint64_t>[]>(pairs);
-  for (std::size_t p = 0; p < pairs; ++p) pair_probes_[p] = 0;
-}
-
-double LatencyOracle::probe_noise_factor(std::size_t i, std::size_t j,
-                                         std::uint64_t probe_idx) const {
-  // Counter-based noise: each probe's inflation is a pure function of
-  // (seed, unordered pair, probe index), so measurements are reproducible
-  // no matter which thread measures which pair in which order.
-  const std::uint64_t lo = static_cast<std::uint64_t>(std::min(i, j));
-  const std::uint64_t hi = static_cast<std::uint64_t>(std::max(i, j));
-  std::uint64_t h = splitmix64(noise_seed_ ^ 0xa24baed4963ee407ULL);
-  h = splitmix64(h ^ (hi << 32 | lo));
-  h = splitmix64(h ^ probe_idx);
-  // 53 high bits -> uniform double in [0, 1).
-  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
-  return 1.0 + noise_ * u;
-}
-
-double LatencyOracle::measure(std::size_t i, std::size_t j) {
-  static obs::Counter& probes =
-      obs::MetricsRegistry::global().counter("oracle.probes");
-  probes.add(1);
-  probe_count_.fetch_add(1, std::memory_order_relaxed);
-  const double base = truth_.at(i, j);
-  if (noise_ == 0.0) return base;
-  const std::size_t slot = i >= j ? i * (i + 1) / 2 + j : j * (j + 1) / 2 + i;
-  const std::uint64_t probe_idx =
-      pair_probes_[slot].fetch_add(1, std::memory_order_relaxed);
-  return base * probe_noise_factor(i, j, probe_idx);
-}
-
-double LatencyOracle::measure_min_of(std::size_t i, std::size_t j,
-                                     std::size_t probes) {
-  require(probes >= 1, "LatencyOracle::measure_min_of: need >= 1 probe");
-  double best = measure(i, j);
-  for (std::size_t p = 1; p < probes; ++p) {
-    best = std::min(best, measure(i, j));
-  }
-  return best;
-}
-
 }  // namespace hfc

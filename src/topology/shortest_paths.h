@@ -1,23 +1,14 @@
-// Shortest delay paths through the physical network (Dijkstra), and the
-// end-to-end "measurement" layer built on top of them.
+// Shortest delay paths through the physical network (Dijkstra).
 //
-// In the paper, Internet distances are round-trip delays measured between
-// hosts; here the ground truth is the delay of the shortest path through
-// the generated underlay. `LatencyOracle` adds the paper's measurement
-// discipline on top (multiplicative noise per probe, minimum of R probes,
-// §3.1) so the coordinate-embedding stage sees realistic, noisy inputs
-// while experiments can still query exact ground truth.
+// The end-to-end "measurement" layer built on top of them — noisy probes
+// and lazily derived ground truth — lives in src/distance/ (see
+// `LatencyOracle` and `TruthDistanceService`).
 #pragma once
 
-#include <atomic>
-#include <cstddef>
-#include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "topology/physical_network.h"
 #include "util/ids.h"
-#include "util/rng.h"
 #include "util/sym_matrix.h"
 
 namespace hfc {
@@ -45,59 +36,12 @@ struct ShortestPathTree {
 /// All-pairs shortest delays restricted to a subset of routers (one
 /// Dijkstra per subset member). Entry (i, j) is the delay between
 /// subset[i] and subset[j].
+///
+/// This materializes the full O(|subset|^2) matrix; production paths use
+/// the lazily derived `TruthDistanceService` (src/distance/) instead, and
+/// this adapter remains for tests and small evaluation sweeps that want
+/// the whole truth map at once.
 [[nodiscard]] SymMatrix<double> pairwise_delays(
     const PhysicalNetwork& net, const std::vector<RouterId>& subset);
-
-/// End-to-end latency measurement between attachment routers.
-///
-/// `measure` models one application-level RTT probe: the true shortest
-/// delay inflated by multiplicative noise, never below the true value
-/// (queueing only adds delay). `measure_min_of` takes the minimum over
-/// several probes, the paper's §3.1 noise-reduction discipline.
-///
-/// Safe for concurrent measurement: probe accounting is atomic, and each
-/// probe's noise is a pure function of (seed, endpoint pair, per-pair
-/// probe index) rather than a draw from shared mutable RNG state, so a
-/// parallel measurement schedule yields the same values as a serial one
-/// as long as each pair is measured by a single task (the construction
-/// paths measure disjoint pairs per task).
-class LatencyOracle {
- public:
-  /// `noise` is the maximum relative inflation per probe (0.2 = up to
-  /// +20%). Zero noise makes measurements exact.
-  LatencyOracle(const PhysicalNetwork& net, std::vector<RouterId> endpoints,
-                double noise, Rng rng);
-
-  [[nodiscard]] std::size_t endpoint_count() const { return truth_.size(); }
-
-  /// Ground-truth delay between endpoints i and j.
-  [[nodiscard]] double true_delay(std::size_t i, std::size_t j) const {
-    return truth_.at(i, j);
-  }
-
-  /// One noisy probe.
-  [[nodiscard]] double measure(std::size_t i, std::size_t j);
-
-  /// Minimum of `probes` >= 1 noisy probes.
-  [[nodiscard]] double measure_min_of(std::size_t i, std::size_t j,
-                                      std::size_t probes);
-
-  /// Number of probes issued so far (for measurement-cost accounting).
-  [[nodiscard]] std::size_t probe_count() const {
-    return probe_count_.load(std::memory_order_relaxed);
-  }
-
- private:
-  [[nodiscard]] double probe_noise_factor(std::size_t i, std::size_t j,
-                                          std::uint64_t probe_idx) const;
-
-  SymMatrix<double> truth_;
-  double noise_;
-  std::uint64_t noise_seed_;
-  std::atomic<std::size_t> probe_count_{0};
-  /// Per-unordered-pair probe counters (packed lower triangle), so each
-  /// probe of a pair gets a fresh deterministic noise draw.
-  std::unique_ptr<std::atomic<std::uint64_t>[]> pair_probes_;
-};
 
 }  // namespace hfc

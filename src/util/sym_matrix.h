@@ -39,6 +39,16 @@ class SymMatrix {
     return data_[offset_unchecked(i, j)];
   }
 
+  /// Named spelling of the unchecked access, for call sites migrating
+  /// from `at` inside dense inner loops where the bounds are established
+  /// once outside the loop.
+  [[nodiscard]] T& at_unsafe(std::size_t i, std::size_t j) {
+    return data_[offset_unchecked(i, j)];
+  }
+  [[nodiscard]] const T& at_unsafe(std::size_t i, std::size_t j) const {
+    return data_[offset_unchecked(i, j)];
+  }
+
   friend bool operator==(const SymMatrix&, const SymMatrix&) = default;
 
  private:

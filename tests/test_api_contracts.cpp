@@ -10,6 +10,7 @@
 #include "routing/flat_router.h"
 #include "routing/hierarchical_router.h"
 #include "sim/state_protocol.h"
+#include "distance/latency_oracle.h"
 #include "topology/shortest_paths.h"
 #include "util/rng.h"
 

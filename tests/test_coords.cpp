@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "coords/gnp.h"
+#include "distance/latency_oracle.h"
+#include "topology/shortest_paths.h"
 #include "coords/nelder_mead.h"
 #include "coords/point.h"
 #include "topology/transit_stub.h"

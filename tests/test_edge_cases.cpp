@@ -7,6 +7,7 @@
 
 #include "cluster/zahn.h"
 #include "coords/gnp.h"
+#include "distance/latency_oracle.h"
 #include "coords/nelder_mead.h"
 #include "core/experiment.h"
 #include "multilevel/multilevel_hierarchy.h"

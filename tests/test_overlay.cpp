@@ -278,14 +278,14 @@ TEST(MeshTopology, RoutingDistancesAreMetricOverEdges) {
                           mesh_rng);
   const MeshRouting routing = mesh.compute_routing(net.coord_distance_fn());
   for (int u = 0; u < 30; ++u) {
-    EXPECT_DOUBLE_EQ(routing.distance.at(u, u), 0.0);
+    EXPECT_DOUBLE_EQ(routing.distance(NodeId(u), NodeId(u)), 0.0);
     for (int v = 0; v < 30; ++v) {
       // Mesh shortest path >= direct distance (triangle inequality).
-      EXPECT_GE(routing.distance.at(u, v),
+      EXPECT_GE(routing.distance(NodeId(u), NodeId(v)),
                 net.coord_distance(NodeId(u), NodeId(v)) - 1e-9);
       // Edges are optimal one-hop paths or better.
       if (mesh.has_edge(NodeId(u), NodeId(v))) {
-        EXPECT_LE(routing.distance.at(u, v),
+        EXPECT_LE(routing.distance(NodeId(u), NodeId(v)),
                   net.coord_distance(NodeId(u), NodeId(v)) + 1e-9);
       }
     }
@@ -314,7 +314,7 @@ TEST(MeshTopology, WalkFollowsEdgesAndMatchesDistance) {
         EXPECT_TRUE(mesh.has_edge(walk[i], walk[i + 1]));
         total += net.coord_distance(walk[i], walk[i + 1]);
       }
-      EXPECT_NEAR(total, routing.distance.at(u, v), 1e-9);
+      EXPECT_NEAR(total, routing.distance(NodeId(u), NodeId(v)), 1e-9);
     }
   }
 }

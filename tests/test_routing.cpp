@@ -224,7 +224,7 @@ TEST(PathExpansion, MeshExpansionFollowsEdges) {
   const MeshTopology mesh(20, dist, MeshParams{}, mesh_rng);
   const MeshRouting routing = mesh.compute_routing(dist);
   const OverlayDistance mesh_dist = [&routing](NodeId a, NodeId b) {
-    return routing.distance.at(a.idx(), b.idx());
+    return routing.distance(a, b);
   };
   const FlatServiceRouter router(world.net, mesh_dist);
 

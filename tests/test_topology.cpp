@@ -8,6 +8,7 @@
 
 #include "topology/overlay_placement.h"
 #include "topology/physical_network.h"
+#include "distance/latency_oracle.h"
 #include "topology/shortest_paths.h"
 #include "topology/transit_stub.h"
 #include "util/rng.h"

@@ -10,14 +10,16 @@
 #   2. Run the full ctest suite (tier-1 gate).
 #   3. Build with -DHFC_SANITIZE=thread into build-tsan/ and re-run the
 #      concurrency-sensitive tests (obs metrics, thread pool, sim/protocol,
-#      distance row caches, parallel construction paths) with a 4-thread
-#      pool, so data races in the registry, the pool or the sharded LRU
-#      fail loudly.
+#      distance row caches, parallel construction paths, dynamic/churn
+#      suites) with a 4-thread pool, so data races in the registry, the
+#      pool, the sharded LRU or the batched border repair fail loudly;
+#      then a reduced bench_churn_dynamic run under the same build.
 #   4. Build with -DHFC_SANITIZE=address (Debug, so the NDEBUG-gated
 #      lifetime asserts are live) into build-asan/, run the memory-heavy
-#      suites, and run the distance-scaling bench at a reduced
-#      HFC_DIST_N=400 so the whole build-and-route pipeline — including
-#      the row-cache eviction churn — is exercised under ASan.
+#      suites plus the dynamic/churn suites, and run the distance-scaling
+#      and churn benches at reduced sizes so the whole build-and-route
+#      pipeline — including row-cache eviction and incremental border
+#      repair — is exercised under ASan.
 #
 # The sanitizer stages are the expensive ones; --fast skips both.
 set -euo pipefail
@@ -50,14 +52,18 @@ echo "== [3/4] TSan gate =="
 cmake -B build-tsan -S . -DHFC_SANITIZE=thread
 cmake --build build-tsan -j"$JOBS"
 HFC_THREADS=4 ctest --test-dir build-tsan -j"$JOBS" --output-on-failure \
-  -R 'Obs|Metrics|Trace|ThreadPool|Parallel|StateProtocol|Simulator|Distance|RowCache'
+  -R 'Obs|Metrics|Trace|ThreadPool|Parallel|StateProtocol|Simulator|Distance|RowCache|Dynamic|Churn'
+HFC_THREADS=4 HFC_CHURN_N=500 HFC_CHURN_EVENTS=96 HFC_REQUESTS=40 \
+  HFC_WAVES=2 HFC_BENCH_JSON=0 ./build-tsan/bench/bench_churn_dynamic
 
 echo "== [4/4] ASan gate =="
 cmake -B build-asan -S . -DHFC_SANITIZE=address -DCMAKE_BUILD_TYPE=Debug
 cmake --build build-asan -j"$JOBS"
 ctest --test-dir build-asan -j"$JOBS" --output-on-failure \
-  -R 'Distance|RowCache|SymMatrix|Oracle|Mesh|Overlay|CoordDistance|Probe'
+  -R 'Distance|RowCache|SymMatrix|Oracle|Mesh|Overlay|CoordDistance|Probe|Dynamic|Churn'
 HFC_DIST_N=400 HFC_DIST_REQUESTS=200 HFC_BENCH_JSON=0 \
   ./build-asan/bench/bench_distance_scaling
+HFC_CHURN_N=500 HFC_CHURN_EVENTS=96 HFC_REQUESTS=40 HFC_WAVES=2 \
+  HFC_BENCH_JSON=0 ./build-asan/bench/bench_churn_dynamic
 
 echo "== all checks passed =="

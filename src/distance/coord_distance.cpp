@@ -37,6 +37,12 @@ std::shared_ptr<const std::vector<double>> CoordDistanceService::row(
   return out;
 }
 
+void CoordDistanceService::append(Point p) {
+  require(p.size() == coords_.front().size(),
+          "CoordDistanceService::append: dimension mismatch");
+  coords_.push_back(std::move(p));
+}
+
 std::size_t CoordDistanceService::resident_bytes() const {
   // The coordinates themselves are the tier's entire resident state.
   std::size_t bytes = 0;

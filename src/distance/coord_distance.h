@@ -33,6 +33,10 @@ class CoordDistanceService final : public DistanceService {
 
   [[nodiscard]] const std::vector<Point>& coords() const { return coords_; }
 
+  /// Grow the tier by one coordinate (dynamic membership, DESIGN.md §9).
+  /// Not safe concurrently with queries.
+  void append(Point p);
+
  private:
   std::vector<Point> coords_;
 };

@@ -1,15 +1,29 @@
 #include "dynamic/dynamic_overlay.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
-#include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/require.h"
 
 namespace hfc {
 
 namespace {
+
+obs::Counter& churn_events_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("churn.events");
+  return c;
+}
+
+obs::Counter& full_rebuilds_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("churn.full_rebuilds");
+  return c;
+}
 
 /// Mean intra-cluster pairwise coordinate distance over active nodes with
 /// the given labels (label < 0 = inactive). 0 when no intra pair exists.
@@ -30,20 +44,30 @@ double intra_cluster_cost(const std::vector<Point>& coords,
 
 }  // namespace
 
+ChurnMode default_churn_mode() {
+  const char* env = std::getenv("HFC_CHURN_INCREMENTAL");
+  if (env != nullptr && env[0] == '0' && env[1] == '\0') {
+    return ChurnMode::kFullRebuild;
+  }
+  return ChurnMode::kIncremental;
+}
+
 DynamicHfcOverlay::DynamicHfcOverlay(std::vector<Point> coords,
                                      ServicePlacement placement,
                                      ZahnParams zahn,
-                                     BorderSelection selection)
+                                     BorderSelection selection, ChurnMode mode)
     : coords_(std::move(coords)),
       placement_(std::move(placement)),
       zahn_(zahn),
-      selection_(selection) {
+      selection_(selection),
+      mode_(mode) {
   require(coords_.size() == placement_.size(),
           "DynamicHfcOverlay: coords/placement size mismatch");
   require(!coords_.empty(), "DynamicHfcOverlay: empty universe");
   active_.assign(coords_.size(), true);
   active_count_ = coords_.size();
   labels_.assign(coords_.size(), -1);
+  dist_ = std::make_unique<CoordDistanceService>(coords_);
   restructure();
 }
 
@@ -53,28 +77,32 @@ bool DynamicHfcOverlay::is_active(NodeId node) const {
   return active_[node.idx()];
 }
 
-void DynamicHfcOverlay::deactivate(NodeId node) {
+void DynamicHfcOverlay::do_deactivate(NodeId node) {
   require(is_active(node), "DynamicHfcOverlay::deactivate: node not active");
   require(active_count_ > 1,
           "DynamicHfcOverlay::deactivate: cannot empty the overlay");
+  if (mode_ == ChurnMode::kIncremental) inc_topo_->on_member_removed(node);
   active_[node.idx()] = false;
   labels_[node.idx()] = -1;
   --active_count_;
   ++mutations_since_restructure_;
+  ++active_generation_;
   dirty_ = true;
 }
 
-void DynamicHfcOverlay::activate(NodeId node) {
+void DynamicHfcOverlay::do_activate(NodeId node) {
   require(node.valid() && node.idx() < active_.size(),
           "DynamicHfcOverlay::activate: bad node");
   require(!active_[node.idx()],
           "DynamicHfcOverlay::activate: node already active");
-  // Paper's join rule: enter the cluster of the nearest active proxy.
+  // Paper's join rule: enter the cluster of the nearest active proxy. The
+  // scan goes through the coordinate distance tier (bit-equal to the raw
+  // euclidean, so both churn modes track identical labels).
   double best = std::numeric_limits<double>::infinity();
   std::int32_t label = -1;
   for (std::size_t v = 0; v < coords_.size(); ++v) {
     if (!active_[v]) continue;
-    const double d = euclidean(coords_[node.idx()], coords_[v]);
+    const double d = dist_->at(node.idx(), v);
     if (d < best) {
       best = d;
       label = labels_[v];
@@ -85,25 +113,85 @@ void DynamicHfcOverlay::activate(NodeId node) {
   labels_[node.idx()] = label;
   ++active_count_;
   ++mutations_since_restructure_;
+  ++active_generation_;
+  if (mode_ == ChurnMode::kIncremental) {
+    inc_topo_->on_member_added(node, ClusterId(label));
+  }
   dirty_ = true;
 }
 
-NodeId DynamicHfcOverlay::add_proxy(Point coords,
-                                    std::vector<ServiceId> services) {
+NodeId DynamicHfcOverlay::do_add(Point coords,
+                                 std::vector<ServiceId> services) {
   require(coords.size() == coords_.front().size(),
           "DynamicHfcOverlay::add_proxy: dimension mismatch");
   require(std::is_sorted(services.begin(), services.end()),
           "DynamicHfcOverlay::add_proxy: services must be sorted");
+  if (mode_ == ChurnMode::kIncremental) {
+    inc_net_->add_node(coords, services);
+    inc_topo_->append_node();
+  }
+  dist_->append(coords);
   coords_.push_back(std::move(coords));
   placement_.push_back(std::move(services));
   active_.push_back(false);
   labels_.push_back(-1);
   const NodeId node(static_cast<std::int32_t>(coords_.size() - 1));
-  activate(node);
+  do_activate(node);
   return node;
 }
 
+void DynamicHfcOverlay::deactivate(NodeId node) {
+  churn_events_counter().add(1);
+  do_deactivate(node);
+}
+
+void DynamicHfcOverlay::activate(NodeId node) {
+  churn_events_counter().add(1);
+  do_activate(node);
+}
+
+NodeId DynamicHfcOverlay::add_proxy(Point coords,
+                                    std::vector<ServiceId> services) {
+  churn_events_counter().add(1);
+  return do_add(std::move(coords), std::move(services));
+}
+
+std::vector<NodeId> DynamicHfcOverlay::apply(
+    std::span<const ChurnEvent> events) {
+  churn_events_counter().add(events.size());
+  std::vector<NodeId> added;
+  const bool batch = mode_ == ChurnMode::kIncremental && events.size() > 1;
+  if (batch) inc_topo_->begin_mutation_batch();
+  try {
+    for (const ChurnEvent& event : events) {
+      switch (event.kind) {
+        case ChurnEvent::Kind::kActivate:
+          do_activate(event.node);
+          break;
+        case ChurnEvent::Kind::kDeactivate:
+          do_deactivate(event.node);
+          break;
+        case ChurnEvent::Kind::kAdd:
+          added.push_back(do_add(event.coords, event.services));
+          break;
+      }
+    }
+  } catch (...) {
+    // Keep the already-applied prefix consistent: run its repairs.
+    if (batch) inc_topo_->end_mutation_batch();
+    throw;
+  }
+  if (batch) inc_topo_->end_mutation_batch();
+  return added;
+}
+
 double DynamicHfcOverlay::clustering_quality() const {
+  if (quality_valid_ && quality_gen_ == active_generation_) {
+    return quality_cache_;
+  }
+  static obs::Counter& computes =
+      obs::MetricsRegistry::global().counter("churn.quality_computes");
+  computes.add(1);
   // Fresh Zahn over the active set.
   std::vector<Point> active_coords;
   std::vector<std::size_t> dense_to_universe;
@@ -120,8 +208,11 @@ double DynamicHfcOverlay::clustering_quality() const {
   }
   const double fresh_cost = intra_cluster_cost(coords_, fresh_labels);
   const double current_cost = intra_cluster_cost(coords_, labels_);
-  if (current_cost == 0.0) return 1.0;  // singleton clusters everywhere
-  return fresh_cost / current_cost;
+  quality_cache_ =
+      current_cost == 0.0 ? 1.0 : fresh_cost / current_cost;
+  quality_gen_ = active_generation_;
+  quality_valid_ = true;
+  return quality_cache_;
 }
 
 void DynamicHfcOverlay::restructure() {
@@ -138,11 +229,44 @@ void DynamicHfcOverlay::restructure() {
     labels_[dense_to_universe[d]] = fresh.assignment[d].value();
   }
   mutations_since_restructure_ = 0;
+  ++active_generation_;
   dirty_ = true;
+  if (mode_ == ChurnMode::kIncremental) build_incremental_view();
+}
+
+void DynamicHfcOverlay::build_incremental_view() {
+  HFC_TRACE_SPAN("churn.full_rebuild");
+  full_rebuilds_counter().add(1);
+  // Universe-level clustering: fresh Zahn labels are dense 0..C-1, so a
+  // label IS the topology cluster slot id; inactive nodes stay unassigned.
+  Clustering clustering;
+  clustering.assignment.assign(coords_.size(), ClusterId{});
+  std::int32_t max_label = -1;
+  for (std::size_t v = 0; v < coords_.size(); ++v) {
+    max_label = std::max(max_label, labels_[v]);
+  }
+  clustering.members.resize(static_cast<std::size_t>(max_label + 1));
+  for (std::size_t v = 0; v < coords_.size(); ++v) {
+    if (labels_[v] < 0) continue;
+    clustering.assignment[v] = ClusterId(labels_[v]);
+    clustering.members[static_cast<std::size_t>(labels_[v])].push_back(
+        NodeId(static_cast<std::int32_t>(v)));
+  }
+  inc_router_.reset();
+  inc_topo_.reset();
+  inc_net_.reset();
+  inc_net_ = std::make_unique<OverlayNetwork>(coords_, placement_);
+  inc_topo_ =
+      std::make_unique<HfcTopology>(std::move(clustering), *dist_, selection_);
+  inc_router_ =
+      std::make_unique<HierarchicalServiceRouter>(*inc_net_, *inc_topo_,
+                                                  *dist_);
 }
 
 void DynamicHfcOverlay::rebuild_if_dirty() {
   if (!dirty_) return;
+  HFC_TRACE_SPAN("churn.view_rebuild");
+  full_rebuilds_counter().add(1);
   // Dense view of the active set.
   dense_to_universe_.clear();
   universe_to_dense_.assign(coords_.size(), -1);
@@ -158,37 +282,55 @@ void DynamicHfcOverlay::rebuild_if_dirty() {
   }
 
   // Densify the maintained cluster labels (universe labels can have holes
-  // after leaves empty a cluster).
+  // after leaves empty a cluster). Compaction is by ascending label value,
+  // so the dense cluster ids keep the same relative order as the
+  // incremental view's live slot ids — together with the router's
+  // canonical state-key tie-breaking this makes both churn modes resolve
+  // exact-cost CSP ties to the same route.
+  std::vector<std::int32_t> distinct_labels;
+  distinct_labels.reserve(dense_to_universe_.size());
+  for (NodeId u : dense_to_universe_) distinct_labels.push_back(labels_[u.idx()]);
+  std::sort(distinct_labels.begin(), distinct_labels.end());
+  distinct_labels.erase(
+      std::unique(distinct_labels.begin(), distinct_labels.end()),
+      distinct_labels.end());
   Clustering clustering;
   clustering.assignment.resize(dense_to_universe_.size());
-  std::unordered_map<std::int32_t, std::int32_t> label_to_dense;
   for (std::size_t d = 0; d < dense_to_universe_.size(); ++d) {
     const std::int32_t label = labels_[dense_to_universe_[d].idx()];
-    const auto it =
-        label_to_dense
-            .try_emplace(label,
-                         static_cast<std::int32_t>(label_to_dense.size()))
-            .first;
-    clustering.assignment[d] = ClusterId(it->second);
+    const auto it = std::lower_bound(distinct_labels.begin(),
+                                     distinct_labels.end(), label);
+    clustering.assignment[d] = ClusterId(
+        static_cast<std::int32_t>(it - distinct_labels.begin()));
   }
-  clustering.members.resize(label_to_dense.size());
+  clustering.members.resize(distinct_labels.size());
   for (std::size_t d = 0; d < clustering.assignment.size(); ++d) {
     clustering.members[clustering.assignment[d].idx()].push_back(
         NodeId(static_cast<std::int32_t>(d)));
   }
 
+  view_router_.reset();
+  view_topo_.reset();
+  view_net_.reset();
+  view_dist_ = std::make_unique<CoordDistanceService>(view_coords);
   view_net_ = std::make_unique<OverlayNetwork>(std::move(view_coords),
                                                std::move(view_placement));
-  view_topo_ = std::make_unique<HfcTopology>(
-      std::move(clustering), view_net_->coord_distance_fn(), selection_);
+  view_topo_ = std::make_unique<HfcTopology>(std::move(clustering),
+                                             *view_dist_, selection_);
   view_router_ = std::make_unique<HierarchicalServiceRouter>(
-      *view_net_, *view_topo_, view_net_->coord_distance_fn());
+      *view_net_, *view_topo_, *view_dist_);
   dirty_ = false;
 }
 
 ServicePath DynamicHfcOverlay::route(const ServiceRequest& request) {
   require(is_active(request.source) && is_active(request.destination),
           "DynamicHfcOverlay::route: endpoints must be active");
+  if (mode_ == ChurnMode::kIncremental) {
+    // Universe-level routing: no id remapping, no rebuild. Only SCT_C
+    // entries of clusters whose generation moved are re-derived.
+    inc_router_->sync_with_topology();
+    return inc_router_->route(request);
+  }
   rebuild_if_dirty();
   ServiceRequest dense = request;
   dense.source = NodeId(universe_to_dense_[request.source.idx()]);
@@ -201,8 +343,69 @@ ServicePath DynamicHfcOverlay::route(const ServiceRequest& request) {
 }
 
 std::size_t DynamicHfcOverlay::cluster_count() {
+  if (mode_ == ChurnMode::kIncremental) {
+    return inc_topo_->live_cluster_count();
+  }
   rebuild_if_dirty();
   return view_topo_->cluster_count();
+}
+
+std::vector<std::vector<NodeId>> DynamicHfcOverlay::active_partition() {
+  std::vector<std::vector<NodeId>> out;
+  if (mode_ == ChurnMode::kIncremental) {
+    for (std::size_t c = 0; c < inc_topo_->cluster_count(); ++c) {
+      const ClusterId id(static_cast<std::int32_t>(c));
+      if (!inc_topo_->live(id)) continue;
+      out.push_back(inc_topo_->members(id));
+    }
+  } else {
+    rebuild_if_dirty();
+    for (std::size_t c = 0; c < view_topo_->cluster_count(); ++c) {
+      std::vector<NodeId> members;
+      for (NodeId dense : view_topo_->members(
+               ClusterId(static_cast<std::int32_t>(c)))) {
+        members.push_back(dense_to_universe_[dense.idx()]);
+      }
+      std::sort(members.begin(), members.end());
+      out.push_back(std::move(members));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<NodeId, NodeId>> DynamicHfcOverlay::border_pairs() {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  const auto canonical = [](NodeId u, NodeId v) {
+    return u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+  };
+  if (mode_ == ChurnMode::kIncremental) {
+    const std::size_t count = inc_topo_->cluster_count();
+    for (std::size_t a = 0; a < count; ++a) {
+      const ClusterId ca(static_cast<std::int32_t>(a));
+      if (!inc_topo_->live(ca)) continue;
+      for (std::size_t b = a + 1; b < count; ++b) {
+        const ClusterId cb(static_cast<std::int32_t>(b));
+        if (!inc_topo_->live(cb)) continue;
+        out.push_back(canonical(inc_topo_->border(ca, cb),
+                                inc_topo_->border(cb, ca)));
+      }
+    }
+  } else {
+    rebuild_if_dirty();
+    const std::size_t count = view_topo_->cluster_count();
+    for (std::size_t a = 0; a < count; ++a) {
+      const ClusterId ca(static_cast<std::int32_t>(a));
+      for (std::size_t b = a + 1; b < count; ++b) {
+        const ClusterId cb(static_cast<std::int32_t>(b));
+        out.push_back(canonical(
+            dense_to_universe_[view_topo_->border(ca, cb).idx()],
+            dense_to_universe_[view_topo_->border(cb, ca).idx()]));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 const HfcTopology& DynamicHfcOverlay::view_topology() {

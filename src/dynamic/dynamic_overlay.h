@@ -12,16 +12,41 @@
 // (`clustering_quality`), and `restructure()` is the re-structuring
 // mechanism: a full re-cluster of the active set.
 //
-// After every mutation the dense view (overlay network, HFC topology,
-// hierarchical router) is rebuilt lazily on first use; the public API
-// speaks universe NodeIds throughout.
+// Two churn maintenance modes (DESIGN.md §9):
+//
+//  - kIncremental (default): routing state lives at universe level — one
+//    OverlayNetwork/HfcTopology/HierarchicalServiceRouter over *all*
+//    universe nodes, inactive nodes simply unclustered. A join/leave
+//    mutates the topology in place (membership lists + border-pair repair
+//    scoped to the affected cluster pairs) and the router re-derives only
+//    the SCT_C entries whose cluster generation changed. Distance queries
+//    go through the CoordDistanceService seam. `apply()` batches events so
+//    k events touching one cluster pay one border repair per affected
+//    cluster pair, fanned across the thread pool.
+//
+//  - kFullRebuild (A/B baseline, HFC_CHURN_INCREMENTAL=0): every mutation
+//    marks the dense view dirty and the next query rebuilds the overlay
+//    network, topology, and router from scratch.
+//
+// After any mutation sequence the incremental state is equivalent to a
+// from-scratch rebuild of the same active set: same partition, same
+// border pairs (up to exact distance ties — a fresh scan breaks ties by
+// member order, incremental repair keeps the incumbent), same routes.
+//
+// The dense inspection view (`view_topology`, `view_network`) is rebuilt
+// on demand in both modes; ids in it are dense view indices. All other
+// public APIs speak universe NodeIds throughout.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "cluster/zahn.h"
+#include "distance/coord_distance.h"
 #include "overlay/hfc_topology.h"
 #include "overlay/overlay_network.h"
 #include "routing/hierarchical_router.h"
@@ -29,17 +54,56 @@
 
 namespace hfc {
 
+/// How DynamicHfcOverlay maintains routing state across churn.
+enum class ChurnMode {
+  kFullRebuild,  ///< rebuild the dense view after every mutation (legacy)
+  kIncremental,  ///< O(Δ) in-place repair + per-cluster SCT invalidation
+};
+
+/// Mode selected by the `HFC_CHURN_INCREMENTAL` environment knob:
+/// unset or any value other than "0" → kIncremental; "0" → kFullRebuild
+/// (the A/B baseline).
+[[nodiscard]] ChurnMode default_churn_mode();
+
+/// One membership event for the batched mutation API.
+struct ChurnEvent {
+  enum class Kind { kActivate, kDeactivate, kAdd };
+
+  static ChurnEvent make_activate(NodeId node) {
+    return ChurnEvent{Kind::kActivate, node, {}, {}};
+  }
+  static ChurnEvent make_deactivate(NodeId node) {
+    return ChurnEvent{Kind::kDeactivate, node, {}, {}};
+  }
+  static ChurnEvent make_add(Point coords, std::vector<ServiceId> services) {
+    return ChurnEvent{Kind::kAdd, NodeId{}, std::move(coords),
+                      std::move(services)};
+  }
+
+  Kind kind = Kind::kActivate;
+  NodeId node;                      ///< kActivate / kDeactivate
+  Point coords;                     ///< kAdd
+  std::vector<ServiceId> services;  ///< kAdd, sorted ascending
+};
+
 class DynamicHfcOverlay {
  public:
   /// The universe of potential proxies, all initially active, clustered by
   /// a fresh Zahn run. Throws on inconsistent inputs.
   DynamicHfcOverlay(std::vector<Point> coords, ServicePlacement placement,
                     ZahnParams zahn = {},
-                    BorderSelection selection = BorderSelection::kClosestPair);
+                    BorderSelection selection = BorderSelection::kClosestPair,
+                    ChurnMode mode = default_churn_mode());
 
   [[nodiscard]] std::size_t universe_size() const { return coords_.size(); }
   [[nodiscard]] std::size_t active_count() const { return active_count_; }
   [[nodiscard]] bool is_active(NodeId node) const;
+  [[nodiscard]] ChurnMode churn_mode() const { return mode_; }
+  /// Bumped on every mutation and restructure; memoization key for
+  /// derived statistics of the active set.
+  [[nodiscard]] std::uint64_t active_generation() const {
+    return active_generation_;
+  }
 
   /// Proxy leaves the overlay. Its cluster shrinks (and disappears when it
   /// empties). Throws if the node is not active or the last active node.
@@ -54,11 +118,22 @@ class DynamicHfcOverlay {
   /// activate it by the join rule.
   NodeId add_proxy(Point coords, std::vector<ServiceId> services);
 
+  /// Apply a batch of churn events in order. In incremental mode the
+  /// border-pair repairs are coalesced: deferred to the end of the batch
+  /// and fanned across the thread pool, one task per affected cluster
+  /// pair. Callers stream large event sequences in batches (the benches
+  /// use the `HFC_CHURN_BATCH` knob for the batch size). Returns the
+  /// NodeIds assigned to the kAdd events, in order. If an event throws,
+  /// the events before it remain applied and the repairs for them run
+  /// before the exception propagates.
+  std::vector<NodeId> apply(std::span<const ChurnEvent> events);
+
   /// Quality of the maintained clustering: mean intra-cluster pairwise
   /// distance of a fresh Zahn clustering divided by the same statistic of
   /// the maintained one. 1.0 = as tight as fresh; below 1 = decayed by
   /// churn; above 1 = churn left the maintained partition finer than a
-  /// fresh clustering would be.
+  /// fresh clustering would be. Memoized on the active-set generation:
+  /// repeated polls between mutations are O(1).
   [[nodiscard]] double clustering_quality() const;
 
   /// The paper's re-structuring mechanism: re-cluster the active set from
@@ -76,14 +151,32 @@ class DynamicHfcOverlay {
   /// Current number of clusters over the active set.
   [[nodiscard]] std::size_t cluster_count();
 
+  /// --- equivalence probes (tests compare incremental vs full rebuild) ---
+
+  /// The active-set partition in canonical form: member lists in universe
+  /// NodeIds, each ascending, lists sorted lexicographically.
+  [[nodiscard]] std::vector<std::vector<NodeId>> active_partition();
+
+  /// All border pairs in canonical form: one (min, max) universe-NodeId
+  /// pair per unordered live cluster pair, sorted.
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> border_pairs();
+
   /// Dense-view accessors (rebuilt after mutations; ids in these objects
   /// are dense view indices, NOT universe NodeIds — exposed for metrics).
   [[nodiscard]] const HfcTopology& view_topology();
   [[nodiscard]] const OverlayNetwork& view_network();
 
  private:
+  void do_deactivate(NodeId node);
+  void do_activate(NodeId node);
+  NodeId do_add(Point coords, std::vector<ServiceId> services);
+  /// Rebuild the universe-level incremental objects from labels_ (ctor,
+  /// restructure). Counts as a churn.full_rebuild.
+  void build_incremental_view();
   void rebuild_if_dirty();
-  /// Universe-level cluster label per node (-1 for inactive).
+
+  /// Universe-level cluster label per node (-1 for inactive). In
+  /// incremental mode a label IS the topology's stable cluster slot id.
   std::vector<std::int32_t> labels_;
 
   std::vector<Point> coords_;
@@ -92,11 +185,29 @@ class DynamicHfcOverlay {
   std::size_t active_count_ = 0;
   ZahnParams zahn_;
   BorderSelection selection_;
+  ChurnMode mode_;
   std::size_t mutations_since_restructure_ = 0;
+  std::uint64_t active_generation_ = 0;
 
+  /// Coordinate tier over the whole universe — the DistanceService seam
+  /// both modes scan joins through and the incremental view routes with.
+  std::unique_ptr<CoordDistanceService> dist_;
+
+  /// Incremental mode: universe-level routing state, mutated in place.
+  std::unique_ptr<OverlayNetwork> inc_net_;
+  std::unique_ptr<HfcTopology> inc_topo_;
+  std::unique_ptr<HierarchicalServiceRouter> inc_router_;
+
+  /// clustering_quality memo (keyed by active_generation_).
+  mutable bool quality_valid_ = false;
+  mutable std::uint64_t quality_gen_ = 0;
+  mutable double quality_cache_ = 1.0;
+
+  /// Dense inspection view (and the routing state in full-rebuild mode).
   bool dirty_ = true;
   std::vector<NodeId> dense_to_universe_;
   std::vector<std::int32_t> universe_to_dense_;
+  std::unique_ptr<CoordDistanceService> view_dist_;
   std::unique_ptr<OverlayNetwork> view_net_;
   std::unique_ptr<HfcTopology> view_topo_;
   std::unique_ptr<HierarchicalServiceRouter> view_router_;

@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/require.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace hfc {
@@ -19,13 +20,18 @@ HfcTopology::HfcTopology(Clustering clustering,
 HfcTopology::HfcTopology(Clustering clustering,
                          const OverlayDistance& distance,
                          BorderSelection selection)
-    : clustering_(std::move(clustering)), distance_(distance) {
+    : clustering_(std::move(clustering)),
+      distance_(distance),
+      selection_(selection) {
   HFC_TRACE_SPAN("topology.select_borders");
   require(clustering_.cluster_count() >= 1, "HfcTopology: empty clustering");
   require(static_cast<bool>(distance), "HfcTopology: null distance");
   const std::size_t c = clustering_.cluster_count();
   border_.assign(c * c, NodeId{});
-  is_border_.assign(clustering_.node_count(), false);
+  border_refs_.assign(clustering_.node_count(), 0);
+  live_.assign(c, true);
+  live_count_ = c;
+  generation_.assign(c, 0);
 
   // For kSingleHub, each cluster designates one representative (its lowest
   // node id) for all external links — the classic "one logical node"
@@ -101,13 +107,13 @@ HfcTopology::HfcTopology(Clustering clustering,
 
   for (std::size_t a = 0; a + 1 < c; ++a) {
     for (std::size_t b = a + 1; b < c; ++b) {
-      is_border_[border_[a * c + b].idx()] = true;
-      is_border_[border_[b * c + a].idx()] = true;
+      ++border_refs_[border_[a * c + b].idx()];
+      ++border_refs_[border_[b * c + a].idx()];
     }
   }
 
-  for (std::size_t v = 0; v < is_border_.size(); ++v) {
-    if (is_border_[v]) {
+  for (std::size_t v = 0; v < border_refs_.size(); ++v) {
+    if (border_refs_[v] > 0) {
       all_borders_.push_back(NodeId(static_cast<std::int32_t>(v)));
     }
   }
@@ -140,9 +146,34 @@ double HfcTopology::external_length(ClusterId a, ClusterId b) const {
 }
 
 bool HfcTopology::is_border(NodeId node) const {
-  require(node.valid() && node.idx() < is_border_.size(),
+  require(node.valid() && node.idx() < border_refs_.size(),
           "HfcTopology::is_border: bad node");
-  return is_border_[node.idx()];
+  return border_refs_[node.idx()] > 0;
+}
+
+const std::vector<NodeId>& HfcTopology::all_borders() const {
+  if (borders_dirty_) {
+    all_borders_.clear();
+    for (std::size_t v = 0; v < border_refs_.size(); ++v) {
+      if (border_refs_[v] > 0) {
+        all_borders_.push_back(NodeId(static_cast<std::int32_t>(v)));
+      }
+    }
+    borders_dirty_ = false;
+  }
+  return all_borders_;
+}
+
+bool HfcTopology::live(ClusterId cluster) const {
+  require(cluster.valid() && cluster.idx() < live_.size(),
+          "HfcTopology::live: bad cluster");
+  return live_[cluster.idx()];
+}
+
+std::uint64_t HfcTopology::generation(ClusterId cluster) const {
+  require(cluster.valid() && cluster.idx() < generation_.size(),
+          "HfcTopology::generation: bad cluster");
+  return generation_[cluster.idx()];
 }
 
 double HfcTopology::path_distance(NodeId u, NodeId v,
@@ -176,10 +207,11 @@ NodeKnowledge HfcTopology::knowledge_of(NodeId node) const {
   NodeKnowledge k;
   k.own_cluster = cluster_of(node);
   k.cluster_members = members(k.own_cluster);
-  k.visible_borders = all_borders_;
+  const std::vector<NodeId>& borders = all_borders();
+  k.visible_borders = borders;
   k.coordinate_set = k.cluster_members;
-  k.coordinate_set.insert(k.coordinate_set.end(), all_borders_.begin(),
-                          all_borders_.end());
+  k.coordinate_set.insert(k.coordinate_set.end(), borders.begin(),
+                          borders.end());
   std::sort(k.coordinate_set.begin(), k.coordinate_set.end());
   k.coordinate_set.erase(
       std::unique(k.coordinate_set.begin(), k.coordinate_set.end()),
@@ -193,13 +225,236 @@ std::size_t HfcTopology::coordinate_state_count(NodeId node) const {
   const std::vector<NodeId>& own = members(cluster_of(node));
   std::size_t overlap = 0;
   for (NodeId m : own) {
-    if (is_border_[m.idx()]) ++overlap;
+    if (border_refs_[m.idx()] > 0) ++overlap;
   }
-  return own.size() + all_borders_.size() - overlap;
+  return own.size() + all_borders().size() - overlap;
 }
 
 std::size_t HfcTopology::service_state_count(NodeId node) const {
-  return members(cluster_of(node)).size() + cluster_count();
+  return members(cluster_of(node)).size() + live_cluster_count();
+}
+
+// ---------------------------------------------------------------------
+// Incremental membership maintenance (DESIGN.md §9).
+
+std::size_t HfcTopology::pair_key(std::size_t a, std::size_t b) const {
+  const std::size_t c = clustering_.cluster_count();
+  return a < b ? a * c + b : b * c + a;
+}
+
+void HfcTopology::set_border(std::size_t slot, NodeId node) {
+  const NodeId old = border_[slot];
+  if (old == node) return;
+  if (old.valid()) --border_refs_[old.idx()];
+  if (node.valid()) ++border_refs_[node.idx()];
+  border_[slot] = node;
+  borders_dirty_ = true;
+}
+
+void HfcTopology::kill_cluster(std::size_t cluster) {
+  const std::size_t c = clustering_.cluster_count();
+  live_[cluster] = false;
+  --live_count_;
+  for (std::size_t o = 0; o < c; ++o) {
+    if (o == cluster || !live_[o]) continue;
+    set_border(cluster * c + o, NodeId{});
+    set_border(o * c + cluster, NodeId{});
+  }
+  touched_.erase(cluster);
+  staged_adds_.erase(cluster);
+}
+
+void HfcTopology::append_node() {
+  clustering_.assignment.push_back(ClusterId{});
+  border_refs_.push_back(0);
+}
+
+void HfcTopology::on_member_added(NodeId node, ClusterId cluster) {
+  require(node.valid() && node.idx() < clustering_.assignment.size(),
+          "HfcTopology::on_member_added: bad node");
+  require(!clustering_.assignment[node.idx()].valid(),
+          "HfcTopology::on_member_added: node already clustered");
+  require(cluster.valid() && cluster.idx() < clustering_.cluster_count() &&
+              live_[cluster.idx()],
+          "HfcTopology::on_member_added: cluster not live");
+  std::vector<NodeId>& ms = clustering_.members[cluster.idx()];
+  ms.insert(std::lower_bound(ms.begin(), ms.end(), node), node);
+  clustering_.assignment[node.idx()] = cluster;
+  ++generation_[cluster.idx()];
+  ++structure_generation_;
+  touched_.insert(cluster.idx());
+  staged_adds_[cluster.idx()].push_back(node);
+  if (!in_batch_) repair_staged();
+}
+
+void HfcTopology::on_member_removed(NodeId node) {
+  require(node.valid() && node.idx() < clustering_.assignment.size(),
+          "HfcTopology::on_member_removed: bad node");
+  const ClusterId cluster = clustering_.assignment[node.idx()];
+  require(cluster.valid(), "HfcTopology::on_member_removed: not a member");
+  const std::size_t ci = cluster.idx();
+  std::vector<NodeId>& ms = clustering_.members[ci];
+  ms.erase(std::lower_bound(ms.begin(), ms.end(), node));
+  clustering_.assignment[node.idx()] = ClusterId{};
+  ++generation_[ci];
+  ++structure_generation_;
+  // If the node joined earlier in this batch it is no longer an add.
+  if (const auto it = staged_adds_.find(ci); it != staged_adds_.end()) {
+    std::vector<NodeId>& adds = it->second;
+    adds.erase(std::remove(adds.begin(), adds.end(), node), adds.end());
+  }
+  if (ms.empty()) {
+    kill_cluster(ci);
+  } else {
+    touched_.insert(ci);
+    // A removed border node invalidates its pair's stored closest pair;
+    // removing any other member leaves the pair's argmin intact.
+    const std::size_t c = clustering_.cluster_count();
+    for (std::size_t o = 0; o < c; ++o) {
+      if (o == ci || !live_[o]) continue;
+      if (border_[ci * c + o] == node) full_pairs_.insert(pair_key(ci, o));
+    }
+  }
+  if (!in_batch_) repair_staged();
+}
+
+void HfcTopology::begin_mutation_batch() {
+  require(!in_batch_, "HfcTopology::begin_mutation_batch: already open");
+  in_batch_ = true;
+}
+
+void HfcTopology::end_mutation_batch() {
+  require(in_batch_, "HfcTopology::end_mutation_batch: no open batch");
+  in_batch_ = false;
+  repair_staged();
+}
+
+void HfcTopology::repair_staged() {
+  if (touched_.empty() && full_pairs_.empty()) {
+    staged_adds_.clear();
+    return;
+  }
+  HFC_TRACE_SPAN("churn.repair_borders");
+  const std::size_t c = clustering_.cluster_count();
+
+  // Distinct live cluster pairs needing work: a pair repairs when either
+  // side gained members or its stored border was removed.
+  const auto has_adds = [this](std::size_t slot) {
+    const auto it = staged_adds_.find(slot);
+    return it != staged_adds_.end() && !it->second.empty();
+  };
+  std::vector<std::size_t> pairs;
+  std::unordered_set<std::size_t> seen;
+  for (const std::size_t t : touched_) {
+    if (!live_[t]) continue;
+    for (std::size_t o = 0; o < c; ++o) {
+      if (o == t || !live_[o]) continue;
+      const std::size_t key = pair_key(t, o);
+      if (!full_pairs_.contains(key) && !has_adds(t) && !has_adds(o)) {
+        continue;  // O(1): a non-border leave does not move the pair
+      }
+      if (seen.insert(key).second) pairs.push_back(key);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+
+  static obs::Counter& rescans =
+      obs::MetricsRegistry::global().counter("churn.border_rescans");
+  static obs::Counter& add_scans =
+      obs::MetricsRegistry::global().counter("churn.border_add_scans");
+
+  // Each task owns one cluster pair and writes only its own output slot;
+  // the shared border table and reference counts are applied serially
+  // afterwards, exactly like the construction-time selection sweep.
+  struct Repair {
+    std::size_t a = 0;
+    std::size_t b = 0;
+    NodeId border_a;
+    NodeId border_b;
+  };
+  std::vector<Repair> out(pairs.size());
+  parallel_for(pairs.size(), 1, [&](std::size_t i) {
+    const std::size_t a = pairs[i] / c;
+    const std::size_t b = pairs[i] % c;
+    const std::vector<NodeId>& xs = clustering_.members[a];
+    const std::vector<NodeId>& ys = clustering_.members[b];
+    NodeId xb;
+    NodeId yb;
+    switch (selection_) {
+      case BorderSelection::kClosestPair: {
+        const NodeId cur_x = border_[a * c + b];
+        const NodeId cur_y = border_[b * c + a];
+        double best = std::numeric_limits<double>::infinity();
+        if (full_pairs_.contains(pairs[i]) || !cur_x.valid()) {
+          rescans.add(1);
+          for (NodeId x : xs) {
+            for (NodeId y : ys) {
+              const double d = distance_(x, y);
+              if (d < best) {
+                best = d;
+                xb = x;
+                yb = y;
+              }
+            }
+          }
+        } else {
+          // The incumbent pair is still the argmin over the surviving old
+          // members; only the additions can beat it.
+          add_scans.add(1);
+          best = distance_(cur_x, cur_y);
+          xb = cur_x;
+          yb = cur_y;
+          if (const auto it = staged_adds_.find(a);
+              it != staged_adds_.end()) {
+            for (NodeId x : it->second) {
+              for (NodeId y : ys) {
+                const double d = distance_(x, y);
+                if (d < best) {
+                  best = d;
+                  xb = x;
+                  yb = y;
+                }
+              }
+            }
+          }
+          if (const auto it = staged_adds_.find(b);
+              it != staged_adds_.end()) {
+            for (NodeId y : it->second) {
+              for (NodeId x : xs) {
+                const double d = distance_(x, y);
+                if (d < best) {
+                  best = d;
+                  xb = x;
+                  yb = y;
+                }
+              }
+            }
+          }
+        }
+        break;
+      }
+      case BorderSelection::kRandomPair: {
+        const std::uint64_t h = splitmix64((a << 20) ^ b);
+        xb = xs[h % xs.size()];
+        yb = ys[(h >> 20) % ys.size()];
+        break;
+      }
+      case BorderSelection::kSingleHub:
+        xb = xs.front();
+        yb = ys.front();
+        break;
+    }
+    ensure(xb.valid() && yb.valid(), "HfcTopology: border repair failed");
+    out[i] = Repair{a, b, xb, yb};
+  });
+
+  for (const Repair& r : out) {
+    set_border(r.a * c + r.b, r.border_a);
+    set_border(r.b * c + r.a, r.border_b);
+  }
+  staged_adds_.clear();
+  touched_.clear();
+  full_pairs_.clear();
 }
 
 }  // namespace hfc

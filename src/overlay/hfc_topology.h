@@ -11,9 +11,20 @@
 // In a bi-level HFC hierarchy any two nodes are at most two intermediate
 // nodes apart: u -> border(u's cluster, v's cluster) -> border(v's
 // cluster, u's cluster) -> v.
+//
+// Besides the immutable build-once form, the topology supports *incremental
+// membership maintenance* (DESIGN.md §9) for the dynamic overlay: a member
+// can be added to or removed from a cluster, and only the border pairs of
+// the C−1 cluster pairs involving that cluster are repaired — everything
+// else survives untouched. Cluster slots are stable: a cluster emptied by
+// removals goes dead (`live() == false`) and its id is never reused, so
+// per-cluster caches keyed by ClusterId stay valid across churn.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/zahn.h"
@@ -62,10 +73,56 @@ class HfcTopology {
   [[nodiscard]] std::size_t node_count() const {
     return clustering_.node_count();
   }
+  /// Number of cluster *slots* (stable ids, including dead ones after
+  /// incremental removals). Freshly built topologies have no dead slots,
+  /// so for them this equals live_cluster_count().
   [[nodiscard]] std::size_t cluster_count() const {
     return clustering_.cluster_count();
   }
+  /// Number of clusters that still have members.
+  [[nodiscard]] std::size_t live_cluster_count() const { return live_count_; }
+  [[nodiscard]] bool live(ClusterId cluster) const;
   [[nodiscard]] const Clustering& clustering() const { return clustering_; }
+
+  /// --- incremental membership maintenance (DESIGN.md §9) ---
+  ///
+  /// Mutations are single-threaded with respect to queries: callers must
+  /// not query the topology concurrently with a mutation (the batch repair
+  /// itself fans across the thread pool internally). Border repair is
+  /// equivalent to a from-scratch rebuild of the same membership under
+  /// kClosestPair up to exact distance ties (a fresh scan breaks ties by
+  /// member order; incremental repair keeps the incumbent pair).
+
+  /// Per-cluster generation stamp, bumped on every membership change of
+  /// that cluster (including its death). Lets routers invalidate derived
+  /// per-cluster state (SCT_C) without a global rebuild.
+  [[nodiscard]] std::uint64_t generation(ClusterId cluster) const;
+  /// Bumped on every mutation of any cluster.
+  [[nodiscard]] std::uint64_t structure_generation() const {
+    return structure_generation_;
+  }
+
+  /// Grow the node space by one (the new node belongs to no cluster yet);
+  /// follow with on_member_added to place it.
+  void append_node();
+
+  /// `node` (currently unclustered) joins `cluster` (which must be live).
+  /// Outside a batch, the C−1 border pairs involving `cluster` are
+  /// repaired immediately by scanning only the new node against each other
+  /// cluster; inside a batch the repair is deferred and coalesced.
+  void on_member_added(NodeId node, ClusterId cluster);
+
+  /// `node` leaves its cluster. A non-border leave costs O(C) slot checks;
+  /// a border leave re-scans only the cluster pairs whose stored border it
+  /// was. Removing the last member kills the cluster: its slot goes dead
+  /// and every border pair involving it is dropped.
+  void on_member_removed(NodeId node);
+
+  /// Batch mutations between begin/end: repairs are deferred so k events
+  /// touching one cluster pay one repair per affected cluster pair, and
+  /// the repairs fan out across the thread pool deterministically.
+  void begin_mutation_batch();
+  void end_mutation_batch();
 
   [[nodiscard]] ClusterId cluster_of(NodeId node) const {
     return clustering_.cluster_of(node);
@@ -84,10 +141,10 @@ class HfcTopology {
 
   [[nodiscard]] bool is_border(NodeId node) const;
 
-  /// All distinct border nodes in the system, ascending.
-  [[nodiscard]] const std::vector<NodeId>& all_borders() const {
-    return all_borders_;
-  }
+  /// All distinct border nodes in the system, ascending. After incremental
+  /// mutations the list is refreshed lazily on first access (not safe to
+  /// call concurrently from multiple threads while stale).
+  [[nodiscard]] const std::vector<NodeId>& all_borders() const;
 
   /// HFC-constrained distance between two nodes under `distance`:
   /// direct when they share a cluster, otherwise through the border pair
@@ -113,14 +170,44 @@ class HfcTopology {
   [[nodiscard]] std::size_t service_state_count(NodeId node) const;
 
  private:
+  /// Key identifying the unordered cluster pair {a, b} in repair staging.
+  [[nodiscard]] std::size_t pair_key(std::size_t a, std::size_t b) const;
+  /// Overwrite one border slot, maintaining the per-node reference counts.
+  void set_border(std::size_t slot, NodeId node);
+  /// Kill an emptied cluster: clear every border pair involving it.
+  void kill_cluster(std::size_t cluster);
+  /// Repair the border pairs invalidated by staged membership changes,
+  /// one parallel task per affected cluster pair, then clear the staging.
+  void repair_staged();
+
   Clustering clustering_;
   /// The distance the topology was built with; external_length re-derives
   /// link lengths from it instead of storing a matrix.
   OverlayDistance distance_;
+  BorderSelection selection_;
   /// border_[from * C + toward] = border node of `from` facing `toward`.
   std::vector<NodeId> border_;
-  std::vector<bool> is_border_;
-  std::vector<NodeId> all_borders_;
+  /// Per node: number of border slots currently pointing at it (a node is
+  /// a border iff its count is non-zero).
+  std::vector<std::uint32_t> border_refs_;
+  /// Sorted distinct border nodes, derived lazily from border_refs_.
+  mutable std::vector<NodeId> all_borders_;
+  mutable bool borders_dirty_ = false;
+
+  std::vector<bool> live_;
+  std::size_t live_count_ = 0;
+  std::vector<std::uint64_t> generation_;
+  std::uint64_t structure_generation_ = 0;
+
+  /// Mutation staging (between begin/end_mutation_batch, or for the
+  /// single-event immediate-repair path).
+  bool in_batch_ = false;
+  /// Clusters whose membership changed, with the nodes added to them that
+  /// are still members (a node removed again within the batch is dropped).
+  std::unordered_map<std::size_t, std::vector<NodeId>> staged_adds_;
+  std::unordered_set<std::size_t> touched_;
+  /// Pair keys whose stored border node was removed: full rescan needed.
+  std::unordered_set<std::size_t> full_pairs_;
 };
 
 }  // namespace hfc

@@ -33,6 +33,23 @@ OverlayNetwork::OverlayNetwork(std::vector<Point> coords,
   }
 }
 
+NodeId OverlayNetwork::add_node(Point coords,
+                                std::vector<ServiceId> services) {
+  require(coords.size() == coords_.front().size(),
+          "OverlayNetwork::add_node: dimension mismatch");
+  require(std::is_sorted(services.begin(), services.end()),
+          "OverlayNetwork::add_node: services must be sorted");
+  const NodeId node(static_cast<std::int32_t>(coords_.size()));
+  for (ServiceId s : services) {
+    require(s.valid(), "OverlayNetwork::add_node: invalid service id");
+    if (s.idx() >= hosts_index_.size()) hosts_index_.resize(s.idx() + 1);
+    hosts_index_[s.idx()].push_back(node);
+  }
+  coords_.push_back(std::move(coords));
+  placement_.push_back(std::move(services));
+  return node;
+}
+
 const Point& OverlayNetwork::coordinate(NodeId node) const {
   require(node.valid() && node.idx() < coords_.size(),
           "OverlayNetwork::coordinate: bad node");

@@ -63,6 +63,11 @@ class OverlayNetwork {
 
   [[nodiscard]] std::size_t size() const { return coords_.size(); }
 
+  /// Append one proxy (dynamic membership, DESIGN.md §9). Returns its
+  /// NodeId. `coords` must match the network's dimension and `services`
+  /// must be sorted. Outstanding CoordDistanceRef functors stay valid.
+  NodeId add_node(Point coords, std::vector<ServiceId> services);
+
   [[nodiscard]] const Point& coordinate(NodeId node) const;
   [[nodiscard]] const std::vector<ServiceId>& services_at(NodeId node) const;
   [[nodiscard]] bool hosts(NodeId node, ServiceId service) const;

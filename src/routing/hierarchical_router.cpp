@@ -24,6 +24,12 @@ constexpr std::uint64_t state_key(ClusterId cluster, NodeId entry) {
 
 struct Label {
   double cost = std::numeric_limits<double>::infinity();
+  // External transitions taken so far; first-order tie-break. The lower
+  // bound only prices border chains, so whole-cluster alternatives that
+  // share a chain tie at exactly equal cost; preferring fewer crossings
+  // picks the realised path with the least unpriced intra-cluster detour
+  // (and matches the paper's Figure 7(d) dissection).
+  std::uint32_t crossings = 0;
   // Back-pointer into the previous vertex's table.
   std::size_t prev_vertex = static_cast<std::size_t>(-1);
   std::uint64_t prev_key = 0;
@@ -47,9 +53,35 @@ HierarchicalServiceRouter::HierarchicalServiceRouter(
   // Derive SCT_C: the aggregate service set of a cluster is the union of
   // its members' sets (paper §4, footnote 5).
   cluster_services_.resize(topo_.cluster_count());
+  synced_gen_.resize(topo_.cluster_count());
   for (std::size_t c = 0; c < topo_.cluster_count(); ++c) {
+    const ClusterId id(static_cast<int>(c));
     std::vector<ServiceId>& agg = cluster_services_[c];
-    for (NodeId member : topo_.members(ClusterId(static_cast<int>(c)))) {
+    for (NodeId member : topo_.members(id)) {
+      const auto& services = net_.services_at(member);
+      agg.insert(agg.end(), services.begin(), services.end());
+    }
+    std::sort(agg.begin(), agg.end());
+    agg.erase(std::unique(agg.begin(), agg.end()), agg.end());
+    synced_gen_[c] = topo_.generation(id);
+  }
+}
+
+void HierarchicalServiceRouter::sync_with_topology() {
+  static obs::Counter& refreshes =
+      obs::MetricsRegistry::global().counter("routing.sct_refreshes");
+  const std::size_t count = topo_.cluster_count();
+  cluster_services_.resize(count);
+  synced_gen_.resize(count, static_cast<std::uint64_t>(-1));
+  for (std::size_t c = 0; c < count; ++c) {
+    const ClusterId id(static_cast<int>(c));
+    const std::uint64_t gen = topo_.generation(id);
+    if (synced_gen_[c] == gen) continue;
+    synced_gen_[c] = gen;
+    refreshes.add(1);
+    std::vector<ServiceId>& agg = cluster_services_[c];
+    agg.clear();
+    for (NodeId member : topo_.members(id)) {
       const auto& services = net_.services_at(member);
       agg.insert(agg.end(), services.begin(), services.end());
     }
@@ -147,14 +179,16 @@ HierarchicalServiceRouter::Csp HierarchicalServiceRouter::compute_csp(
   for (std::size_t v : graph.sources()) {
     for (ClusterId c : candidates[v]) {
       double cost = 0.0;
+      std::uint32_t crossings = 0;
       NodeId entry = request.source;
       if (c != src_cluster) {
         cost = transition_cost(src_cluster, request.source, c);
         entry = topo_.border(c, src_cluster);
+        crossings = 1;
       }
       Label& label = tables[v][state_key(c, entry)];
       if (cost < label.cost) {
-        label = Label{cost, static_cast<std::size_t>(-1), 0};
+        label = Label{cost, crossings, static_cast<std::size_t>(-1), 0};
       }
     }
   }
@@ -167,14 +201,24 @@ HierarchicalServiceRouter::Csp HierarchicalServiceRouter::compute_csp(
         const NodeId entry(static_cast<int>(key & 0xffffffffULL));
         for (ClusterId next : candidates[v]) {
           double cost = label.cost;
+          std::uint32_t crossings = label.crossings;
           NodeId next_entry = entry;
           if (next != c) {
             cost += transition_cost(c, entry, next);
             next_entry = topo_.border(next, c);
+            ++crossings;
           }
           Label& target = tables[v][state_key(next, next_entry)];
-          if (cost < target.cost) {
-            target = Label{cost, u, key};
+          // Strict improvement, or deterministic tie-break: equal-cost
+          // labels prefer fewer crossings, then the smaller predecessor
+          // key. The table is an unordered_map, so without this the
+          // winner would depend on hash iteration order.
+          if (cost < target.cost ||
+              (cost == target.cost &&
+               (crossings < target.crossings ||
+                (crossings == target.crossings &&
+                 target.prev_vertex == u && key < target.prev_key)))) {
+            target = Label{cost, crossings, u, key};
           }
         }
       }
@@ -183,6 +227,7 @@ HierarchicalServiceRouter::Csp HierarchicalServiceRouter::compute_csp(
 
   // Close at the destination proxy over the SG sink vertices.
   double best = std::numeric_limits<double>::infinity();
+  std::uint32_t best_crossings = 0;
   std::size_t best_vertex = 0;
   std::uint64_t best_key = 0;
   for (std::size_t v : graph.sinks()) {
@@ -190,12 +235,14 @@ HierarchicalServiceRouter::Csp HierarchicalServiceRouter::compute_csp(
       const ClusterId c(static_cast<int>(key >> 32));
       const NodeId entry(static_cast<int>(key & 0xffffffffULL));
       double cost = label.cost;
+      std::uint32_t crossings = label.crossings;
       if (c == dst_cluster) {
         if (lb && entry != request.destination) {
           cost += distance_(entry, request.destination);
         }
       } else {
         cost += transition_cost(c, entry, dst_cluster);
+        ++crossings;
         if (lb) {
           const NodeId dst_entry = topo_.border(dst_cluster, c);
           if (dst_entry != request.destination) {
@@ -203,8 +250,17 @@ HierarchicalServiceRouter::Csp HierarchicalServiceRouter::compute_csp(
           }
         }
       }
-      if (cost < best) {
+      // Same deterministic tie-break as in the relaxation: equal-cost
+      // closings prefer fewer crossings, then (within one sink vertex)
+      // the smaller state key instead of hash iteration order. Across
+      // sinks, the first vertex in graph.sinks() order wins.
+      if (cost < best ||
+          (cost == best &&
+           (crossings < best_crossings ||
+            (crossings == best_crossings && v == best_vertex &&
+             key < best_key)))) {
         best = cost;
+        best_crossings = crossings;
         best_vertex = v;
         best_key = key;
       }

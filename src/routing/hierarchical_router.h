@@ -147,6 +147,12 @@ class HierarchicalServiceRouter {
   void set_cluster_capability(ClusterId cluster,
                               std::vector<ServiceId> services);
 
+  /// Re-derive SCT_C only for clusters whose topology generation stamp
+  /// changed since construction / the previous sync (incremental churn,
+  /// DESIGN.md §9). Dead clusters resolve to an empty aggregate and drop
+  /// out of CSP candidacy. O(live changed clusters), not O(C).
+  void sync_with_topology();
+
   /// Clusters whose aggregate service set (SCT_C) contains `service`.
   [[nodiscard]] std::vector<ClusterId> clusters_hosting(
       ServiceId service) const;
@@ -159,6 +165,8 @@ class HierarchicalServiceRouter {
   FlatServiceRouter flat_;
   /// cluster_services_[c] = aggregate SCT of cluster c, sorted ascending.
   std::vector<std::vector<ServiceId>> cluster_services_;
+  /// Topology generation each SCT_C entry was derived at (sync_with_topology).
+  std::vector<std::uint64_t> synced_gen_;
 };
 
 }  // namespace hfc

@@ -1,11 +1,17 @@
 // Tests for the dynamic-membership extension (paper §7 future work):
-// joins by the nearest-neighbour rule, leaves, clustering-quality decay
-// and the re-structuring mechanism.
+// joins by the nearest-neighbour rule, leaves, clustering-quality decay,
+// the re-structuring mechanism, and the incremental churn engine
+// (DESIGN.md §9) — every scenario asserts the incremental overlay stays
+// equivalent to a full-rebuild overlay fed the same events.
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "dynamic/dynamic_overlay.h"
+#include "obs/metrics.h"
 #include "services/workload.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace hfc {
 namespace {
@@ -171,6 +177,355 @@ TEST(DynamicOverlay, RouteRequiresActiveEndpoints) {
   request.source = NodeId(3);
   request.destination = NodeId(5);
   EXPECT_THROW((void)overlay.route(request), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Incremental vs full-rebuild equivalence (DESIGN.md §9).
+
+constexpr int kCatalog = 6;
+
+/// Jittered Gaussian-ish blobs on a grid — continuous coordinates, so
+/// exact distance ties (the documented tie-break caveat) do not occur.
+std::vector<Point> blob_universe(Rng& rng, std::size_t blobs,
+                                 std::size_t per_blob) {
+  std::vector<Point> pts;
+  for (std::size_t b = 0; b < blobs; ++b) {
+    const double cx = static_cast<double>(b % 4) * 150.0;
+    const double cy = static_cast<double>(b / 4) * 150.0;
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      pts.push_back({cx + rng.uniform_real(-6.0, 6.0),
+                     cy + rng.uniform_real(-6.0, 6.0)});
+    }
+  }
+  return pts;
+}
+
+ServicePlacement random_placement(Rng& rng, std::size_t n) {
+  ServicePlacement p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<ServiceId> services;
+    const int count = rng.uniform_int(1, 3);
+    for (int s = 0; s < count; ++s) {
+      services.push_back(ServiceId(rng.uniform_int(0, kCatalog - 1)));
+    }
+    std::sort(services.begin(), services.end());
+    services.erase(std::unique(services.begin(), services.end()),
+                   services.end());
+    p[i] = std::move(services);
+  }
+  return p;
+}
+
+std::vector<ServiceId> random_services(Rng& rng) {
+  std::vector<ServiceId> services{ServiceId(rng.uniform_int(0, kCatalog - 1))};
+  if (rng.chance(0.5)) {
+    services.push_back(ServiceId(rng.uniform_int(0, kCatalog - 1)));
+  }
+  std::sort(services.begin(), services.end());
+  services.erase(std::unique(services.begin(), services.end()),
+                 services.end());
+  return services;
+}
+
+/// An incremental and a full-rebuild overlay built from identical inputs.
+struct DualOverlay {
+  DynamicHfcOverlay inc;
+  DynamicHfcOverlay full;
+
+  DualOverlay(std::vector<Point> coords, ServicePlacement placement)
+      : inc(coords, placement, {}, BorderSelection::kClosestPair,
+            ChurnMode::kIncremental),
+        full(std::move(coords), std::move(placement), {},
+             BorderSelection::kClosestPair, ChurnMode::kFullRebuild) {}
+
+  void apply_both(std::span<const ChurnEvent> events) {
+    inc.apply(events);
+    full.apply(events);
+  }
+
+  /// The strict correctness bar: same partition, same border pairs, same
+  /// routed paths as a from-scratch rebuild of the same active set.
+  void expect_equivalent(Rng& rng, std::size_t route_probes = 4) {
+    ASSERT_EQ(inc.active_count(), full.active_count());
+    ASSERT_EQ(inc.cluster_count(), full.cluster_count());
+    EXPECT_EQ(inc.active_partition(), full.active_partition());
+    EXPECT_EQ(inc.border_pairs(), full.border_pairs());
+
+    std::vector<NodeId> active;
+    for (std::size_t v = 0; v < inc.universe_size(); ++v) {
+      const NodeId node(static_cast<std::int32_t>(v));
+      if (inc.is_active(node)) active.push_back(node);
+    }
+    for (std::size_t probe = 0; probe < route_probes; ++probe) {
+      ServiceRequest request;
+      request.source = rng.pick(active);
+      request.destination = rng.pick(active);
+      request.graph = ServiceGraph::linear(random_services(rng));
+      const ServicePath a = inc.route(request);
+      const ServicePath b = full.route(request);
+      ASSERT_EQ(a.found, b.found);
+      if (!a.found) continue;
+      ASSERT_EQ(a.hops.size(), b.hops.size());
+      for (std::size_t h = 0; h < a.hops.size(); ++h) {
+        EXPECT_EQ(a.hops[h].proxy, b.hops[h].proxy);
+        EXPECT_EQ(a.hops[h].service, b.hops[h].service);
+      }
+      EXPECT_NEAR(a.cost, b.cost, 1e-9);
+    }
+  }
+};
+
+/// 500+ mixed activate/deactivate/add events against both overlays,
+/// asserting equivalence after every batch.
+void run_churn_equivalence(std::uint64_t seed, std::size_t batch_size) {
+  Rng rng(seed);
+  const std::vector<Point> pts = blob_universe(rng, 6, 20);
+  DualOverlay dual(pts, random_placement(rng, pts.size()));
+
+  std::vector<bool> active(dual.inc.universe_size(), true);
+  std::size_t active_count = active.size();
+  const auto pick_with = [&](bool want) {
+    std::vector<NodeId> matching;
+    for (std::size_t v = 0; v < active.size(); ++v) {
+      if (active[v] == want) {
+        matching.push_back(NodeId(static_cast<std::int32_t>(v)));
+      }
+    }
+    return rng.pick(matching);
+  };
+
+  std::size_t applied = 0;
+  while (applied < 520) {
+    std::vector<ChurnEvent> batch;
+    while (batch.size() < batch_size && applied + batch.size() < 520) {
+      const int roll = rng.uniform_int(0, 99);
+      if (roll < 45 && active_count > active.size() / 2) {
+        const NodeId victim = pick_with(true);
+        batch.push_back(ChurnEvent::make_deactivate(victim));
+        active[victim.idx()] = false;
+        --active_count;
+      } else if (roll < 90 && active_count < active.size()) {
+        const NodeId joiner = pick_with(false);
+        batch.push_back(ChurnEvent::make_activate(joiner));
+        active[joiner.idx()] = true;
+        ++active_count;
+      } else {
+        const Point base = rng.pick(pts);
+        batch.push_back(ChurnEvent::make_add(
+            {base[0] + rng.uniform_real(-4.0, 4.0),
+             base[1] + rng.uniform_real(-4.0, 4.0)},
+            random_services(rng)));
+        active.push_back(true);
+        ++active_count;
+      }
+    }
+    applied += batch.size();
+    dual.apply_both(batch);
+    dual.expect_equivalent(rng);
+  }
+  EXPECT_GE(applied, 500u);
+}
+
+TEST(ChurnEquivalence, RandomizedMixedEventsSerial) {
+  set_global_threads(1);
+  for (const std::uint64_t seed : {611u, 911u, 1337u}) {
+    run_churn_equivalence(seed, 16);
+  }
+  set_global_threads(0);
+}
+
+TEST(ChurnEquivalence, RandomizedMixedEventsParallel) {
+  set_global_threads(4);
+  for (const std::uint64_t seed : {611u, 911u, 1337u}) {
+    run_churn_equivalence(seed, 16);
+  }
+  set_global_threads(0);
+}
+
+TEST(ChurnEquivalence, SingleEventBatches) {
+  // batch_size 1 drives the immediate-repair path of every mutation.
+  run_churn_equivalence(2024, 1);
+}
+
+TEST(ChurnEquivalence, BorderNodeDeparture) {
+  Rng rng(90);
+  const std::vector<Point> pts = blob_universe(rng, 4, 12);
+  DualOverlay dual(pts, random_placement(rng, pts.size()));
+
+  // Removing a stored border node forces the affected cluster pairs to
+  // re-scan; the repaired pairs must match a fresh selection.
+  const auto pairs = dual.inc.border_pairs();
+  ASSERT_FALSE(pairs.empty());
+  obs::Counter& rescans =
+      obs::MetricsRegistry::global().counter("churn.border_rescans");
+  const std::uint64_t before = rescans.value();
+  const NodeId border = pairs.front().first;
+  dual.inc.deactivate(border);
+  dual.full.deactivate(border);
+  EXPECT_GT(rescans.value(), before);
+  dual.expect_equivalent(rng);
+
+  // A non-border leave must not trigger any pair re-scan.
+  std::vector<NodeId> non_borders;
+  for (std::size_t v = 0; v < pts.size(); ++v) {
+    const NodeId node(static_cast<std::int32_t>(v));
+    if (!dual.inc.is_active(node)) continue;
+    bool is_border = false;
+    for (const auto& [u, w] : dual.inc.border_pairs()) {
+      if (u == node || w == node) is_border = true;
+    }
+    if (!is_border) {
+      non_borders.push_back(node);
+      break;
+    }
+  }
+  ASSERT_FALSE(non_borders.empty());
+  const std::uint64_t after_border = rescans.value();
+  dual.inc.deactivate(non_borders.front());
+  dual.full.deactivate(non_borders.front());
+  EXPECT_EQ(rescans.value(), after_border);
+  dual.expect_equivalent(rng);
+}
+
+TEST(ChurnEquivalence, ClusterDeathAndRebirth) {
+  Rng rng(91);
+  DualOverlay dual(two_grids(rng), simple_placement(18));
+
+  // Drain the whole second grid: its cluster dies, border pairs to it drop.
+  for (int v = 9; v < 18; ++v) {
+    dual.inc.deactivate(NodeId(v));
+    dual.full.deactivate(NodeId(v));
+  }
+  EXPECT_EQ(dual.inc.cluster_count(), 1u);
+  dual.expect_equivalent(rng);
+
+  // Rejoining nodes glue onto the surviving cluster (the join rule never
+  // resurrects a dead slot) ...
+  for (int v = 9; v < 18; ++v) {
+    dual.inc.activate(NodeId(v));
+    dual.full.activate(NodeId(v));
+  }
+  EXPECT_EQ(dual.inc.cluster_count(), 1u);
+  dual.expect_equivalent(rng);
+
+  // ... and restructure() is the rebirth mechanism: a fresh clustering
+  // separates the grids again.
+  dual.inc.restructure();
+  dual.full.restructure();
+  EXPECT_EQ(dual.inc.cluster_count(), 2u);
+  dual.expect_equivalent(rng);
+}
+
+TEST(ChurnEquivalence, SingleNodeClusters) {
+  Rng rng(92);
+  DualOverlay dual(two_grids(rng), simple_placement(18));
+  // Shrink grid 2 to a single node: a one-member cluster whose member is
+  // by definition the border of every pair involving it.
+  for (int v = 9; v < 17; ++v) {
+    dual.inc.deactivate(NodeId(v));
+    dual.full.deactivate(NodeId(v));
+  }
+  EXPECT_EQ(dual.inc.cluster_count(), 2u);
+  dual.expect_equivalent(rng);
+
+  // An add next to the singleton joins its cluster.
+  const std::vector<ChurnEvent> join{
+      ChurnEvent::make_add({101.0, 102.0}, {ServiceId(2)})};
+  dual.apply_both(join);
+  dual.expect_equivalent(rng);
+
+  // Back down to one member (the border role moves to the added node),
+  // then kill the cluster entirely.
+  dual.inc.deactivate(NodeId(17));
+  dual.full.deactivate(NodeId(17));
+  EXPECT_EQ(dual.inc.cluster_count(), 2u);
+  dual.expect_equivalent(rng);
+
+  const NodeId added(18);
+  dual.inc.deactivate(added);
+  dual.full.deactivate(added);
+  EXPECT_EQ(dual.inc.cluster_count(), 1u);
+  dual.expect_equivalent(rng);
+}
+
+TEST(ChurnEquivalence, BatchedApplyMatchesSingleEvents) {
+  Rng rng(93);
+  const std::vector<Point> pts = blob_universe(rng, 4, 10);
+  const ServicePlacement placement = random_placement(rng, pts.size());
+  DynamicHfcOverlay batched(pts, placement, {}, BorderSelection::kClosestPair,
+                            ChurnMode::kIncremental);
+  DynamicHfcOverlay stepped(pts, placement, {}, BorderSelection::kClosestPair,
+                            ChurnMode::kIncremental);
+
+  std::vector<ChurnEvent> events;
+  for (int v = 0; v < 8; ++v) {
+    events.push_back(ChurnEvent::make_deactivate(NodeId(v)));
+  }
+  for (int v = 0; v < 4; ++v) {
+    events.push_back(ChurnEvent::make_activate(NodeId(v)));
+  }
+  events.push_back(ChurnEvent::make_add({12.0, 14.0}, {ServiceId(1)}));
+
+  batched.apply(events);
+  for (const ChurnEvent& event : events) {
+    switch (event.kind) {
+      case ChurnEvent::Kind::kActivate:
+        stepped.activate(event.node);
+        break;
+      case ChurnEvent::Kind::kDeactivate:
+        stepped.deactivate(event.node);
+        break;
+      case ChurnEvent::Kind::kAdd:
+        (void)stepped.add_proxy(event.coords, event.services);
+        break;
+    }
+  }
+  EXPECT_EQ(batched.active_partition(), stepped.active_partition());
+  EXPECT_EQ(batched.border_pairs(), stepped.border_pairs());
+}
+
+TEST(ChurnEquivalence, FailedBatchKeepsAppliedPrefixConsistent) {
+  Rng rng(94);
+  const std::vector<Point> pts = blob_universe(rng, 4, 10);
+  DualOverlay dual(pts, random_placement(rng, pts.size()));
+
+  // Third event is invalid (node 1 is already active): the two valid
+  // events before it must remain applied and repaired.
+  std::vector<ChurnEvent> batch{ChurnEvent::make_deactivate(NodeId(0)),
+                                ChurnEvent::make_deactivate(NodeId(5)),
+                                ChurnEvent::make_activate(NodeId(1))};
+  EXPECT_THROW(dual.inc.apply(batch), std::invalid_argument);
+  dual.full.deactivate(NodeId(0));
+  dual.full.deactivate(NodeId(5));
+  dual.expect_equivalent(rng);
+}
+
+TEST(DynamicOverlay, ClusteringQualityMemoizedOnGeneration) {
+  Rng rng(95);
+  DynamicHfcOverlay overlay(two_grids(rng), simple_placement(18));
+  obs::Counter& computes =
+      obs::MetricsRegistry::global().counter("churn.quality_computes");
+
+  const std::uint64_t start = computes.value();
+  const double first = overlay.clustering_quality();
+  EXPECT_EQ(computes.value(), start + 1);
+  EXPECT_EQ(overlay.clustering_quality(), first);  // memo hit
+  EXPECT_EQ(computes.value(), start + 1);
+
+  overlay.deactivate(NodeId(4));  // generation moves → recompute once
+  (void)overlay.clustering_quality();
+  (void)overlay.clustering_quality();
+  EXPECT_EQ(computes.value(), start + 2);
+}
+
+TEST(DynamicOverlay, ChurnModeKnobSelectsImplementation) {
+  Rng rng(96);
+  DynamicHfcOverlay overlay(two_grids(rng), simple_placement(18));
+  EXPECT_EQ(overlay.churn_mode(), default_churn_mode());
+  DynamicHfcOverlay full(two_grids(rng), simple_placement(18), {},
+                         BorderSelection::kClosestPair,
+                         ChurnMode::kFullRebuild);
+  EXPECT_EQ(full.churn_mode(), ChurnMode::kFullRebuild);
 }
 
 }  // namespace

@@ -31,6 +31,7 @@
 
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
+#include "src/util/env.h"
 #include "src/util/thread_pool.h"
 
 namespace hfc::benchutil {
@@ -40,10 +41,11 @@ inline bool full_scale() {
   return v != nullptr && std::string(v) == "1";
 }
 
+/// Bench sweep knobs go through the shared robust parser: malformed or
+/// zero values fall back to the bench default with one warning instead of
+/// turning into a 0-sized (or 2^64-sized) sweep.
 inline std::size_t env_size(const char* name, std::size_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr) return fallback;
-  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+  return env_size_t(name, fallback, /*min_value=*/1);
 }
 
 inline std::string fmt(double value, int decimals = 2) {

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Repo-wide verification gate. Run from anywhere:
 #
-#   scripts/check.sh          # -Werror build + tests + TSan + ASan gates
-#   scripts/check.sh --fast   # skip the sanitizer builds (quick iteration)
+#   scripts/check.sh          # -Werror build + tests + TSan/ASan + coverage
+#   scripts/check.sh --fast   # skip sanitizer + coverage builds (iteration)
 #
 # Stages:
 #   1. Configure + build with -Wall -Wextra -Werror (HFC_WERROR=ON) into
@@ -20,8 +20,12 @@
 #      and churn benches at reduced sizes so the whole build-and-route
 #      pipeline — including row-cache eviction and incremental border
 #      repair — is exercised under ASan.
+#   5. Build with -DHFC_COVERAGE=ON into build-cov/, run the full suite,
+#      and enforce the line-coverage floor (90%) for src/fault/ and
+#      src/sim/ via scripts/coverage_gate.py (gcov JSON, no gcovr).
 #
-# The sanitizer stages are the expensive ones; --fast skips both.
+# The sanitizer and coverage stages are the expensive ones; --fast skips
+# all three.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,35 +39,42 @@ elif [[ -n "${1:-}" ]]; then
   exit 2
 fi
 
-echo "== [1/4] -Werror build =="
+echo "== [1/5] -Werror build =="
 cmake -B build-check -S . -DHFC_WERROR=ON
 cmake --build build-check -j"$JOBS"
 
-echo "== [2/4] full test suite =="
+echo "== [2/5] full test suite =="
 ctest --test-dir build-check -j"$JOBS" --output-on-failure
 
 if [[ "$FAST" == "1" ]]; then
-  echo "== [3/4] TSan gate skipped (--fast) =="
-  echo "== [4/4] ASan gate skipped (--fast) =="
+  echo "== [3/5] TSan gate skipped (--fast) =="
+  echo "== [4/5] ASan gate skipped (--fast) =="
+  echo "== [5/5] coverage gate skipped (--fast) =="
   exit 0
 fi
 
-echo "== [3/4] TSan gate =="
+echo "== [3/5] TSan gate =="
 cmake -B build-tsan -S . -DHFC_SANITIZE=thread
 cmake --build build-tsan -j"$JOBS"
 HFC_THREADS=4 ctest --test-dir build-tsan -j"$JOBS" --output-on-failure \
-  -R 'Obs|Metrics|Trace|ThreadPool|Parallel|StateProtocol|Simulator|Distance|RowCache|Dynamic|Churn'
+  -R 'Obs|Metrics|Trace|ThreadPool|Parallel|StateProtocol|Simulator|Distance|RowCache|Dynamic|Churn|Fault|Chaos'
 HFC_THREADS=4 HFC_CHURN_N=500 HFC_CHURN_EVENTS=96 HFC_REQUESTS=40 \
   HFC_WAVES=2 HFC_BENCH_JSON=0 ./build-tsan/bench/bench_churn_dynamic
 
-echo "== [4/4] ASan gate =="
+echo "== [4/5] ASan gate =="
 cmake -B build-asan -S . -DHFC_SANITIZE=address -DCMAKE_BUILD_TYPE=Debug
 cmake --build build-asan -j"$JOBS"
 ctest --test-dir build-asan -j"$JOBS" --output-on-failure \
-  -R 'Distance|RowCache|SymMatrix|Oracle|Mesh|Overlay|CoordDistance|Probe|Dynamic|Churn'
+  -R 'Distance|RowCache|SymMatrix|Oracle|Mesh|Overlay|CoordDistance|Probe|Dynamic|Churn|Fault|Chaos'
 HFC_DIST_N=400 HFC_DIST_REQUESTS=200 HFC_BENCH_JSON=0 \
   ./build-asan/bench/bench_distance_scaling
 HFC_CHURN_N=500 HFC_CHURN_EVENTS=96 HFC_REQUESTS=40 HFC_WAVES=2 \
   HFC_BENCH_JSON=0 ./build-asan/bench/bench_churn_dynamic
+
+echo "== [5/5] coverage gate =="
+cmake -B build-cov -S . -DHFC_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug
+cmake --build build-cov -j"$JOBS"
+ctest --test-dir build-cov -j"$JOBS" --output-on-failure
+python3 scripts/coverage_gate.py build-cov
 
 echo "== all checks passed =="

@@ -1,7 +1,6 @@
 #include "distance/distance_service.h"
 
-#include <cstdlib>
-
+#include "util/env.h"
 #include "util/thread_pool.h"
 
 namespace hfc {
@@ -38,11 +37,7 @@ std::function<double(NodeId, NodeId)> DistanceService::fn() const {
 
 std::size_t resolve_cache_rows(std::size_t requested, std::size_t fallback) {
   if (requested > 0) return requested;
-  if (const char* env = std::getenv("HFC_DIST_CACHE_ROWS")) {
-    const long v = std::atol(env);
-    if (v > 0) return static_cast<std::size_t>(v);
-  }
-  return fallback;
+  return env_size_t("HFC_DIST_CACHE_ROWS", fallback, /*min_value=*/1);
 }
 
 }  // namespace hfc

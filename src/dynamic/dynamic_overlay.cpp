@@ -342,6 +342,35 @@ ServicePath DynamicHfcOverlay::route(const ServiceRequest& request) {
   return path;
 }
 
+ServicePath DynamicHfcOverlay::route_degraded(const ServiceRequest& request,
+                                              std::function<bool(NodeId)> up) {
+  require(is_active(request.source) && is_active(request.destination),
+          "DynamicHfcOverlay::route_degraded: endpoints must be active");
+  require(static_cast<bool>(up),
+          "DynamicHfcOverlay::route_degraded: null predicate");
+  require(up(request.source) && up(request.destination),
+          "DynamicHfcOverlay::route_degraded: endpoints must be up");
+  if (mode_ == ChurnMode::kIncremental) {
+    inc_router_->sync_with_topology();
+    return inc_router_->route_degraded(request, std::move(up)).path;
+  }
+  rebuild_if_dirty();
+  ServiceRequest dense = request;
+  dense.source = NodeId(universe_to_dense_[request.source.idx()]);
+  dense.destination = NodeId(universe_to_dense_[request.destination.idx()]);
+  // The dense router speaks dense ids; translate them back to universe
+  // ids before consulting the caller's predicate.
+  auto dense_up = [this, up = std::move(up)](NodeId dense_node) {
+    return up(dense_to_universe_[dense_node.idx()]);
+  };
+  ServicePath path =
+      view_router_->route_degraded(dense, std::move(dense_up)).path;
+  for (ServiceHop& hop : path.hops) {
+    hop.proxy = dense_to_universe_[hop.proxy.idx()];
+  }
+  return path;
+}
+
 std::size_t DynamicHfcOverlay::cluster_count() {
   if (mode_ == ChurnMode::kIncremental) {
     return inc_topo_->live_cluster_count();

@@ -148,6 +148,13 @@ class DynamicHfcOverlay {
   /// universe NodeIds too.
   [[nodiscard]] ServicePath route(const ServiceRequest& request);
 
+  /// Route treating proxies rejected by `up` as crashed (cannot serve or
+  /// relay; border pairs fall back to the next-closest surviving pair —
+  /// DESIGN.md §10). `up` takes universe NodeIds in both churn modes;
+  /// endpoints must be active and up. Returned hops are universe NodeIds.
+  [[nodiscard]] ServicePath route_degraded(const ServiceRequest& request,
+                                           std::function<bool(NodeId)> up);
+
   /// Current number of clusters over the active set.
   [[nodiscard]] std::size_t cluster_count();
 

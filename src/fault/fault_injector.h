@@ -1,0 +1,96 @@
+// Executes a FaultPlan against a discrete-event simulation.
+//
+// The injector is the single seam between a fault schedule and the things
+// it breaks: it arms the plan's events onto a `Simulator`, tracks which
+// proxies are down and which cluster pairs are partitioned, and decides
+// the fate of every protocol message (drop due to partition, correlated
+// burst loss, plan-wide base loss; extra delivery jitter). All message-
+// level randomness derives from the plan's seed, and the simulator is
+// single-threaded, so a given (plan, workload) pair replays bit-for-bit.
+//
+// Everything the injector does is surfaced through the metrics registry
+// under the "fault." prefix (see DESIGN.md §10 for the full table).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+
+#include "fault/fault_plan.h"
+#include "sim/event_queue.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace hfc {
+
+class HfcTopology;
+
+/// Fate of one message, decided at send time. A dropped message is never
+/// scheduled; a delivered one arrives after its normal delay plus
+/// `extra_delay_ms` of jitter.
+struct MessageFate {
+  bool delivered = true;
+  double extra_delay_ms = 0.0;
+};
+
+class FaultInjector {
+ public:
+  /// The topology is only consulted for cluster membership when checking
+  /// partitions; it must outlive the injector and may mutate under churn
+  /// (a node's current cluster is looked up per message).
+  FaultInjector(FaultPlan plan, const HfcTopology& topo);
+
+  /// Schedule every plan event onto `sim`. Call once, before running the
+  /// sim; crash/recover state then evolves as the sim clock advances.
+  void arm(Simulator& sim);
+
+  /// Liveness "now" (as of the armed simulator's clock).
+  [[nodiscard]] bool node_up(NodeId node) const {
+    return crashed_.find(node) == crashed_.end();
+  }
+  [[nodiscard]] std::size_t crashed_count() const { return crashed_.size(); }
+  /// A copyable predicate view of node_up, for routing filters.
+  [[nodiscard]] std::function<bool(NodeId)> up_predicate() const;
+
+  [[nodiscard]] bool partitioned(ClusterId a, ClusterId b) const;
+  /// Loss probability of the currently open burst window (0 outside).
+  [[nodiscard]] double current_burst_loss() const { return burst_loss_; }
+
+  /// Decide the fate of one message. Senders that are down should not call
+  /// this (a crashed proxy sends nothing); if they do, the message is
+  /// dropped and counted like a receiver-down drop.
+  [[nodiscard]] MessageFate on_message(NodeId from, NodeId to);
+
+  /// Record a delivery-time drop (receiver was down when the message
+  /// arrived). The protocol owns that check because recovery may land
+  /// between send and delivery; the injector owns the accounting.
+  void note_receiver_down();
+
+  /// Hooks fired when a crash/recover event executes (e.g. the protocol
+  /// clears the victim's soft state on crash). Set before arm() fires.
+  void set_on_crash(std::function<void(NodeId)> fn) {
+    on_crash_ = std::move(fn);
+  }
+  void set_on_recover(std::function<void(NodeId)> fn) {
+    on_recover_ = std::move(fn);
+  }
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  [[nodiscard]] static std::uint64_t pair_key(ClusterId a, ClusterId b);
+  void apply(Simulator& sim, const FaultEvent& event);
+
+  FaultPlan plan_;
+  const HfcTopology& topo_;
+  Rng msg_rng_;
+  bool armed_ = false;
+  std::unordered_set<NodeId> crashed_;
+  std::unordered_set<std::uint64_t> partitions_;
+  double burst_loss_ = 0.0;
+  std::function<void(NodeId)> on_crash_;
+  std::function<void(NodeId)> on_recover_;
+};
+
+}  // namespace hfc

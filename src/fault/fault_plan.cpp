@@ -1,0 +1,350 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "overlay/hfc_topology.h"
+#include "util/env.h"
+#include "util/require.h"
+#include "util/rng.h"
+
+namespace hfc {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kRecover:
+      return "recover";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kHeal:
+      return "heal";
+    case FaultKind::kBurstStart:
+      return "burst_start";
+    case FaultKind::kBurstEnd:
+      return "burst_end";
+  }
+  return "unknown";
+}
+
+FaultPlan::FaultPlan(std::vector<FaultEvent> events, double base_loss,
+                     double jitter_ms, std::uint64_t seed)
+    : events_(std::move(events)),
+      base_loss_(base_loss),
+      jitter_ms_(jitter_ms),
+      seed_(seed) {
+  require(base_loss_ >= 0.0 && base_loss_ < 1.0,
+          "FaultPlan: base_loss outside [0,1)");
+  require(jitter_ms_ >= 0.0, "FaultPlan: negative jitter");
+  for (const FaultEvent& e : events_) {
+    require(e.time_ms >= 0.0, "FaultPlan: negative event time");
+    switch (e.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kRecover:
+        require(e.node.valid(), "FaultPlan: crash/recover without a node");
+        break;
+      case FaultKind::kPartition:
+      case FaultKind::kHeal:
+        require(e.a.valid() && e.b.valid() && e.a != e.b,
+                "FaultPlan: partition needs two distinct clusters");
+        break;
+      case FaultKind::kBurstStart:
+        require(e.loss > 0.0 && e.loss <= 1.0,
+                "FaultPlan: burst loss outside (0,1]");
+        break;
+      case FaultKind::kBurstEnd:
+        break;
+    }
+  }
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     return x.time_ms < y.time_ms;
+                   });
+}
+
+double FaultPlan::last_event_ms() const {
+  return events_.empty() ? 0.0 : events_.back().time_ms;
+}
+
+std::uint64_t FaultPlan::default_seed() {
+  return env_u64("HFC_FAULT_SEED", 1);
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* spec = std::getenv("HFC_FAULT_PLAN");
+  if (spec == nullptr || *spec == '\0') return FaultPlan();
+  return parse(spec);
+}
+
+FaultPlan FaultPlan::random(const FaultPlanParams& params,
+                            const HfcTopology& topo, std::uint64_t seed) {
+  require(params.horizon_ms > 0.0, "FaultPlan::random: empty horizon");
+  require(params.heal_fraction > 0.0 && params.heal_fraction <= 1.0,
+          "FaultPlan::random: heal_fraction outside (0,1]");
+  require(params.border_bias >= 0.0 && params.border_bias <= 1.0,
+          "FaultPlan::random: border_bias outside [0,1]");
+  const double heal_by = params.horizon_ms * params.heal_fraction;
+  std::vector<FaultEvent> events;
+  Rng rng(seed);
+
+  // Crash/recover pairs. Victims avoid repeats while enough distinct nodes
+  // exist, and are biased toward border proxies — the role whose failure
+  // actually degrades inter-cluster routing.
+  Rng crash_rng = rng.fork(1);
+  const std::vector<NodeId>& borders = topo.all_borders();
+  std::vector<NodeId> used;
+  for (std::size_t i = 0; i < params.crashes; ++i) {
+    NodeId victim;
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      if (!borders.empty() && crash_rng.chance(params.border_bias)) {
+        victim = crash_rng.pick(borders);
+      } else {
+        victim = NodeId(static_cast<std::int32_t>(
+            crash_rng.pick_index(topo.node_count())));
+      }
+      if (std::find(used.begin(), used.end(), victim) == used.end()) break;
+    }
+    used.push_back(victim);
+    const double down_at = crash_rng.uniform_real(0.05, 0.55) * heal_by;
+    double downtime = crash_rng.exponential(params.mean_downtime_ms);
+    downtime = std::min(downtime, heal_by - down_at);
+    FaultEvent crash;
+    crash.time_ms = down_at;
+    crash.kind = FaultKind::kCrash;
+    crash.node = victim;
+    events.push_back(crash);
+    FaultEvent recover = crash;
+    recover.time_ms = down_at + std::max(downtime, 1.0);
+    recover.kind = FaultKind::kRecover;
+    events.push_back(recover);
+  }
+
+  // Inter-cluster partitions over the live cluster pairs.
+  Rng part_rng = rng.fork(2);
+  std::vector<ClusterId> live;
+  for (std::size_t c = 0; c < topo.cluster_count(); ++c) {
+    const ClusterId id(static_cast<std::int32_t>(c));
+    if (topo.live(id)) live.push_back(id);
+  }
+  if (live.size() >= 2) {
+    for (std::size_t i = 0; i < params.partitions; ++i) {
+      const ClusterId a = part_rng.pick(live);
+      ClusterId b = part_rng.pick(live);
+      for (int attempt = 0; attempt < 16 && b == a; ++attempt) {
+        b = part_rng.pick(live);
+      }
+      if (b == a) continue;  // one-cluster corner: nothing to partition
+      const double cut_at = part_rng.uniform_real(0.05, 0.55) * heal_by;
+      double span = part_rng.exponential(params.mean_partition_ms);
+      span = std::min(span, heal_by - cut_at);
+      FaultEvent cut;
+      cut.time_ms = cut_at;
+      cut.kind = FaultKind::kPartition;
+      cut.a = a;
+      cut.b = b;
+      events.push_back(cut);
+      FaultEvent heal = cut;
+      heal.time_ms = cut_at + std::max(span, 1.0);
+      heal.kind = FaultKind::kHeal;
+      events.push_back(heal);
+    }
+  }
+
+  // Correlated-loss windows.
+  Rng burst_rng = rng.fork(3);
+  for (std::size_t i = 0; i < params.bursts; ++i) {
+    const double open_at = burst_rng.uniform_real(0.05, 0.55) * heal_by;
+    double span = burst_rng.exponential(params.mean_burst_ms);
+    span = std::min(span, heal_by - open_at);
+    FaultEvent open;
+    open.time_ms = open_at;
+    open.kind = FaultKind::kBurstStart;
+    open.loss = params.burst_loss;
+    events.push_back(open);
+    FaultEvent close;
+    close.time_ms = open_at + std::max(span, 1.0);
+    close.kind = FaultKind::kBurstEnd;
+    events.push_back(close);
+  }
+
+  return FaultPlan(std::move(events), params.base_loss, params.jitter_ms,
+                   seed);
+}
+
+namespace {
+
+/// Format a time with enough significant digits (max_digits10 = 17) that
+/// parse() recovers the exact double: serialize/parse is a lossless
+/// round-trip, which the plan-equality checks of the chaos suite rely on.
+/// Round times still print compactly ("500", not "500.000000").
+std::string fmt_ms(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+double parse_double(const std::string& token, const std::string& context) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("FaultPlan::parse: bad number '" + token +
+                                "' in '" + context + "'");
+  }
+  require(pos == token.size(), "FaultPlan::parse: trailing garbage in '" +
+                                   context + "'");
+  return v;
+}
+
+int parse_int(const std::string& token, const std::string& context) {
+  const double v = parse_double(token, context);
+  require(v >= 0.0 && v == std::floor(v),
+          "FaultPlan::parse: '" + context + "' needs a non-negative integer");
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+std::string FaultPlan::serialize() const {
+  std::ostringstream os;
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ";";
+    first = false;
+  };
+  // Bursts serialize as burst@open+span:loss, so pair each start with its
+  // matching end (events are time-sorted; windows from `random` and
+  // `parse` never nest).
+  double burst_open = -1.0;
+  double burst_loss = 0.0;
+  for (const FaultEvent& e : events_) {
+    switch (e.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kRecover:
+        sep();
+        os << (e.kind == FaultKind::kCrash ? "crash@" : "recover@")
+           << fmt_ms(e.time_ms) << ":" << e.node.value();
+        break;
+      case FaultKind::kPartition:
+      case FaultKind::kHeal:
+        sep();
+        os << (e.kind == FaultKind::kPartition ? "partition@" : "heal@")
+           << fmt_ms(e.time_ms) << ":" << e.a.value() << "/" << e.b.value();
+        break;
+      case FaultKind::kBurstStart:
+        burst_open = e.time_ms;
+        burst_loss = e.loss;
+        break;
+      case FaultKind::kBurstEnd:
+        ensure(burst_open >= 0.0, "FaultPlan::serialize: unmatched burst end");
+        sep();
+        os << "burst@" << fmt_ms(burst_open) << "+"
+           << fmt_ms(e.time_ms - burst_open) << ":" << burst_loss;
+        burst_open = -1.0;
+        break;
+    }
+  }
+  ensure(burst_open < 0.0, "FaultPlan::serialize: unmatched burst start");
+  if (base_loss_ > 0.0) {
+    sep();
+    os << "loss:" << base_loss_;
+  }
+  if (jitter_ms_ > 0.0) {
+    sep();
+    os << "jitter:" << fmt_ms(jitter_ms_);
+  }
+  sep();
+  os << "seed:" << seed_;
+  return os.str();
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  std::vector<FaultEvent> events;
+  double base_loss = 0.0;
+  double jitter = 0.0;
+  std::uint64_t seed = 1;
+
+  std::stringstream ss(spec);
+  std::string token;
+  while (std::getline(ss, token, ';')) {
+    // Trim surrounding whitespace so hand-written specs can breathe.
+    const std::size_t b = token.find_first_not_of(" \t\n");
+    if (b == std::string::npos) continue;
+    const std::size_t e = token.find_last_not_of(" \t\n");
+    token = token.substr(b, e - b + 1);
+
+    const std::size_t at = token.find('@');
+    const std::size_t colon = token.find(':');
+    require(colon != std::string::npos,
+            "FaultPlan::parse: missing ':' in '" + token + "'");
+    const std::string head = token.substr(0, at == std::string::npos
+                                                  ? colon
+                                                  : at);
+    if (head == "loss") {
+      base_loss = parse_double(token.substr(colon + 1), token);
+      require(base_loss >= 0.0 && base_loss < 1.0,
+              "FaultPlan::parse: loss outside [0,1) in '" + token + "'");
+      continue;
+    }
+    if (head == "jitter") {
+      jitter = parse_double(token.substr(colon + 1), token);
+      require(jitter >= 0.0, "FaultPlan::parse: negative jitter");
+      continue;
+    }
+    if (head == "seed") {
+      seed = static_cast<std::uint64_t>(
+          parse_int(token.substr(colon + 1), token));
+      continue;
+    }
+    require(at != std::string::npos && at < colon,
+            "FaultPlan::parse: expected '<kind>@<time>:...' in '" + token +
+                "'");
+    const std::string time_part = token.substr(at + 1, colon - at - 1);
+    const std::string arg = token.substr(colon + 1);
+    if (head == "crash" || head == "recover") {
+      FaultEvent ev;
+      ev.time_ms = parse_double(time_part, token);
+      ev.kind = head == "crash" ? FaultKind::kCrash : FaultKind::kRecover;
+      ev.node = NodeId(parse_int(arg, token));
+      events.push_back(ev);
+    } else if (head == "partition" || head == "heal") {
+      const std::size_t slash = arg.find('/');
+      require(slash != std::string::npos,
+              "FaultPlan::parse: expected 'a/b' clusters in '" + token + "'");
+      FaultEvent ev;
+      ev.time_ms = parse_double(time_part, token);
+      ev.kind = head == "partition" ? FaultKind::kPartition : FaultKind::kHeal;
+      ev.a = ClusterId(parse_int(arg.substr(0, slash), token));
+      ev.b = ClusterId(parse_int(arg.substr(slash + 1), token));
+      events.push_back(ev);
+    } else if (head == "burst") {
+      const std::size_t plus = time_part.find('+');
+      require(plus != std::string::npos,
+              "FaultPlan::parse: expected 'burst@open+span:loss' in '" +
+                  token + "'");
+      const double open = parse_double(time_part.substr(0, plus), token);
+      const double span = parse_double(time_part.substr(plus + 1), token);
+      require(span > 0.0, "FaultPlan::parse: burst span must be positive");
+      FaultEvent start;
+      start.time_ms = open;
+      start.kind = FaultKind::kBurstStart;
+      start.loss = parse_double(arg, token);
+      events.push_back(start);
+      FaultEvent end;
+      end.time_ms = open + span;
+      end.kind = FaultKind::kBurstEnd;
+      events.push_back(end);
+    } else {
+      throw std::invalid_argument("FaultPlan::parse: unknown directive '" +
+                                  head + "'");
+    }
+  }
+  return FaultPlan(std::move(events), base_loss, jitter, seed);
+}
+
+}  // namespace hfc

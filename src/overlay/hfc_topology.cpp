@@ -145,6 +145,49 @@ double HfcTopology::external_length(ClusterId a, ClusterId b) const {
                    border_[b.idx() * c + a.idx()]);
 }
 
+HfcTopology::SurvivingPair HfcTopology::surviving_border_pair(
+    ClusterId from, ClusterId toward,
+    const std::function<bool(NodeId)>& up) const {
+  const std::size_t c = clustering_.cluster_count();
+  require(from.valid() && from.idx() < c && toward.valid() &&
+              toward.idx() < c && from != toward,
+          "HfcTopology::surviving_border_pair: bad cluster pair");
+  require(live_[from.idx()] && live_[toward.idx()],
+          "HfcTopology::surviving_border_pair: dead cluster");
+  SurvivingPair pair;
+  const NodeId stored_from = border_[from.idx() * c + toward.idx()];
+  const NodeId stored_toward = border_[toward.idx() * c + from.idx()];
+  if (!up || (up(stored_from) && up(stored_toward))) {
+    pair.in_from = stored_from;
+    pair.in_toward = stored_toward;
+    pair.length = distance_(stored_from, stored_toward);
+    pair.found = true;
+    return pair;
+  }
+  // One end of the stored pair is down: re-scan the surviving members for
+  // the next-closest pair, with the same member-order tie-break a fresh
+  // §3.3 selection uses (strict improvement keeps the earliest argmin).
+  double best = std::numeric_limits<double>::infinity();
+  for (NodeId x : clustering_.members[from.idx()]) {
+    if (!up(x)) continue;
+    for (NodeId y : clustering_.members[toward.idx()]) {
+      if (!up(y)) continue;
+      const double d = distance_(x, y);
+      if (d < best) {
+        best = d;
+        pair.in_from = x;
+        pair.in_toward = y;
+      }
+    }
+  }
+  if (pair.in_from.valid()) {
+    pair.length = best;
+    pair.found = true;
+    pair.is_fallback = true;
+  }
+  return pair;
+}
+
 bool HfcTopology::is_border(NodeId node) const {
   require(node.valid() && node.idx() < border_refs_.size(),
           "HfcTopology::is_border: bad node");

@@ -23,6 +23,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -140,6 +141,24 @@ class HfcTopology {
   [[nodiscard]] double external_length(ClusterId a, ClusterId b) const;
 
   [[nodiscard]] bool is_border(NodeId node) const;
+
+  /// The closest cross-cluster pair between `from` and `toward` among
+  /// proxies the `up` predicate accepts — graceful degradation under
+  /// crashes (DESIGN.md §10). When the stored border pair is fully up it
+  /// is returned unchanged (`is_fallback == false`); otherwise the member
+  /// sets are re-scanned exactly like a §3.3 closest-pair repair, keeping
+  /// member-order tie-breaking, and `is_fallback` is set. `found` is false
+  /// when one side has no surviving member. A null `up` accepts everyone.
+  struct SurvivingPair {
+    NodeId in_from;     ///< surviving border inside `from`
+    NodeId in_toward;   ///< surviving border inside `toward`
+    double length = 0;  ///< distance between them (build-time metric)
+    bool found = false;
+    bool is_fallback = false;
+  };
+  [[nodiscard]] SurvivingPair surviving_border_pair(
+      ClusterId from, ClusterId toward,
+      const std::function<bool(NodeId)>& up) const;
 
   /// All distinct border nodes in the system, ascending. After incremental
   /// mutations the list is refreshed lazily on first access (not safe to

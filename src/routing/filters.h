@@ -44,4 +44,18 @@ namespace hfc {
   return filters;
 }
 
+/// RoutingFilters treating the given proxies as *crashed*: unlike
+/// avoid_failed they can neither serve nor relay, and border pairs with a
+/// crashed end fall back to the next-closest surviving pair
+/// (DESIGN.md §10). Equivalent to route_degraded with a set-membership
+/// liveness predicate.
+[[nodiscard]] inline RoutingFilters avoid_crashed(std::vector<NodeId> crashed) {
+  std::sort(crashed.begin(), crashed.end());
+  RoutingFilters filters;
+  filters.node_up = [crashed = std::move(crashed)](NodeId node) {
+    return !std::binary_search(crashed.begin(), crashed.end(), node);
+  };
+  return filters;
+}
+
 }  // namespace hfc

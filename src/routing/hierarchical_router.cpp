@@ -37,6 +37,55 @@ struct Label {
 
 }  // namespace
 
+BorderView::BorderView(const HfcTopology& topo,
+                       std::function<bool(NodeId)> node_up)
+    : topo_(topo), node_up_(std::move(node_up)) {}
+
+const BorderView::Pair& BorderView::resolve(ClusterId a, ClusterId b) const {
+  // Key on the unordered pair; store oriented as (min, max).
+  const ClusterId lo = a < b ? a : b;
+  const ClusterId hi = a < b ? b : a;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(lo.value()))
+       << 32) |
+      static_cast<std::uint32_t>(hi.value());
+  const auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+  const HfcTopology::SurvivingPair sp =
+      topo_.surviving_border_pair(lo, hi, node_up_);
+  if (sp.is_fallback) {
+    static obs::Counter& fallbacks =
+        obs::MetricsRegistry::global().counter("fault.border_fallbacks");
+    fallbacks.add(1);
+  } else if (!sp.found) {
+    static obs::Counter& unreachable =
+        obs::MetricsRegistry::global().counter("fault.border_unreachable");
+    unreachable.add(1);
+  }
+  Pair pair;
+  pair.in_a = sp.in_from;
+  pair.in_b = sp.in_toward;
+  pair.length = sp.length;
+  pair.found = sp.found;
+  return memo_.emplace(key, pair).first->second;
+}
+
+bool BorderView::connected(ClusterId a, ClusterId b) const {
+  return resolve(a, b).found;
+}
+
+NodeId BorderView::border(ClusterId from, ClusterId toward) const {
+  const Pair& pair = resolve(from, toward);
+  if (!pair.found) return NodeId{};
+  return from < toward ? pair.in_a : pair.in_b;
+}
+
+double BorderView::external_length(ClusterId a, ClusterId b) const {
+  const Pair& pair = resolve(a, b);
+  return pair.found ? pair.length
+                    : std::numeric_limits<double>::infinity();
+}
+
 HierarchicalServiceRouter::HierarchicalServiceRouter(
     const OverlayNetwork& net, const HfcTopology& topo,
     OverlayDistance decision_distance, HierarchicalRoutingParams params)
@@ -135,20 +184,35 @@ HierarchicalServiceRouter::Csp HierarchicalServiceRouter::compute_csp(
   const ClusterId src_cluster = topo_.cluster_of(request.source);
   const ClusterId dst_cluster = topo_.cluster_of(request.destination);
   const bool lb = params_.use_internal_lower_bounds;
+  const BorderView view(topo_, filters.node_up);
 
   if (graph.empty()) {
+    if (src_cluster == dst_cluster) {
+      csp.found = true;
+      csp.lower_bound = distance_(request.source, request.destination);
+      return csp;
+    }
+    if (!view.connected(src_cluster, dst_cluster)) return csp;
+    const NodeId bu = view.border(src_cluster, dst_cluster);
+    const NodeId bv = view.border(dst_cluster, src_cluster);
+    double total = view.external_length(src_cluster, dst_cluster);
+    if (request.source != bu) total += distance_(request.source, bu);
+    if (request.destination != bv) total += distance_(bv, request.destination);
     csp.found = true;
-    csp.lower_bound = topo_.path_distance(request.source, request.destination,
-                                          distance_);
+    csp.lower_bound = total;
     return csp;
   }
 
   // Cost of stepping from cluster `c` (entered at `entry`) over the
-  // external link toward cluster `next` (!= c).
+  // external link toward cluster `next` (!= c). +inf when no surviving
+  // border pair connects the two clusters.
   const auto transition_cost = [&](ClusterId c, NodeId entry,
                                    ClusterId next) {
-    const NodeId exit_border = topo_.border(c, next);
-    double cost = topo_.external_length(c, next);
+    if (!view.connected(c, next)) {
+      return std::numeric_limits<double>::infinity();
+    }
+    const NodeId exit_border = view.border(c, next);
+    double cost = view.external_length(c, next);
     if (lb && entry != exit_border) cost += distance_(entry, exit_border);
     return cost;
   };
@@ -183,7 +247,8 @@ HierarchicalServiceRouter::Csp HierarchicalServiceRouter::compute_csp(
       NodeId entry = request.source;
       if (c != src_cluster) {
         cost = transition_cost(src_cluster, request.source, c);
-        entry = topo_.border(c, src_cluster);
+        if (cost == std::numeric_limits<double>::infinity()) continue;
+        entry = view.border(c, src_cluster);
         crossings = 1;
       }
       Label& label = tables[v][state_key(c, entry)];
@@ -205,7 +270,8 @@ HierarchicalServiceRouter::Csp HierarchicalServiceRouter::compute_csp(
           NodeId next_entry = entry;
           if (next != c) {
             cost += transition_cost(c, entry, next);
-            next_entry = topo_.border(next, c);
+            if (cost == std::numeric_limits<double>::infinity()) continue;
+            next_entry = view.border(next, c);
             ++crossings;
           }
           Label& target = tables[v][state_key(next, next_entry)];
@@ -242,9 +308,10 @@ HierarchicalServiceRouter::Csp HierarchicalServiceRouter::compute_csp(
         }
       } else {
         cost += transition_cost(c, entry, dst_cluster);
+        if (cost == std::numeric_limits<double>::infinity()) continue;
         ++crossings;
         if (lb) {
-          const NodeId dst_entry = topo_.border(dst_cluster, c);
+          const NodeId dst_entry = view.border(dst_cluster, c);
           if (dst_entry != request.destination) {
             cost += distance_(dst_entry, request.destination);
           }
@@ -284,6 +351,12 @@ HierarchicalServiceRouter::Csp HierarchicalServiceRouter::compute_csp(
 std::vector<HierarchicalServiceRouter::ChildRequest>
 HierarchicalServiceRouter::divide(const Csp& csp,
                                   const ServiceRequest& request) const {
+  return divide(csp, request, BorderView(topo_, nullptr));
+}
+
+std::vector<HierarchicalServiceRouter::ChildRequest>
+HierarchicalServiceRouter::divide(const Csp& csp, const ServiceRequest& request,
+                                  const BorderView& view) const {
   HFC_TRACE_SPAN("routing.divide");
   require(csp.found, "divide: CSP not found");
   std::vector<ChildRequest> children;
@@ -319,7 +392,7 @@ HierarchicalServiceRouter::divide(const Csp& csp,
     } else {
       const ClusterId prev =
           (i == 0) ? src_cluster : csp.elements[i - 1].cluster;
-      child.request.source = topo_.border(cluster, prev);
+      child.request.source = view.border(cluster, prev);
     }
     // Child destination symmetrically.
     if (j + 1 == csp.elements.size() && cluster == dst_cluster) {
@@ -328,8 +401,10 @@ HierarchicalServiceRouter::divide(const Csp& csp,
       const ClusterId next = (j + 1 == csp.elements.size())
                                  ? dst_cluster
                                  : csp.elements[j + 1].cluster;
-      child.request.destination = topo_.border(cluster, next);
+      child.request.destination = view.border(cluster, next);
     }
+    ensure(child.request.source.valid() && child.request.destination.valid(),
+           "divide: CSP traverses a cluster pair with no surviving border");
     children.push_back(std::move(child));
     i = j + 1;
   }
@@ -367,21 +442,29 @@ HierarchicalServiceRouter::conquer_filtered(
   require(csp.found, "conquer: CSP not found");
   const ClusterId src_cluster = topo_.cluster_of(request.source);
   const ClusterId dst_cluster = topo_.cluster_of(request.destination);
+  const BorderView view(topo_, filters.node_up);
 
   ConquerResult result;
   std::vector<ServiceHop> hops;
   append_hop(hops, ServiceHop{request.source, ServiceId{}});
 
   if (children.empty()) {
-    // Pure relay request (empty SG): follow the HFC hop path.
-    for (NodeId n : topo_.hop_path(request.source, request.destination)) {
-      append_hop(hops, ServiceHop{n, ServiceId{}});
+    // Pure relay request (empty SG): follow the HFC hop path through the
+    // surviving border pair.
+    if (src_cluster != dst_cluster) {
+      ensure(view.connected(src_cluster, dst_cluster),
+             "conquer: relay request across a severed cluster pair");
+      append_hop(hops, ServiceHop{view.border(src_cluster, dst_cluster),
+                                  ServiceId{}});
+      append_hop(hops, ServiceHop{view.border(dst_cluster, src_cluster),
+                                  ServiceId{}});
     }
+    append_hop(hops, ServiceHop{request.destination, ServiceId{}});
   } else {
     // Bridge from the source into the first child's cluster if needed.
     if (children.front().cluster != src_cluster) {
       append_hop(hops, ServiceHop{
-                           topo_.border(src_cluster, children.front().cluster),
+                           view.border(src_cluster, children.front().cluster),
                            ServiceId{}});
     }
     for (const ChildRequest& child : children) {
@@ -411,7 +494,7 @@ HierarchicalServiceRouter::conquer_filtered(
     // Bridge from the last child's cluster to the destination if needed.
     if (children.back().cluster != dst_cluster) {
       append_hop(hops, ServiceHop{
-                           topo_.border(dst_cluster, children.back().cluster),
+                           view.border(dst_cluster, children.back().cluster),
                            ServiceId{}});
     }
     append_hop(hops, ServiceHop{request.destination, ServiceId{}});
@@ -431,12 +514,24 @@ HierarchicalServiceRouter::route_with_crankback(
   Exclusions exclusions;
   static obs::Counter& crankbacks =
       obs::MetricsRegistry::global().counter("routing.crankbacks");
+  // Liveness folds into the node filter as well: a down proxy is not a
+  // feasible provider of anything (and BorderView keeps it off relay
+  // positions), so crankback backs out of clusters whose promise
+  // depended on crashed proxies.
+  RoutingFilters eff = filters;
+  if (eff.node_up) {
+    eff.node_ok = [up = eff.node_up, ok = filters.node_ok](
+                      NodeId node, ServiceId service) {
+      return up(node) && (!ok || ok(node, service));
+    };
+  }
+  const BorderView view(topo_, eff.node_up);
   for (std::size_t attempt = 0; attempt <= max_crankbacks; ++attempt) {
-    const Csp csp = compute_csp(request, filters, exclusions);
+    const Csp csp = compute_csp(request, eff, exclusions);
     if (!csp.found) return result;  // nothing feasible remains
-    const std::vector<ChildRequest> children = divide(csp, request);
+    const std::vector<ChildRequest> children = divide(csp, request, view);
     ConquerResult conquered =
-        conquer_filtered(csp, children, request, filters);
+        conquer_filtered(csp, children, request, eff);
     if (conquered.path.found) {
       result.path = std::move(conquered.path);
       return result;
@@ -447,6 +542,19 @@ HierarchicalServiceRouter::route_with_crankback(
                       conquered.infeasible.end());
   }
   return result;  // crankback budget exhausted
+}
+
+HierarchicalServiceRouter::RouteResult
+HierarchicalServiceRouter::route_degraded(const ServiceRequest& request,
+                                          std::function<bool(NodeId)> up,
+                                          std::size_t max_crankbacks) const {
+  HFC_TRACE_SPAN("routing.route_degraded");
+  static obs::Counter& degraded =
+      obs::MetricsRegistry::global().counter("fault.degraded_requests");
+  degraded.add(1);
+  RoutingFilters filters;
+  filters.node_up = std::move(up);
+  return route_with_crankback(request, filters, max_crankbacks);
 }
 
 ServicePath HierarchicalServiceRouter::route(

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -51,9 +52,45 @@ struct HierarchicalRoutingParams {
 /// a CSP that passed cluster_ok may still fail node_ok inside a cluster —
 /// `route_with_crankback` handles that by excluding the failing
 /// (cluster, service) pairs and recomputing the CSP.
+/// `node_up(p)` is a *liveness* predicate, distinct from node_ok: a down
+/// proxy can neither provide services NOR relay traffic, and border pairs
+/// with a down end are replaced by the next-closest surviving pair
+/// (HfcTopology::surviving_border_pair). node_ok keeps its weaker
+/// semantics — a node_ok-rejected border may still relay.
 struct RoutingFilters {
   std::function<bool(ClusterId, ServiceId)> cluster_ok;
   NodeServiceFilter node_ok;
+  std::function<bool(NodeId)> node_up;
+};
+
+/// Liveness-aware view of the topology's border tables, scoped to one
+/// routing computation. Surviving pairs are resolved lazily through
+/// HfcTopology::surviving_border_pair and memoized per unordered cluster
+/// pair, so a C-cluster route pays at most one member re-scan per pair it
+/// actually touches. With a null predicate it is a zero-overhead
+/// pass-through to the stored borders.
+class BorderView {
+ public:
+  BorderView(const HfcTopology& topo, std::function<bool(NodeId)> node_up);
+
+  /// True when a surviving border pair exists between the two clusters.
+  [[nodiscard]] bool connected(ClusterId a, ClusterId b) const;
+  /// Surviving border inside `from` facing `toward`; invalid if none.
+  [[nodiscard]] NodeId border(ClusterId from, ClusterId toward) const;
+  /// Length of the surviving external link; +inf when disconnected.
+  [[nodiscard]] double external_length(ClusterId a, ClusterId b) const;
+
+ private:
+  struct Pair {
+    NodeId in_a, in_b;  ///< keyed with a < b
+    double length = 0;
+    bool found = false;
+  };
+  const Pair& resolve(ClusterId a, ClusterId b) const;
+
+  const HfcTopology& topo_;
+  std::function<bool(NodeId)> node_up_;
+  mutable std::unordered_map<std::uint64_t, Pair> memo_;
 };
 
 class HierarchicalServiceRouter {
@@ -92,6 +129,16 @@ class HierarchicalServiceRouter {
       const ServiceRequest& request, const RoutingFilters& filters,
       std::size_t max_crankbacks = 8) const;
 
+  /// Graceful degradation: route while treating every proxy rejected by
+  /// `up` as crashed — it cannot serve, relay, or anchor a border pair;
+  /// broken pairs fall back to the next-closest surviving pair. Built on
+  /// route_with_crankback, so clusters whose promise depended on down
+  /// proxies are backed out of. Finds a valid path whenever one exists in
+  /// the surviving HFC overlay.
+  [[nodiscard]] RouteResult route_degraded(
+      const ServiceRequest& request, std::function<bool(NodeId)> up,
+      std::size_t max_crankbacks = 8) const;
+
   /// --- introspection points, exposed for tests and the simulator ---
 
   struct CspElement {
@@ -123,6 +170,11 @@ class HierarchicalServiceRouter {
   };
   [[nodiscard]] std::vector<ChildRequest> divide(
       const Csp& csp, const ServiceRequest& request) const;
+  /// Same, resolving entry/exit borders through a liveness-aware view (the
+  /// view must be the one the CSP was computed under).
+  [[nodiscard]] std::vector<ChildRequest> divide(
+      const Csp& csp, const ServiceRequest& request,
+      const BorderView& view) const;
 
   /// Solve the child requests (flat routing restricted to each cluster's
   /// members) and compose the final concrete path, inserting border relay

@@ -37,9 +37,20 @@ class Simulator {
   }
 
   /// Process one event; false when the queue is empty.
+  ///
+  /// The event is popped *before* its handler runs, so a handler that
+  /// schedules at exactly now() cannot reorder ahead of it, and the new
+  /// event's sequence number is larger than that of every event already
+  /// queued at the same timestamp — the FIFO tie-break holds across
+  /// re-entrant scheduling: queued-first fires first, always. The handler
+  /// is moved out (not copied) so re-entrant pushes can never reallocate
+  /// state the running handler still references.
   bool step() {
     if (queue_.empty()) return false;
-    Event event = queue_.top();
+    // priority_queue::top() is const; moving the handler out is safe here
+    // because the element is popped immediately and the comparator only
+    // reads the scalar time/seq fields, which moving leaves intact.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = event.time;
     ++processed_;
@@ -55,6 +66,17 @@ class Simulator {
       step();
       ++count;
     }
+    return count;
+  }
+
+  /// Quiesce helper: process every event with time <= `until` (including
+  /// events those handlers schedule inside the window), then advance the
+  /// clock to exactly `until` even if no event landed there. Lets callers
+  /// interleave scheduled activity with externally-driven checkpoints.
+  std::size_t run_until(double until) {
+    require(until >= now_, "Simulator::run_until: time in the past");
+    const std::size_t count = run(until);
+    now_ = until;
     return count;
   }
 

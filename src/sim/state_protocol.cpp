@@ -1,11 +1,14 @@
 #include "sim/state_protocol.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "distance/distance_service.h"
+#include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/env.h"
 #include "util/require.h"
 #include "util/thread_pool.h"
 
@@ -21,6 +24,8 @@ struct ProtocolMetrics {
   obs::Counter& forwarded;
   obs::Counter& names_carried;
   obs::Counter& lost;
+  obs::Counter& retried;
+  obs::Counter& expired;
   obs::Gauge& convergence_time;
 
   static ProtocolMetrics& get() {
@@ -31,6 +36,8 @@ struct ProtocolMetrics {
         reg.counter("protocol.forwarded_messages"),
         reg.counter("protocol.service_names_carried"),
         reg.counter("protocol.lost_messages"),
+        reg.counter("protocol.retried_messages"),
+        reg.counter("protocol.expired_entries"),
         reg.gauge("protocol.convergence_time_ms"),
     };
     return m;
@@ -56,7 +63,15 @@ StateProtocolSim::StateProtocolSim(const OverlayNetwork& net,
   require(params_.local_period_ms > 0.0 && params_.aggregate_period_ms > 0.0,
           "StateProtocolSim: periods must be positive");
   require(params_.rounds >= 1, "StateProtocolSim: need >= 1 round");
+  if (params_.sct_ttl_ms < 0.0) {
+    params_.sct_ttl_ms =
+        static_cast<double>(env_u64("HFC_SCT_TTL", 0));  // 0 = no expiry
+  }
+  require(params_.aggregate_retries == 0 || params_.retry_timeout_ms > 0.0,
+          "StateProtocolSim: retries need a positive retry timeout");
   tables_.resize(net_.size());
+  sct_p_stamp_.resize(net_.size());
+  sct_c_stamp_.resize(net_.size());
   // Baseline for the per-sim delta view (see metrics()).
   const ProtocolMetrics& m = ProtocolMetrics::get();
   base_.local_messages = m.local.value();
@@ -64,6 +79,29 @@ StateProtocolSim::StateProtocolSim(const OverlayNetwork& net,
   base_.forwarded_messages = m.forwarded.value();
   base_.service_names_carried = m.names_carried.value();
   base_.lost_messages = m.lost.value();
+  base_.retried_messages = m.retried.value();
+  base_.expired_entries = m.expired.value();
+}
+
+void StateProtocolSim::set_fault_injector(FaultInjector* injector) {
+  require(!ran_, "StateProtocolSim::set_fault_injector: sim already ran");
+  injector_ = injector;
+}
+
+bool StateProtocolSim::is_up(NodeId node) const {
+  return injector_ == nullptr || injector_->node_up(node);
+}
+
+bool StateProtocolSim::message_passes(NodeId from, NodeId to,
+                                      double& extra_delay) {
+  extra_delay = 0.0;
+  // The sim's own Bernoulli loss draws first (preserves the draw sequence
+  // of injector-free configurations), then the injector's verdict.
+  if (dropped()) return false;
+  if (injector_ == nullptr) return true;
+  const MessageFate fate = injector_->on_message(from, to);
+  extra_delay = fate.extra_delay_ms;
+  return fate.delivered;
 }
 
 StateProtocolSim::StateProtocolSim(const OverlayNetwork& net,
@@ -81,8 +119,13 @@ bool StateProtocolSim::dropped() {
 
 void StateProtocolSim::deliver_local(Simulator& sim, NodeId to, NodeId about,
                                      std::vector<ServiceId> services) {
+  if (!is_up(to)) {
+    injector_->note_receiver_down();
+    return;
+  }
   ProtocolMetrics::get().names_carried.add(services.size());
   tables_[to.idx()].sct_p[about] = std::move(services);
+  sct_p_stamp_[to.idx()][about] = sim.now();
   convergence_time_ms_ = sim.now();
   ProtocolMetrics::get().convergence_time.set(convergence_time_ms_);
 }
@@ -91,8 +134,13 @@ void StateProtocolSim::deliver_aggregate(Simulator& sim, NodeId to,
                                          ClusterId about,
                                          std::vector<ServiceId> services,
                                          bool forwarded) {
+  if (!is_up(to)) {
+    injector_->note_receiver_down();
+    return;
+  }
   ProtocolMetrics::get().names_carried.add(services.size());
   tables_[to.idx()].sct_c[about] = services;
+  sct_c_stamp_[to.idx()][about] = sim.now();
   convergence_time_ms_ = sim.now();
   ProtocolMetrics::get().convergence_time.set(convergence_time_ms_);
   if (forwarded) return;
@@ -102,9 +150,10 @@ void StateProtocolSim::deliver_aggregate(Simulator& sim, NodeId to,
   for (NodeId member : topo_.members(own)) {
     if (member == to) continue;
     ProtocolMetrics::get().forwarded.add(1);
-    if (dropped()) continue;
+    double extra = 0.0;
+    if (!message_passes(to, member, extra)) continue;
     std::vector<ServiceId> copy = services;
-    sim.schedule_in(delay_(to, member),
+    sim.schedule_in(delay_(to, member) + extra,
                     [this, member, about, copy = std::move(copy)](
                         Simulator& s) mutable {
                       deliver_aggregate(s, member, about, std::move(copy),
@@ -114,21 +163,61 @@ void StateProtocolSim::deliver_aggregate(Simulator& sim, NodeId to,
 }
 
 void StateProtocolSim::send_local_state(Simulator& sim, NodeId from) {
+  if (!is_up(from)) return;  // a crashed proxy's refresh timer is silent
   const std::vector<ServiceId>& services = net_.services_at(from);
   // A node always knows itself.
   tables_[from.idx()].sct_p[from] = services;
+  sct_p_stamp_[from.idx()][from] = sim.now();
   for (NodeId member : topo_.members(topo_.cluster_of(from))) {
     if (member == from) continue;
     ProtocolMetrics::get().local.add(1);
-    if (dropped()) continue;
-    sim.schedule_in(delay_(from, member),
+    double extra = 0.0;
+    if (!message_passes(from, member, extra)) continue;
+    sim.schedule_in(delay_(from, member) + extra,
                     [this, member, from, services](Simulator& s) {
                       deliver_local(s, member, from, services);
                     });
   }
 }
 
+void StateProtocolSim::send_aggregate_to(Simulator& sim, NodeId border,
+                                         NodeId peer, ClusterId own,
+                                         const std::vector<ServiceId>& services,
+                                         std::size_t attempts_left) {
+  ProtocolMetrics::get().aggregate.add(1);
+  // Implicit-ack flag shared between the delivery handler and the retry
+  // check: delivery within the timeout suppresses the retransmission.
+  auto delivered = std::make_shared<bool>(false);
+  double extra = 0.0;
+  if (message_passes(border, peer, extra)) {
+    std::vector<ServiceId> copy = services;
+    sim.schedule_in(delay_(border, peer) + extra,
+                    [this, peer, own, delivered, copy = std::move(copy)](
+                        Simulator& s) mutable {
+                      if (!is_up(peer)) {
+                        injector_->note_receiver_down();
+                        return;  // not acked: the retry may still succeed
+                      }
+                      *delivered = true;
+                      deliver_aggregate(s, peer, own, std::move(copy),
+                                        /*forwarded=*/false);
+                    });
+  }
+  if (attempts_left == 0) return;
+  std::vector<ServiceId> copy = services;
+  sim.schedule_in(
+      params_.retry_timeout_ms,
+      [this, border, peer, own, delivered, attempts_left,
+       copy = std::move(copy)](Simulator& s) mutable {
+        if (*delivered) return;
+        if (!is_up(border)) return;  // sender crashed since the attempt
+        ProtocolMetrics::get().retried.add(1);
+        send_aggregate_to(s, border, peer, own, copy, attempts_left - 1);
+      });
+}
+
 void StateProtocolSim::send_aggregate_state(Simulator& sim, NodeId border) {
+  if (!is_up(border)) return;
   const ClusterId own = topo_.cluster_of(border);
   // Aggregate what this border currently knows via SCT_P (union of the
   // per-proxy sets, §4 footnote 5).
@@ -141,23 +230,57 @@ void StateProtocolSim::send_aggregate_state(Simulator& sim, NodeId border) {
                   aggregate.end());
   // Every node tracks its own cluster's aggregate locally.
   tables_[border.idx()].sct_c[own] = aggregate;
+  sct_c_stamp_[border.idx()][own] = sim.now();
 
   for (std::size_t c = 0; c < topo_.cluster_count(); ++c) {
     const ClusterId other(static_cast<int>(c));
     if (other == own) continue;
+    if (!topo_.live(other)) continue;  // dead slots have no borders
     // Only the border facing `other` speaks for the cluster on that edge.
     if (topo_.border(own, other) != border) continue;
     const NodeId peer = topo_.border(other, own);
-    ProtocolMetrics::get().aggregate.add(1);
-    if (dropped()) continue;
-    std::vector<ServiceId> copy = aggregate;
-    sim.schedule_in(delay_(border, peer),
-                    [this, peer, own, copy = std::move(copy)](
-                        Simulator& s) mutable {
-                      deliver_aggregate(s, peer, own, std::move(copy),
-                                        /*forwarded=*/false);
-                    });
+    send_aggregate_to(sim, border, peer, own, aggregate,
+                      params_.aggregate_retries);
   }
+}
+
+void StateProtocolSim::expire_stale(double now) {
+  if (params_.sct_ttl_ms <= 0.0) return;
+  std::size_t expired = 0;
+  for (std::size_t n = 0; n < tables_.size(); ++n) {
+    for (auto it = sct_p_stamp_[n].begin(); it != sct_p_stamp_[n].end();) {
+      if (now - it->second > params_.sct_ttl_ms) {
+        tables_[n].sct_p.erase(it->first);
+        it = sct_p_stamp_[n].erase(it);
+        ++expired;
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = sct_c_stamp_[n].begin(); it != sct_c_stamp_[n].end();) {
+      if (now - it->second > params_.sct_ttl_ms) {
+        tables_[n].sct_c.erase(it->first);
+        it = sct_c_stamp_[n].erase(it);
+        ++expired;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (expired > 0) ProtocolMetrics::get().expired.add(expired);
+}
+
+std::size_t StateProtocolSim::stale_entries(double ttl_ms) const {
+  std::size_t stale = 0;
+  for (std::size_t n = 0; n < tables_.size(); ++n) {
+    for (const auto& [key, stamp] : sct_p_stamp_[n]) {
+      if (end_time_ms_ - stamp > ttl_ms) ++stale;
+    }
+    for (const auto& [key, stamp] : sct_c_stamp_[n]) {
+      if (end_time_ms_ - stamp > ttl_ms) ++stale;
+    }
+  }
+  return stale;
 }
 
 void StateProtocolSim::run() {
@@ -165,6 +288,17 @@ void StateProtocolSim::run() {
   require(!ran_, "StateProtocolSim::run: already ran");
   ran_ = true;
   Simulator sim;
+
+  if (injector_ != nullptr) {
+    // Crash semantics: a crashed proxy loses its soft state (it restarts
+    // cold); liveness checks at send/delivery time do the rest.
+    injector_->set_on_crash([this](NodeId victim) {
+      tables_[victim.idx()] = ProxyStateTables{};
+      sct_p_stamp_[victim.idx()].clear();
+      sct_c_stamp_[victim.idx()].clear();
+    });
+    injector_->arm(sim);
+  }
 
   for (std::size_t round = 0; round < params_.rounds; ++round) {
     const double local_time =
@@ -183,10 +317,29 @@ void StateProtocolSim::run() {
       });
     }
   }
+  // Periodic TTL sweeps: stale entries disappear while the sim runs, not
+  // just at the end, so mid-run convergence measurements see expiry too.
+  if (params_.sct_ttl_ms > 0.0) {
+    const double horizon =
+        std::max(static_cast<double>(params_.rounds - 1) *
+                     params_.local_period_ms,
+                 params_.aggregate_phase_ms +
+                     static_cast<double>(params_.rounds - 1) *
+                         params_.aggregate_period_ms);
+    for (double t = params_.sct_ttl_ms; t <= horizon;
+         t += params_.sct_ttl_ms) {
+      sim.schedule_at(t, [this](Simulator& s) { expire_stale(s.now()); });
+    }
+  }
+  sim.run();
+  end_time_ms_ = sim.now();
+  // Final sweep at quiesce time: after run() no surviving entry is older
+  // than the TTL (the chaos suite's staleness invariant).
+  expire_stale(end_time_ms_);
   // Non-border nodes also maintain their own-cluster SCT_C entry locally
   // (they have full SCT_P); refresh at the end of each aggregate phase.
-  sim.run();
   for (NodeId node : net_.all_nodes()) {
+    if (!is_up(node)) continue;  // crashed proxies hold no fresh state
     std::vector<ServiceId> aggregate;
     for (const auto& [peer, services] : tables_[node.idx()].sct_p) {
       aggregate.insert(aggregate.end(), services.begin(), services.end());
@@ -195,6 +348,7 @@ void StateProtocolSim::run() {
     aggregate.erase(std::unique(aggregate.begin(), aggregate.end()),
                     aggregate.end());
     tables_[node.idx()].sct_c[topo_.cluster_of(node)] = std::move(aggregate);
+    sct_c_stamp_[node.idx()][topo_.cluster_of(node)] = end_time_ms_;
   }
 }
 
@@ -208,6 +362,8 @@ const StateProtocolMetrics& StateProtocolSim::metrics() const {
   metrics_view_.service_names_carried =
       m.names_carried.value() - base_.service_names_carried;
   metrics_view_.lost_messages = m.lost.value() - base_.lost_messages;
+  metrics_view_.retried_messages = m.retried.value() - base_.retried_messages;
+  metrics_view_.expired_entries = m.expired.value() - base_.expired_entries;
   metrics_view_.convergence_time_ms = convergence_time_ms_;
   return metrics_view_;
 }
@@ -236,7 +392,8 @@ double StateProtocolSim::convergence_fraction() const {
   // was O(n * C * |cluster|) recomputation before this hoist.
   std::vector<std::vector<ServiceId>> truth(topo_.cluster_count());
   for (std::size_t c = 0; c < truth.size(); ++c) {
-    truth[c] = aggregate_of(ClusterId(static_cast<int>(c)));
+    const ClusterId cluster(static_cast<int>(c));
+    if (topo_.live(cluster)) truth[c] = aggregate_of(cluster);
   }
   // Per-node verification is read-only and independent; each task fills
   // its own slot and the final sum over slots is order-independent.
@@ -256,8 +413,10 @@ double StateProtocolSim::convergence_fraction() const {
       }
     }
     for (std::size_t c = 0; c < topo_.cluster_count(); ++c) {
+      const ClusterId cluster(static_cast<int>(c));
+      if (!topo_.live(cluster)) continue;  // dead slots are not expected
       ++expected;
-      const auto it = t.sct_c.find(ClusterId(static_cast<int>(c)));
+      const auto it = t.sct_c.find(cluster);
       if (it != t.sct_c.end() && it->second == truth[c]) {
         ++correct;
       }
@@ -287,10 +446,11 @@ bool StateProtocolSim::fully_converged() const {
       if (it == t.sct_p.end()) return false;
       if (it->second != net_.services_at(member)) return false;
     }
-    // SCT_C: one accurate entry per cluster in the system.
-    if (t.sct_c.size() != topo_.cluster_count()) return false;
+    // SCT_C: one accurate entry per live cluster in the system.
+    if (t.sct_c.size() != topo_.live_cluster_count()) return false;
     for (std::size_t c = 0; c < topo_.cluster_count(); ++c) {
       const ClusterId cluster(static_cast<int>(c));
+      if (!topo_.live(cluster)) continue;
       const auto it = t.sct_c.find(cluster);
       if (it == t.sct_c.end()) return false;
       if (it->second != aggregate_of(cluster)) return false;

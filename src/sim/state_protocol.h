@@ -36,6 +36,16 @@ struct StateProtocolParams {
   double loss_probability = 0.0;
   /// Seed for the loss process (only used when loss_probability > 0).
   std::uint64_t loss_seed = 1;
+  /// Soft-state lifetime: SCT_P/SCT_C entries not refreshed for this long
+  /// are expired, so state from a crashed or partitioned peer ages out
+  /// instead of lingering as stale truth. 0 disables expiry; the default
+  /// (negative) resolves HFC_SCT_TTL from the environment (ms, default 0).
+  double sct_ttl_ms = -1.0;
+  /// Retransmission attempts for each border-to-border aggregate message
+  /// whose (implicit) delivery ack has not arrived after retry_timeout_ms.
+  /// 0 keeps the paper's pure periodic-refresh behaviour.
+  std::size_t aggregate_retries = 0;
+  double retry_timeout_ms = 250.0;
 };
 
 /// Protocol traffic accounting. Since the observability subsystem landed,
@@ -54,6 +64,10 @@ struct StateProtocolMetrics {
   double convergence_time_ms = 0.0;
   /// Messages dropped by the loss process.
   std::size_t lost_messages = 0;
+  /// Aggregate retransmissions triggered by missed delivery acks.
+  std::size_t retried_messages = 0;
+  /// SCT entries removed by TTL expiry sweeps.
+  std::size_t expired_entries = 0;
 };
 
 /// One proxy's view of the system, as maintained by the protocol.
@@ -63,6 +77,8 @@ struct ProxyStateTables {
   /// SCT_C: aggregate services per known cluster.
   std::unordered_map<ClusterId, std::vector<ServiceId>> sct_c;
 };
+
+class FaultInjector;
 
 class StateProtocolSim {
  public:
@@ -77,8 +93,25 @@ class StateProtocolSim {
                    const DistanceService& delay,
                    StateProtocolParams params = {});
 
+  /// Attach a fault injector: its plan is armed onto this sim's event
+  /// queue when run() starts, crashed proxies neither send nor receive
+  /// (a crash also wipes the victim's soft state), and every message's
+  /// fate (partition / burst loss / jitter) is decided by the injector.
+  /// Call before run(); the injector must outlive the sim and must not be
+  /// shared with another sim (arming is once-only).
+  void set_fault_injector(FaultInjector* injector);
+
   /// Run the configured rounds to completion.
   void run();
+
+  /// Simulation time when run() drained its event queue (0 before run).
+  [[nodiscard]] double end_time_ms() const { return end_time_ms_; }
+
+  /// Entries across all tables whose last refresh is older than `ttl_ms`
+  /// relative to end_time_ms(). With expiry enabled this is 0 after run()
+  /// for any ttl_ms >= the configured TTL — the chaos suite's staleness
+  /// invariant.
+  [[nodiscard]] std::size_t stale_entries(double ttl_ms) const;
 
   [[nodiscard]] const ProxyStateTables& tables(NodeId node) const;
 
@@ -104,22 +137,38 @@ class StateProtocolSim {
  private:
   /// True when the loss process drops a message.
   bool dropped();
+  /// Combined fate of a message: the sim's own loss process, then the
+  /// attached injector (partitions, bursts, jitter). On true, `extra_delay`
+  /// holds the injector's jitter to add to the delivery delay.
+  bool message_passes(NodeId from, NodeId to, double& extra_delay);
+  [[nodiscard]] bool is_up(NodeId node) const;
   void send_local_state(Simulator& sim, NodeId from);
   void send_aggregate_state(Simulator& sim, NodeId border);
+  void send_aggregate_to(Simulator& sim, NodeId border, NodeId peer,
+                         ClusterId own, const std::vector<ServiceId>& services,
+                         std::size_t attempts_left);
   void deliver_local(Simulator& sim, NodeId to, NodeId about,
                      std::vector<ServiceId> services);
   void deliver_aggregate(Simulator& sim, NodeId to, ClusterId about,
                          std::vector<ServiceId> services, bool forwarded);
+  /// Drop every entry whose stamp is older than now - sct_ttl_ms.
+  void expire_stale(double now);
 
   const OverlayNetwork& net_;
   const HfcTopology& topo_;
   OverlayDistance delay_;
   StateProtocolParams params_;
   std::vector<ProxyStateTables> tables_;
+  /// Last-refresh stamps paralleling tables_ (ProxyStateTables stays the
+  /// plain two-map view callers already depend on).
+  std::vector<std::unordered_map<NodeId, double>> sct_p_stamp_;
+  std::vector<std::unordered_map<ClusterId, double>> sct_c_stamp_;
   StateProtocolMetrics base_;  ///< registry counter values at construction
   mutable StateProtocolMetrics metrics_view_;
   double convergence_time_ms_ = 0.0;
+  double end_time_ms_ = 0.0;
   Rng loss_rng_;
+  FaultInjector* injector_ = nullptr;
   bool ran_ = false;
 };
 

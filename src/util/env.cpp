@@ -1,0 +1,102 @@
+#include "util/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+namespace hfc {
+
+namespace {
+
+std::mutex g_mu;
+std::unordered_set<std::string> g_warned;
+std::size_t g_warning_count = 0;
+
+/// Warn once per variable name; repeated reads of the same bad knob stay
+/// quiet after the first complaint.
+void warn_once(const char* name, const char* raw, const char* why,
+               std::uint64_t fallback) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  if (!g_warned.insert(name).second) return;
+  ++g_warning_count;
+  std::cerr << "[hfc] warning: ignoring " << name << "=\"" << raw << "\" ("
+            << why << "); using default " << fallback << "\n";
+}
+
+/// Parse a full base-10 unsigned integer. Fails on empty strings, signs,
+/// trailing garbage, and out-of-range values (strtoull alone would accept
+/// "-3" by wrapping and "12abc" by truncating).
+bool parse_u64(const char* raw, std::uint64_t& out, const char*& why) {
+  std::string s(raw);
+  const std::size_t begin = s.find_first_not_of(" \t");
+  const std::size_t end = s.find_last_not_of(" \t");
+  if (begin == std::string::npos) {
+    why = "empty value";
+    return false;
+  }
+  s = s.substr(begin, end - begin + 1);
+  if (s[0] == '-' || s[0] == '+') {
+    why = "not a plain non-negative integer";
+    return false;
+  }
+  errno = 0;
+  char* parse_end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &parse_end, 10);
+  if (parse_end == s.c_str() || *parse_end != '\0') {
+    why = "not a number";
+    return false;
+  }
+  if (errno == ERANGE) {
+    why = "out of 64-bit range";
+    return false;
+  }
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+std::size_t env_size_t(const char* name, std::size_t fallback,
+                       std::size_t min_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  std::uint64_t v = 0;
+  const char* why = "";
+  if (!parse_u64(raw, v, why)) {
+    warn_once(name, raw, why, fallback);
+    return fallback;
+  }
+  if (v < min_value) {
+    warn_once(name, raw, "below the minimum for this knob", fallback);
+    return fallback;
+  }
+  return static_cast<std::size_t>(v);
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  std::uint64_t v = 0;
+  const char* why = "";
+  if (!parse_u64(raw, v, why)) {
+    warn_once(name, raw, why, fallback);
+    return fallback;
+  }
+  return v;
+}
+
+void reset_env_warnings() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_warned.clear();
+  g_warning_count = 0;
+}
+
+std::size_t env_warning_count() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  return g_warning_count;
+}
+
+}  // namespace hfc

@@ -1,0 +1,37 @@
+// Robust environment-knob parsing.
+//
+// Every HFC_* tuning knob (HFC_THREADS, HFC_DIST_CACHE_ROWS,
+// HFC_CHURN_BATCH, HFC_SCT_TTL, ...) goes through `env_size_t`, which
+// turns malformed input — non-numeric text, negative numbers, values
+// below the knob's minimum, or values that overflow an unsigned 64-bit
+// integer — into the documented default plus a single stderr warning,
+// instead of silently mis-parsing (strtoull happily returns 0 for "abc"
+// and wraps negatives) or invoking undefined behaviour downstream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hfc {
+
+/// Read the environment variable `name` as a non-negative integer.
+///
+/// Returns `fallback` when the variable is unset. When it is set but
+/// unusable — not a plain base-10 integer, below `min_value`, or outside
+/// the 64-bit range — the value is rejected, `fallback` is returned, and
+/// one warning is printed to stderr (once per variable name for the
+/// process lifetime, so a knob read in a hot loop does not spam).
+[[nodiscard]] std::size_t env_size_t(const char* name, std::size_t fallback,
+                                     std::size_t min_value = 1);
+
+/// Same semantics for 64-bit seeds (min_value 0: every seed is valid).
+[[nodiscard]] std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+
+/// Test hook: forget which variables have already warned, so negative-path
+/// tests can assert "exactly one warning" deterministically.
+void reset_env_warnings();
+
+/// Number of env-parse warnings emitted so far (test observability).
+[[nodiscard]] std::size_t env_warning_count();
+
+}  // namespace hfc

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/env.h"
 #include "util/require.h"
 
 namespace hfc {
@@ -47,12 +48,9 @@ struct PoolMetrics {
 thread_local bool t_inside_worker = false;
 
 std::size_t resolve_default_threads() {
-  if (const char* v = std::getenv("HFC_THREADS")) {
-    const unsigned long long parsed = std::strtoull(v, nullptr, 10);
-    if (parsed >= 1) return static_cast<std::size_t>(parsed);
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  const std::size_t fallback = hw == 0 ? 1 : hw;
+  return env_size_t("HFC_THREADS", fallback, /*min_value=*/1);
 }
 
 }  // namespace

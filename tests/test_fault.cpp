@@ -1,0 +1,752 @@
+// Fault-injection subsystem (DESIGN.md §10): deterministic fault plans,
+// the injector's message fates, soft-state TTL expiry, aggregate retries,
+// and graceful-degradation routing around crashed proxies — including the
+// brute-force acceptance sweep (a valid fallback is found whenever one
+// exists, and no route ever traverses a crashed proxy).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "cluster/zahn.h"
+#include "dynamic/dynamic_overlay.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "obs/metrics.h"
+#include "overlay/hfc_topology.h"
+#include "overlay/overlay_network.h"
+#include "routing/brute_force.h"
+#include "routing/filters.h"
+#include "routing/hierarchical_router.h"
+#include "routing/service_path.h"
+#include "services/workload.h"
+#include "sim/event_queue.h"
+#include "sim/state_protocol.h"
+#include "util/rng.h"
+
+namespace hfc {
+namespace {
+
+std::uint64_t counter_now(const char* name) {
+  return obs::MetricsRegistry::global().counter(name).value();
+}
+
+/// Three separated squares of three proxies each; node i hosts service i.
+struct FaultWorld {
+  std::vector<Point> coords;
+  OverlayNetwork net;
+  Clustering clustering;
+  HfcTopology topo;
+
+  FaultWorld()
+      : coords(make_coords()),
+        net(coords, make_placement()),
+        clustering(cluster_points(coords)),
+        topo(clustering, net.coord_distance_fn()) {}
+
+  static std::vector<Point> make_coords() {
+    const double bases[3][2] = {{0, 0}, {80, 0}, {40, 80}};
+    const double offs[3][2] = {{0, 0}, {2, 0}, {0, 2}};
+    std::vector<Point> pts;
+    for (const auto& b : bases) {
+      for (const auto& o : offs) pts.push_back({b[0] + o[0], b[1] + o[1]});
+    }
+    return pts;
+  }
+  static ServicePlacement make_placement() {
+    ServicePlacement p(9);
+    for (std::size_t i = 0; i < 9; ++i) {
+      p[i] = {ServiceId(static_cast<int>(i))};
+    }
+    return p;
+  }
+};
+
+// ---------------------------------------------------------------- FaultPlan
+
+TEST(FaultPlan, RandomIsDeterministic) {
+  FaultWorld w;
+  FaultPlanParams params;
+  params.base_loss = 0.05;
+  params.jitter_ms = 2.0;
+  const FaultPlan a = FaultPlan::random(params, w.topo, 42);
+  const FaultPlan b = FaultPlan::random(params, w.topo, 42);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.serialize(), b.serialize());
+  const FaultPlan c = FaultPlan::random(params, w.topo, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(FaultPlan, RandomWindowsCloseByHealFraction) {
+  FaultWorld w;
+  FaultPlanParams params;
+  params.horizon_ms = 10000.0;
+  params.crashes = 4;
+  params.partitions = 2;
+  params.bursts = 2;
+  params.heal_fraction = 0.6;
+  const FaultPlan plan = FaultPlan::random(params, w.topo, 7);
+  const double heal_by = params.horizon_ms * params.heal_fraction;
+  EXPECT_FALSE(plan.events().empty());
+  for (const FaultEvent& e : plan.events()) {
+    EXPECT_GE(e.time_ms, 0.0);
+    // The +1 covers the minimum-1ms window enforced for zero-length draws.
+    EXPECT_LE(e.time_ms, heal_by + 1.0) << fault_kind_name(e.kind);
+  }
+  EXPECT_DOUBLE_EQ(plan.last_event_ms(), plan.events().back().time_ms);
+}
+
+TEST(FaultPlan, RandomFullBiasPicksOnlyBorders) {
+  FaultWorld w;
+  FaultPlanParams params;
+  params.crashes = 6;
+  params.border_bias = 1.0;
+  const FaultPlan plan = FaultPlan::random(params, w.topo, 11);
+  for (const FaultEvent& e : plan.events()) {
+    if (e.kind == FaultKind::kCrash) {
+      EXPECT_TRUE(w.topo.is_border(e.node)) << e.node.value();
+    }
+  }
+}
+
+TEST(FaultPlan, SerializeParseRoundTrip) {
+  FaultWorld w;
+  FaultPlanParams params;
+  params.base_loss = 0.05;
+  params.jitter_ms = 2.5;
+  params.crashes = 3;
+  params.partitions = 1;
+  params.bursts = 2;
+  const FaultPlan plan = FaultPlan::random(params, w.topo, 99);
+  const FaultPlan reparsed = FaultPlan::parse(plan.serialize());
+  EXPECT_EQ(plan, reparsed);
+  EXPECT_EQ(plan.serialize(), reparsed.serialize());
+}
+
+TEST(FaultPlan, ParsesDocumentedExample) {
+  const FaultPlan plan = FaultPlan::parse(
+      "crash@500:3;recover@1700:3;partition@800:0/2;heal@2100:0/2;"
+      "burst@900+400:0.8;loss:0.05;jitter:2.5;seed:42");
+  ASSERT_EQ(plan.events().size(), 6u);
+  // Sorted by time: crash, partition, burst open, burst close, recover, heal.
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(plan.events()[0].node, NodeId(3));
+  EXPECT_DOUBLE_EQ(plan.events()[0].time_ms, 500.0);
+  EXPECT_EQ(plan.events()[1].kind, FaultKind::kPartition);
+  EXPECT_EQ(plan.events()[1].a, ClusterId(0));
+  EXPECT_EQ(plan.events()[1].b, ClusterId(2));
+  EXPECT_EQ(plan.events()[2].kind, FaultKind::kBurstStart);
+  EXPECT_DOUBLE_EQ(plan.events()[2].loss, 0.8);
+  EXPECT_EQ(plan.events()[3].kind, FaultKind::kBurstEnd);
+  EXPECT_DOUBLE_EQ(plan.events()[3].time_ms, 1300.0);
+  EXPECT_EQ(plan.events()[4].kind, FaultKind::kRecover);
+  EXPECT_EQ(plan.events()[5].kind, FaultKind::kHeal);
+  EXPECT_DOUBLE_EQ(plan.base_loss(), 0.05);
+  EXPECT_DOUBLE_EQ(plan.jitter_ms(), 2.5);
+  EXPECT_EQ(plan.seed(), 42u);
+}
+
+TEST(FaultPlan, ParseToleratesWhitespaceAndEmptyTokens) {
+  const FaultPlan plan = FaultPlan::parse("  crash@5:1 ;; seed:7 ");
+  ASSERT_EQ(plan.events().size(), 1u);
+  EXPECT_EQ(plan.events()[0].node, NodeId(1));
+  EXPECT_EQ(plan.seed(), 7u);
+}
+
+TEST(FaultPlan, ParseRejectsMalformedSpecs) {
+  const char* bad[] = {
+      "explode@100:1",        // unknown directive
+      "crash@abc:1",          // non-numeric time
+      "crash@100:1.5",        // fractional node id
+      "crash@100",            // missing ':'
+      "crash@100:2x",         // trailing garbage
+      "partition@100:0",      // missing '/b'
+      "partition@100:2/2",    // identical clusters
+      "burst@100:0.5",        // missing '+span'
+      "burst@100+0:0.5",      // non-positive span
+      "burst@100+50:1.5",     // loss outside (0,1]
+      "loss:1.5",             // base loss outside [0,1)
+      "jitter:-2",            // negative jitter
+      "crash@-5:1",           // negative time
+  };
+  for (const char* spec : bad) {
+    EXPECT_THROW((void)FaultPlan::parse(spec), std::invalid_argument) << spec;
+  }
+}
+
+TEST(FaultPlan, ConstructionSortsEventsStably) {
+  FaultEvent late;
+  late.time_ms = 300.0;
+  late.kind = FaultKind::kCrash;
+  late.node = NodeId(1);
+  FaultEvent early_a;
+  early_a.time_ms = 100.0;
+  early_a.kind = FaultKind::kCrash;
+  early_a.node = NodeId(2);
+  FaultEvent early_b = early_a;
+  early_b.node = NodeId(3);
+  const FaultPlan plan({late, early_a, early_b});
+  ASSERT_EQ(plan.events().size(), 3u);
+  EXPECT_EQ(plan.events()[0].node, NodeId(2));  // same time: insertion order
+  EXPECT_EQ(plan.events()[1].node, NodeId(3));
+  EXPECT_EQ(plan.events()[2].node, NodeId(1));
+}
+
+TEST(FaultPlan, DefaultSeedReadsEnvironment) {
+  ::setenv("HFC_FAULT_SEED", "99", 1);
+  EXPECT_EQ(FaultPlan::default_seed(), 99u);
+  ::unsetenv("HFC_FAULT_SEED");
+  EXPECT_EQ(FaultPlan::default_seed(), 1u);
+}
+
+TEST(FaultPlan, FromEnvParsesTheSpecKnob) {
+  ::unsetenv("HFC_FAULT_PLAN");
+  EXPECT_TRUE(FaultPlan::from_env().events().empty());
+  ::setenv("HFC_FAULT_PLAN", "", 1);
+  EXPECT_TRUE(FaultPlan::from_env().events().empty());
+  ::setenv("HFC_FAULT_PLAN", "crash@100:3;recover@500:3;seed:7", 1);
+  const FaultPlan plan = FaultPlan::from_env();
+  ASSERT_EQ(plan.events().size(), 2u);
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(plan.seed(), 7u);
+  ::setenv("HFC_FAULT_PLAN", "crash@oops", 1);
+  EXPECT_THROW(FaultPlan::from_env(), std::invalid_argument);
+  ::unsetenv("HFC_FAULT_PLAN");
+}
+
+// ------------------------------------------------------------ FaultInjector
+
+TEST(FaultInjector, CrashRecoverTogglesLiveness) {
+  FaultWorld w;
+  const FaultPlan plan = FaultPlan::parse("crash@100:3;recover@500:3;seed:1");
+  FaultInjector injector(plan, w.topo);
+  std::vector<NodeId> crashed_calls;
+  std::vector<NodeId> recovered_calls;
+  injector.set_on_crash([&](NodeId n) { crashed_calls.push_back(n); });
+  injector.set_on_recover([&](NodeId n) { recovered_calls.push_back(n); });
+
+  Simulator sim;
+  injector.arm(sim);
+  EXPECT_THROW(injector.arm(sim), std::invalid_argument);  // once-only
+
+  std::vector<bool> up_probes;
+  std::vector<std::size_t> count_probes;
+  for (double t : {50.0, 200.0, 600.0}) {
+    sim.schedule_at(t, [&](Simulator&) {
+      up_probes.push_back(injector.node_up(NodeId(3)));
+      count_probes.push_back(injector.crashed_count());
+    });
+  }
+  sim.run();
+
+  EXPECT_EQ(up_probes, (std::vector<bool>{true, false, true}));
+  EXPECT_EQ(count_probes, (std::vector<std::size_t>{0, 1, 0}));
+  EXPECT_EQ(crashed_calls, (std::vector<NodeId>{NodeId(3)}));
+  EXPECT_EQ(recovered_calls, (std::vector<NodeId>{NodeId(3)}));
+  EXPECT_TRUE(injector.up_predicate()(NodeId(3)));
+}
+
+TEST(FaultInjector, PartitionDropsOnlyTheCutPair) {
+  FaultWorld w;
+  const ClusterId c0 = w.topo.cluster_of(NodeId(0));
+  const ClusterId c1 = w.topo.cluster_of(NodeId(3));
+  const FaultPlan plan = FaultPlan::parse(
+      "partition@100:" + std::to_string(c0.value()) + "/" +
+      std::to_string(c1.value()) + ";heal@500:" + std::to_string(c0.value()) +
+      "/" + std::to_string(c1.value()) + ";seed:1");
+  FaultInjector injector(plan, w.topo);
+  Simulator sim;
+  injector.arm(sim);
+
+  const std::uint64_t drops_before = counter_now("fault.dropped_partition");
+  std::vector<bool> fates;
+  sim.schedule_at(200.0, [&](Simulator&) {
+    EXPECT_TRUE(injector.partitioned(c0, c1));
+    EXPECT_TRUE(injector.partitioned(c1, c0));  // unordered
+    fates.push_back(injector.on_message(NodeId(0), NodeId(3)).delivered);
+    fates.push_back(injector.on_message(NodeId(0), NodeId(6)).delivered);
+    fates.push_back(injector.on_message(NodeId(0), NodeId(1)).delivered);
+  });
+  sim.schedule_at(600.0, [&](Simulator&) {
+    EXPECT_FALSE(injector.partitioned(c0, c1));
+    fates.push_back(injector.on_message(NodeId(0), NodeId(3)).delivered);
+  });
+  sim.run();
+
+  EXPECT_EQ(fates, (std::vector<bool>{false, true, true, true}));
+  EXPECT_EQ(counter_now("fault.dropped_partition") - drops_before, 1u);
+}
+
+TEST(FaultInjector, BurstWindowDropsEverything) {
+  FaultWorld w;
+  const FaultPlan plan = FaultPlan::parse("burst@100+400:1;seed:1");
+  FaultInjector injector(plan, w.topo);
+  Simulator sim;
+  injector.arm(sim);
+
+  std::vector<bool> fates;
+  std::vector<double> loss_probes;
+  for (double t : {50.0, 200.0, 600.0}) {
+    sim.schedule_at(t, [&](Simulator&) {
+      loss_probes.push_back(injector.current_burst_loss());
+      fates.push_back(injector.on_message(NodeId(0), NodeId(1)).delivered);
+    });
+  }
+  sim.run();
+
+  EXPECT_EQ(fates, (std::vector<bool>{true, false, true}));
+  EXPECT_EQ(loss_probes, (std::vector<double>{0.0, 1.0, 0.0}));
+}
+
+TEST(FaultInjector, BaseLossIsBernoulli) {
+  FaultWorld w;
+  const FaultPlan plan({}, /*base_loss=*/0.5, /*jitter_ms=*/0.0, /*seed=*/3);
+  FaultInjector injector(plan, w.topo);
+  const std::uint64_t drops_before = counter_now("fault.dropped_loss");
+  std::size_t dropped = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (!injector.on_message(NodeId(0), NodeId(1)).delivered) ++dropped;
+  }
+  EXPECT_GT(dropped, 400u);
+  EXPECT_LT(dropped, 600u);
+  EXPECT_EQ(counter_now("fault.dropped_loss") - drops_before, dropped);
+}
+
+TEST(FaultInjector, JitterIsBoundedAndCounted) {
+  FaultWorld w;
+  const FaultPlan plan({}, 0.0, /*jitter_ms=*/5.0, 3);
+  FaultInjector injector(plan, w.topo);
+  const std::uint64_t jittered_before = counter_now("fault.jittered");
+  for (int i = 0; i < 200; ++i) {
+    const MessageFate fate = injector.on_message(NodeId(0), NodeId(1));
+    EXPECT_TRUE(fate.delivered);
+    EXPECT_GE(fate.extra_delay_ms, 0.0);
+    EXPECT_LT(fate.extra_delay_ms, 5.0);
+  }
+  EXPECT_EQ(counter_now("fault.jittered") - jittered_before, 200u);
+}
+
+TEST(FaultInjector, DownEndpointsCountAsDownDrops) {
+  FaultWorld w;
+  const FaultPlan plan = FaultPlan::parse("crash@0:0;seed:1");
+  FaultInjector injector(plan, w.topo);
+  Simulator sim;
+  injector.arm(sim);
+  sim.run();
+  const std::uint64_t down_before = counter_now("fault.dropped_down");
+  EXPECT_FALSE(injector.on_message(NodeId(0), NodeId(1)).delivered);
+  injector.note_receiver_down();
+  EXPECT_EQ(counter_now("fault.dropped_down") - down_before, 2u);
+}
+
+// -------------------------------------------------- surviving border pairs
+
+TEST(SurvivingBorderPair, NullPredicatePassesStoredPairThrough) {
+  FaultWorld w;
+  const ClusterId c0 = w.topo.cluster_of(NodeId(0));
+  const ClusterId c1 = w.topo.cluster_of(NodeId(3));
+  const auto pair = w.topo.surviving_border_pair(c0, c1, nullptr);
+  ASSERT_TRUE(pair.found);
+  EXPECT_FALSE(pair.is_fallback);
+  EXPECT_EQ(pair.in_from, w.topo.border(c0, c1));
+  EXPECT_EQ(pair.in_toward, w.topo.border(c1, c0));
+  EXPECT_DOUBLE_EQ(pair.length, w.topo.external_length(c0, c1));
+}
+
+TEST(SurvivingBorderPair, FallsBackToClosestSurvivingPair) {
+  FaultWorld w;
+  const ClusterId c0 = w.topo.cluster_of(NodeId(0));
+  const ClusterId c1 = w.topo.cluster_of(NodeId(3));
+  const NodeId stored = w.topo.border(c0, c1);
+  const auto up = [stored](NodeId n) { return n != stored; };
+
+  const auto pair = w.topo.surviving_border_pair(c0, c1, up);
+  ASSERT_TRUE(pair.found);
+  EXPECT_TRUE(pair.is_fallback);
+  EXPECT_NE(pair.in_from, stored);
+  EXPECT_GE(pair.length, w.topo.external_length(c0, c1));
+
+  // The fallback is exactly the closest surviving cross pair.
+  const OverlayDistance d = w.net.coord_distance_fn();
+  double best = std::numeric_limits<double>::infinity();
+  for (NodeId a : w.topo.members(c0)) {
+    if (!up(a)) continue;
+    for (NodeId b : w.topo.members(c1)) {
+      best = std::min(best, d(a, b));
+    }
+  }
+  EXPECT_DOUBLE_EQ(pair.length, best);
+  EXPECT_DOUBLE_EQ(pair.length, d(pair.in_from, pair.in_toward));
+}
+
+TEST(SurvivingBorderPair, NotFoundWhenOneSideIsDark) {
+  FaultWorld w;
+  const ClusterId c0 = w.topo.cluster_of(NodeId(0));
+  const ClusterId c1 = w.topo.cluster_of(NodeId(3));
+  const auto all_of_c0_down = [&](NodeId n) {
+    return w.topo.cluster_of(n) != c0;
+  };
+  const auto pair = w.topo.surviving_border_pair(c0, c1, all_of_c0_down);
+  EXPECT_FALSE(pair.found);
+  EXPECT_THROW((void)w.topo.surviving_border_pair(c0, c0, nullptr),
+               std::invalid_argument);
+}
+
+TEST(BorderView, MemoizesFallbackResolution) {
+  FaultWorld w;
+  const ClusterId c0 = w.topo.cluster_of(NodeId(0));
+  const ClusterId c1 = w.topo.cluster_of(NodeId(3));
+  const NodeId stored = w.topo.border(c0, c1);
+  const std::uint64_t fallbacks_before = counter_now("fault.border_fallbacks");
+  BorderView view(w.topo, [stored](NodeId n) { return n != stored; });
+  ASSERT_TRUE(view.connected(c0, c1));
+  const NodeId via = view.border(c0, c1);
+  EXPECT_NE(via, stored);
+  EXPECT_EQ(w.topo.cluster_of(via), c0);
+  EXPECT_EQ(w.topo.cluster_of(view.border(c1, c0)), c1);
+  EXPECT_TRUE(std::isfinite(view.external_length(c0, c1)));
+  // Re-querying the same pair (either orientation) resolves from the memo.
+  (void)view.border(c0, c1);
+  (void)view.external_length(c1, c0);
+  EXPECT_EQ(counter_now("fault.border_fallbacks") - fallbacks_before, 1u);
+
+  const std::uint64_t unreachable_before =
+      counter_now("fault.border_unreachable");
+  BorderView dark(w.topo,
+                  [&](NodeId n) { return w.topo.cluster_of(n) != c1; });
+  EXPECT_FALSE(dark.connected(c0, c1));
+  EXPECT_FALSE(dark.border(c0, c1).valid());
+  EXPECT_TRUE(std::isinf(dark.external_length(c0, c1)));
+  EXPECT_EQ(counter_now("fault.border_unreachable") - unreachable_before, 1u);
+}
+
+// ------------------------------------------------------ degradation routing
+
+/// Two squares; service 5 is only available in the far square, so routes
+/// from the near square must cross the border pair.
+struct CrossWorld {
+  std::vector<Point> coords;
+  OverlayNetwork net;
+  Clustering clustering;
+  HfcTopology topo;
+  HierarchicalServiceRouter router;
+
+  CrossWorld()
+      : coords({{0, 0},
+                {2, 0},
+                {0, 2},
+                {2, 2},
+                {200, 0},
+                {202, 0},
+                {200, 2},
+                {202, 2}}),
+        net(coords, make_placement()),
+        clustering(cluster_points(coords)),
+        topo(clustering, net.coord_distance_fn()),
+        router(net, topo, net.coord_distance_fn()) {}
+
+  static ServicePlacement make_placement() {
+    ServicePlacement p(8);
+    for (std::size_t i = 0; i < 8; ++i) p[i] = {ServiceId(0)};
+    p[5] = {ServiceId(0), ServiceId(5)};
+    p[6] = {ServiceId(0), ServiceId(5)};
+    return p;
+  }
+
+  ServiceRequest cross_request() const {
+    ServiceRequest request;
+    request.source = NodeId(0);
+    request.destination = NodeId(3);
+    request.graph = ServiceGraph::linear({ServiceId(5)});
+    return request;
+  }
+};
+
+TEST(RouteDegraded, CrashedBorderFallsBackToSurvivingPair) {
+  CrossWorld w;
+  const ServiceRequest request = w.cross_request();
+  const ServicePath healthy = w.router.route(request);
+  ASSERT_TRUE(healthy.found);
+
+  const ClusterId cs = w.topo.cluster_of(request.source);
+  const ClusterId cf = w.topo.cluster_of(NodeId(5));
+  const NodeId near_border = w.topo.border(cs, cf);
+  const NodeId far_border = w.topo.border(cf, cs);
+  // The healthy route crosses the stored border pair.
+  const auto uses = [](const ServicePath& p, NodeId n) {
+    return std::any_of(p.hops.begin(), p.hops.end(),
+                       [n](const ServiceHop& h) { return h.proxy == n; });
+  };
+  EXPECT_TRUE(uses(healthy, near_border));
+  EXPECT_TRUE(uses(healthy, far_border));
+
+  // Crash both stored borders: route_degraded finds the surviving pair.
+  const std::vector<NodeId> crashed{near_border, far_border};
+  const auto up = [&crashed](NodeId n) {
+    return std::find(crashed.begin(), crashed.end(), n) == crashed.end();
+  };
+  const std::uint64_t degraded_before = counter_now("fault.degraded_requests");
+  const auto degraded = w.router.route_degraded(request, up);
+  ASSERT_TRUE(degraded.path.found);
+  EXPECT_TRUE(satisfies(degraded.path, request, w.net));
+  for (const ServiceHop& hop : degraded.path.hops) {
+    EXPECT_TRUE(up(hop.proxy)) << hop.proxy.value();
+  }
+  EXPECT_EQ(counter_now("fault.degraded_requests") - degraded_before, 1u);
+}
+
+TEST(RouteDegraded, AvoidCrashedIsStrictlyStrongerThanAvoidFailed) {
+  CrossWorld w;
+  const ServiceRequest request = w.cross_request();
+  const ClusterId cs = w.topo.cluster_of(request.source);
+  const ClusterId cf = w.topo.cluster_of(NodeId(5));
+  const NodeId near_border = w.topo.border(cs, cf);
+
+  // avoid_failed: the border cannot *serve*, but may still relay.
+  const auto failed =
+      w.router.route_with_crankback(request, avoid_failed({near_border}));
+  ASSERT_TRUE(failed.path.found);
+  bool relays_through = false;
+  for (const ServiceHop& hop : failed.path.hops) {
+    if (hop.proxy == near_border) {
+      EXPECT_TRUE(hop.is_relay());
+      relays_through = true;
+    }
+  }
+  EXPECT_TRUE(relays_through);
+
+  // avoid_crashed: the border disappears entirely.
+  const auto crashed =
+      w.router.route_with_crankback(request, avoid_crashed({near_border}));
+  ASSERT_TRUE(crashed.path.found);
+  for (const ServiceHop& hop : crashed.path.hops) {
+    EXPECT_NE(hop.proxy, near_border);
+  }
+}
+
+TEST(RouteDegraded, UnroutableWhenEveryProviderIsDown) {
+  CrossWorld w;
+  const ServiceRequest request = w.cross_request();
+  const auto up = [](NodeId n) { return n != NodeId(5) && n != NodeId(6); };
+  const auto result = w.router.route_degraded(request, up);
+  EXPECT_FALSE(result.path.found);
+}
+
+TEST(RouteDegraded, DynamicOverlayModesAgree) {
+  CrossWorld w;
+  DynamicHfcOverlay inc(w.coords, CrossWorld::make_placement(), {},
+                        BorderSelection::kClosestPair, ChurnMode::kIncremental);
+  DynamicHfcOverlay full(w.coords, CrossWorld::make_placement(), {},
+                         BorderSelection::kClosestPair,
+                         ChurnMode::kFullRebuild);
+  // Stir both through identical churn before routing degraded.
+  for (DynamicHfcOverlay* dyn : {&inc, &full}) {
+    dyn->deactivate(NodeId(7));
+    dyn->activate(NodeId(7));
+  }
+  const ServiceRequest request = w.cross_request();
+  const ClusterId cs = w.topo.cluster_of(request.source);
+  const ClusterId cf = w.topo.cluster_of(NodeId(5));
+  const NodeId near_border = w.topo.border(cs, cf);
+  const auto up = [near_border](NodeId n) { return n != near_border; };
+
+  const ServicePath a = inc.route_degraded(request, up);
+  const ServicePath b = full.route_degraded(request, up);
+  ASSERT_TRUE(a.found);
+  ASSERT_TRUE(b.found);
+  EXPECT_EQ(a.hops, b.hops);
+  for (const ServiceHop& hop : a.hops) EXPECT_NE(hop.proxy, near_border);
+
+  // Endpoints must themselves be up.
+  EXPECT_THROW((void)inc.route_degraded(
+                   request, [&](NodeId n) { return n != request.source; }),
+               std::invalid_argument);
+}
+
+/// Acceptance sweep (ISSUE 5): on random worlds up to n = 200 proxies,
+/// crash sets that include the stored border pair of the endpoint clusters
+/// (and sometimes a whole cluster). The degraded router must find a valid
+/// path exactly when the brute-force oracle restricted to surviving
+/// proxies finds one, and must never route through a crashed proxy.
+class DegradedSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DegradedSweepTest, FallbackFoundWheneverOneExists) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const std::size_t kSizes[] = {60, 200, 120};
+  const std::size_t n = kSizes[seed % 3];
+
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t blob = i % 5;
+    pts.push_back({300.0 * static_cast<double>(blob) + rng.uniform_real(0, 8),
+                   rng.uniform_real(0, 8)});
+  }
+  WorkloadParams wp;
+  wp.catalog_size = 6;
+  wp.services_per_proxy_min = 1;
+  wp.services_per_proxy_max = 2;
+  wp.request_length_min = 1;
+  wp.request_length_max = 2;
+  Rng wrng = rng.fork(1);
+  const OverlayNetwork net(pts, assign_services(n, wp, wrng));
+  const OverlayDistance distance = net.coord_distance_fn();
+  const HfcTopology topo(cluster_points(pts), distance);
+  const HierarchicalServiceRouter router(net, topo, distance);
+
+  Rng rrng = rng.fork(2);
+  const auto requests = make_requests(6, net.all_nodes(), wp, rrng);
+  for (const ServiceRequest& request : requests) {
+    // Crash the stored border pair between the endpoint clusters, a few
+    // random proxies, and sometimes one whole bystander cluster.
+    std::vector<NodeId> crashed;
+    const ClusterId cs = topo.cluster_of(request.source);
+    const ClusterId cd = topo.cluster_of(request.destination);
+    if (cs != cd) {
+      crashed.push_back(topo.border(cs, cd));
+      crashed.push_back(topo.border(cd, cs));
+    }
+    for (std::size_t i : rng.sample_indices(n, 5)) {
+      crashed.push_back(NodeId(static_cast<int>(i)));
+    }
+    if (rng.chance(0.5)) {
+      for (std::size_t c = 0; c < topo.cluster_count(); ++c) {
+        const ClusterId id(static_cast<int>(c));
+        if (id == cs || id == cd) continue;
+        const auto& members = topo.members(id);
+        crashed.insert(crashed.end(), members.begin(), members.end());
+        break;
+      }
+    }
+    std::sort(crashed.begin(), crashed.end());
+    crashed.erase(std::unique(crashed.begin(), crashed.end()), crashed.end());
+    std::erase(crashed, request.source);
+    std::erase(crashed, request.destination);
+
+    const auto up = [&crashed](NodeId node) {
+      return !std::binary_search(crashed.begin(), crashed.end(), node);
+    };
+    std::vector<NodeId> survivors;
+    for (NodeId node : net.all_nodes()) {
+      if (up(node)) survivors.push_back(node);
+    }
+
+    const auto result = router.route_degraded(request, up, /*crankbacks=*/64);
+    const ServicePath oracle =
+        brute_force_route(request, net, distance, survivors);
+    EXPECT_EQ(result.path.found, oracle.found)
+        << "seed " << seed << " request " << request.graph.to_string();
+    if (!result.path.found) continue;
+    EXPECT_TRUE(satisfies(result.path, request, net));
+    for (const ServiceHop& hop : result.path.hops) {
+      EXPECT_TRUE(up(hop.proxy)) << "crashed proxy " << hop.proxy.value()
+                                 << " on route, seed " << seed;
+    }
+    // The oracle is optimal under the same metric.
+    EXPECT_GE(result.path.cost, oracle.cost - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DegradedSweepTest,
+                         ::testing::Values(801, 802, 803, 804, 805, 806));
+
+// ----------------------------------------------------- TTL expiry + retries
+
+TEST(SoftStateTtl, CrashedPeerStateAgesOut) {
+  FaultWorld w;
+  StateProtocolParams params;
+  params.local_period_ms = 100.0;
+  params.aggregate_period_ms = 100.0;
+  params.aggregate_phase_ms = 50.0;
+  params.rounds = 6;
+  params.sct_ttl_ms = 250.0;
+  StateProtocolSim sim(w.net, w.topo, w.net.coord_distance_fn(), params);
+
+  const FaultPlan plan = FaultPlan::parse("crash@120:0;seed:1");
+  FaultInjector injector(plan, w.topo);
+  sim.set_fault_injector(&injector);
+  const std::uint64_t expired_before = counter_now("protocol.expired_entries");
+  sim.run();
+
+  // Node 0 stopped refreshing at 120ms: its row is gone from its cluster
+  // peers, while rows that kept refreshing survive.
+  for (NodeId peer : {NodeId(1), NodeId(2)}) {
+    const ProxyStateTables& t = sim.tables(peer);
+    EXPECT_EQ(t.sct_p.count(NodeId(0)), 0u) << peer.value();
+    EXPECT_EQ(t.sct_p.count(NodeId(1)), 1u);
+    EXPECT_EQ(t.sct_p.count(NodeId(2)), 1u);
+  }
+  EXPECT_GT(sim.metrics().expired_entries, 0u);
+  EXPECT_GT(counter_now("protocol.expired_entries"), expired_before);
+  // The chaos invariant: nothing older than the TTL survives the run.
+  EXPECT_EQ(sim.stale_entries(params.sct_ttl_ms), 0u);
+}
+
+TEST(SoftStateTtl, DisabledTtlKeepsStaleEntries) {
+  ::unsetenv("HFC_SCT_TTL");
+  FaultWorld w;
+  StateProtocolParams params;
+  params.local_period_ms = 100.0;
+  params.aggregate_period_ms = 100.0;
+  params.aggregate_phase_ms = 50.0;
+  params.rounds = 6;  // sct_ttl_ms stays at the env default: 0 = no expiry
+  StateProtocolSim sim(w.net, w.topo, w.net.coord_distance_fn(), params);
+
+  const FaultPlan plan = FaultPlan::parse("crash@120:0;seed:1");
+  FaultInjector injector(plan, w.topo);
+  sim.set_fault_injector(&injector);
+  sim.run();
+
+  EXPECT_EQ(sim.tables(NodeId(1)).sct_p.count(NodeId(0)), 1u);  // stale truth
+  EXPECT_EQ(sim.metrics().expired_entries, 0u);
+  EXPECT_GT(sim.stale_entries(250.0), 0u);
+}
+
+TEST(AggregateRetries, SilentWithoutLoss) {
+  FaultWorld w;
+  StateProtocolParams params;
+  params.rounds = 1;
+  params.aggregate_retries = 3;
+  StateProtocolSim sim(w.net, w.topo, w.net.coord_distance_fn(), params);
+  sim.run();
+  const StateProtocolMetrics& m = sim.metrics();
+  EXPECT_EQ(m.retried_messages, 0u);
+  // Retry scheduling must not inflate the §4 traffic formula: still one
+  // aggregate per ordered live cluster pair per round.
+  const std::size_t c = w.topo.cluster_count();
+  EXPECT_EQ(m.aggregate_messages, c * (c - 1));
+  EXPECT_TRUE(sim.fully_converged());
+}
+
+TEST(AggregateRetries, RepairLossWithinTheRound) {
+  FaultWorld w;
+  const auto fraction_with = [&](std::size_t retries) {
+    StateProtocolParams params;
+    params.rounds = 1;
+    params.loss_probability = 0.6;
+    params.loss_seed = 5;
+    params.aggregate_retries = retries;
+    params.retry_timeout_ms = 200.0;
+    StateProtocolSim sim(w.net, w.topo, w.net.coord_distance_fn(), params);
+    sim.run();
+    if (retries > 0) {
+      EXPECT_GT(sim.metrics().retried_messages, 0u);
+      const std::size_t c = w.topo.cluster_count();
+      EXPECT_GT(sim.metrics().aggregate_messages, c * (c - 1));
+    }
+    return sim.convergence_fraction();
+  };
+  const double without = fraction_with(0);
+  const double with = fraction_with(4);
+  EXPECT_GE(with, without);
+  EXPECT_GT(with, 0.0);
+}
+
+}  // namespace
+}  // namespace hfc

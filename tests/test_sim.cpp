@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "cluster/zahn.h"
@@ -81,6 +82,72 @@ TEST(Simulator, StepByStep) {
   EXPECT_EQ(fired, 1);
   EXPECT_TRUE(sim.step());
   EXPECT_FALSE(sim.step());
+}
+
+// Regression: a handler that schedules at exactly now() must not reorder
+// ahead of events already queued at that timestamp. The event is popped
+// before its handler runs, so the re-entrant push always receives a later
+// sequence number than everything pending at the same time.
+TEST(Simulator, ReentrantSameTimeSchedulingKeepsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(2.0, [&order](Simulator& s) {
+    order.push_back(0);
+    s.schedule_at(s.now(), [&order](Simulator&) { order.push_back(2); });
+  });
+  sim.schedule_at(2.0, [&order](Simulator&) { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+// Deeply re-entrant same-time pushes: each handler chains another at the
+// same timestamp; FIFO must hold through the whole cascade even as the
+// queue's storage reallocates under the running handler.
+TEST(Simulator, ReentrantCascadeAtOneTimestamp) {
+  Simulator sim;
+  std::vector<int> order;
+  std::function<void(Simulator&, int, int)> chain = [&](Simulator& s,
+                                                        int root, int step) {
+    order.push_back(root * 1000 + step);
+    if (step < 40) {
+      s.schedule_at(s.now(), [&chain, root, step](Simulator& s2) {
+        chain(s2, root, step + 1);
+      });
+    }
+  };
+  for (int i = 0; i < 3; ++i) {
+    sim.schedule_at(1.0, [&chain, i](Simulator& s) { chain(s, i, 0); });
+  }
+  sim.run();
+  // The three roots fire first (queued order), then their chains
+  // interleave strictly by push order: step k of every root before step
+  // k+1 of any root.
+  ASSERT_EQ(order.size(), 3u * 41u);
+  for (std::size_t idx = 0; idx < order.size(); ++idx) {
+    const int root = static_cast<int>(idx % 3);
+    const int step = static_cast<int>(idx / 3);
+    EXPECT_EQ(order[idx], root * 1000 + step) << idx;
+  }
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+}
+
+// run_until is the quiesce primitive: it drains the window (including
+// events scheduled inside it) and advances the clock to the checkpoint
+// even when no event lands exactly there.
+TEST(Simulator, RunUntilAdvancesClockToCheckpoint) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_at(1.0, [&times](Simulator& s) {
+    times.push_back(s.now());
+    s.schedule_in(1.5, [&times](Simulator& s2) { times.push_back(s2.now()); });
+  });
+  sim.schedule_at(9.0, [&times](Simulator& s) { times.push_back(s.now()); });
+  EXPECT_EQ(sim.run_until(5.0), 2u);  // 1.0 and the nested 2.5
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);   // clock at the checkpoint, not 2.5
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_THROW((void)sim.run_until(4.0), std::invalid_argument);
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.5, 9.0}));
 }
 
 // ------------------------------------------------------ state protocol ----

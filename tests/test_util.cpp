@@ -4,9 +4,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <set>
 #include <unordered_set>
 
+#include "util/env.h"
 #include "util/ids.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -218,6 +220,90 @@ TEST(Stats, RunningStatEmpty) {
   EXPECT_EQ(rs.count(), 0u);
   EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
   EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+}
+
+// ------------------------------------------------------------ env knobs ----
+// Negative paths of the HFC_* environment parsing (HFC_THREADS,
+// HFC_DIST_CACHE_ROWS, HFC_CHURN_BATCH, HFC_SCT_TTL all route through
+// these): malformed input falls back to the documented default with
+// exactly one warning per variable name.
+
+class EnvKnobTest : public ::testing::Test {
+ protected:
+  static constexpr const char* kName = "HFC_TEST_KNOB";
+  void SetUp() override {
+    ::unsetenv(kName);
+    reset_env_warnings();
+  }
+  void TearDown() override { ::unsetenv(kName); }
+};
+
+TEST_F(EnvKnobTest, UnsetYieldsFallbackWithoutWarning) {
+  EXPECT_EQ(env_size_t(kName, 7), 7u);
+  EXPECT_EQ(env_u64(kName, 42), 42u);
+  EXPECT_EQ(env_warning_count(), 0u);
+}
+
+TEST_F(EnvKnobTest, ValidValueParses) {
+  ::setenv(kName, "12", 1);
+  EXPECT_EQ(env_size_t(kName, 7), 12u);
+  EXPECT_EQ(env_u64(kName, 42), 12u);
+  EXPECT_EQ(env_warning_count(), 0u);
+}
+
+TEST_F(EnvKnobTest, NonNumericFallsBackWithOneWarning) {
+  ::setenv(kName, "abc", 1);
+  EXPECT_EQ(env_size_t(kName, 7), 7u);
+  EXPECT_EQ(env_warning_count(), 1u);
+  // Same name again: the warning is not repeated.
+  EXPECT_EQ(env_size_t(kName, 7), 7u);
+  EXPECT_EQ(env_u64(kName, 42), 42u);
+  EXPECT_EQ(env_warning_count(), 1u);
+  // reset re-arms it (the test hook).
+  reset_env_warnings();
+  EXPECT_EQ(env_size_t(kName, 7), 7u);
+  EXPECT_EQ(env_warning_count(), 1u);
+}
+
+TEST_F(EnvKnobTest, TrailingGarbageFallsBack) {
+  ::setenv(kName, "12abc", 1);
+  EXPECT_EQ(env_size_t(kName, 7), 7u);
+  EXPECT_EQ(env_warning_count(), 1u);
+}
+
+TEST_F(EnvKnobTest, NegativeFallsBack) {
+  ::setenv(kName, "-3", 1);
+  EXPECT_EQ(env_size_t(kName, 7), 7u);
+  EXPECT_EQ(env_warning_count(), 1u);
+}
+
+TEST_F(EnvKnobTest, BelowMinimumFallsBack) {
+  // HFC_THREADS-style knobs need >= 1: "0" is rejected, not misapplied.
+  ::setenv(kName, "0", 1);
+  EXPECT_EQ(env_size_t(kName, 7, /*min_value=*/1), 7u);
+  EXPECT_EQ(env_warning_count(), 1u);
+  // With min_value 0 (HFC_SCT_TTL-style: 0 = disabled) it is accepted.
+  reset_env_warnings();
+  EXPECT_EQ(env_size_t(kName, 7, /*min_value=*/0), 0u);
+  EXPECT_EQ(env_u64(kName, 42), 0u);
+  EXPECT_EQ(env_warning_count(), 0u);
+}
+
+TEST_F(EnvKnobTest, OverflowFallsBack) {
+  ::setenv(kName, "99999999999999999999999999", 1);  // > 2^64
+  EXPECT_EQ(env_size_t(kName, 7), 7u);
+  EXPECT_EQ(env_u64(kName, 42), 42u);
+  EXPECT_EQ(env_warning_count(), 1u);
+}
+
+TEST_F(EnvKnobTest, EmptyWarnsWhitespaceIsTrimmed) {
+  ::setenv(kName, "", 1);
+  EXPECT_EQ(env_size_t(kName, 7), 7u);
+  EXPECT_EQ(env_warning_count(), 1u);
+  ::setenv(kName, " 12 ", 1);
+  reset_env_warnings();
+  EXPECT_EQ(env_size_t(kName, 7), 12u);  // surrounding whitespace is fine
+  EXPECT_EQ(env_warning_count(), 0u);
 }
 
 }  // namespace

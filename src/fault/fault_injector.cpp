@@ -92,13 +92,22 @@ void FaultInjector::apply(Simulator&, const FaultEvent& event) {
       }
       break;
     case FaultKind::kBurstStart:
-      burst_loss_ = event.loss;
+      open_burst_losses_.push_back(event.loss);
       m.bursts.add(1);
       break;
     case FaultKind::kBurstEnd:
-      burst_loss_ = 0.0;
+      // An end closes the oldest open window (ends carry no identity;
+      // FaultPlan::serialize pairs them the same way), so an overlapping
+      // window's loss keeps applying until its own end event.
+      if (!open_burst_losses_.empty()) open_burst_losses_.pop_front();
       break;
   }
+}
+
+double FaultInjector::current_burst_loss() const {
+  double loss = 0.0;
+  for (const double l : open_burst_losses_) loss = std::max(loss, l);
+  return loss;
 }
 
 void FaultInjector::arm(Simulator& sim) {
@@ -129,7 +138,7 @@ MessageFate FaultInjector::on_message(NodeId from, NodeId to) {
   // One combined loss draw per message: burst windows dominate, the
   // plan-wide base loss floors it.
   const double loss =
-      std::max(plan_.base_loss(), burst_loss_);
+      std::max(plan_.base_loss(), current_burst_loss());
   if (loss > 0.0 && msg_rng_.chance(loss)) {
     m.dropped_loss.add(1);
     fate.delivered = false;

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <unordered_set>
 
@@ -54,8 +55,10 @@ class FaultInjector {
   [[nodiscard]] std::function<bool(NodeId)> up_predicate() const;
 
   [[nodiscard]] bool partitioned(ClusterId a, ClusterId b) const;
-  /// Loss probability of the currently open burst window (0 outside).
-  [[nodiscard]] double current_burst_loss() const { return burst_loss_; }
+  /// Effective correlated-loss probability right now: the max loss over
+  /// all currently open burst windows (0 when none). Windows may overlap;
+  /// each end event closes the oldest open window, matching serialize().
+  [[nodiscard]] double current_burst_loss() const;
 
   /// Decide the fate of one message. Senders that are down should not call
   /// this (a crashed proxy sends nothing); if they do, the message is
@@ -88,7 +91,8 @@ class FaultInjector {
   bool armed_ = false;
   std::unordered_set<NodeId> crashed_;
   std::unordered_set<std::uint64_t> partitions_;
-  double burst_loss_ = 0.0;
+  /// Loss of each open burst window, oldest first (FIFO close order).
+  std::deque<double> open_burst_losses_;
   std::function<void(NodeId)> on_crash_;
   std::function<void(NodeId)> on_recover_;
 };

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <deque>
 #include <sstream>
+#include <utility>
 
 #include "overlay/hfc_topology.h"
 #include "util/env.h"
@@ -110,14 +112,18 @@ FaultPlan FaultPlan::random(const FaultPlanParams& params,
     used.push_back(victim);
     const double down_at = crash_rng.uniform_real(0.05, 0.55) * heal_by;
     double downtime = crash_rng.exponential(params.mean_downtime_ms);
-    downtime = std::min(downtime, heal_by - down_at);
+    // Floor tiny draws at 1 ms, then clamp to the pre-heal window — in that
+    // order, so the floor can never push the recovery past heal_by (the
+    // fault-free reconvergence tail the chaos invariants rely on). down_at
+    // <= 0.55 * heal_by keeps the clamped span strictly positive.
+    downtime = std::min(std::max(downtime, 1.0), heal_by - down_at);
     FaultEvent crash;
     crash.time_ms = down_at;
     crash.kind = FaultKind::kCrash;
     crash.node = victim;
     events.push_back(crash);
     FaultEvent recover = crash;
-    recover.time_ms = down_at + std::max(downtime, 1.0);
+    recover.time_ms = down_at + downtime;
     recover.kind = FaultKind::kRecover;
     events.push_back(recover);
   }
@@ -139,7 +145,7 @@ FaultPlan FaultPlan::random(const FaultPlanParams& params,
       if (b == a) continue;  // one-cluster corner: nothing to partition
       const double cut_at = part_rng.uniform_real(0.05, 0.55) * heal_by;
       double span = part_rng.exponential(params.mean_partition_ms);
-      span = std::min(span, heal_by - cut_at);
+      span = std::min(std::max(span, 1.0), heal_by - cut_at);
       FaultEvent cut;
       cut.time_ms = cut_at;
       cut.kind = FaultKind::kPartition;
@@ -147,27 +153,41 @@ FaultPlan FaultPlan::random(const FaultPlanParams& params,
       cut.b = b;
       events.push_back(cut);
       FaultEvent heal = cut;
-      heal.time_ms = cut_at + std::max(span, 1.0);
+      heal.time_ms = cut_at + span;
       heal.kind = FaultKind::kHeal;
       events.push_back(heal);
     }
   }
 
-  // Correlated-loss windows.
+  // Correlated-loss windows: each burst lives in its own slot of the
+  // pre-heal horizon, so windows from `random` never overlap — a plan's
+  // loss level at any instant is that of the single open window.
+  // (serialize() and the injector still handle overlapping windows, which
+  // hand-written specs may construct.)
   Rng burst_rng = rng.fork(3);
-  for (std::size_t i = 0; i < params.bursts; ++i) {
-    const double open_at = burst_rng.uniform_real(0.05, 0.55) * heal_by;
-    double span = burst_rng.exponential(params.mean_burst_ms);
-    span = std::min(span, heal_by - open_at);
-    FaultEvent open;
-    open.time_ms = open_at;
-    open.kind = FaultKind::kBurstStart;
-    open.loss = params.burst_loss;
-    events.push_back(open);
-    FaultEvent close;
-    close.time_ms = open_at + std::max(span, 1.0);
-    close.kind = FaultKind::kBurstEnd;
-    events.push_back(close);
+  if (params.bursts > 0) {
+    const double first_open = 0.05 * heal_by;
+    const double slot = (heal_by - first_open) /
+                        static_cast<double>(params.bursts);
+    for (std::size_t i = 0; i < params.bursts; ++i) {
+      const double slot_begin = first_open + static_cast<double>(i) * slot;
+      const double open_at =
+          slot_begin + burst_rng.uniform_real(0.0, 0.5) * slot;
+      double span = burst_rng.exponential(params.mean_burst_ms);
+      // Floor then clamp to the slot (open_at sits in the slot's first
+      // half, so the clamp keeps span strictly positive and every window
+      // closed by heal_by).
+      span = std::min(std::max(span, 1.0), slot_begin + slot - open_at);
+      FaultEvent open;
+      open.time_ms = open_at;
+      open.kind = FaultKind::kBurstStart;
+      open.loss = params.burst_loss;
+      events.push_back(open);
+      FaultEvent close;
+      close.time_ms = open_at + span;
+      close.kind = FaultKind::kBurstEnd;
+      events.push_back(close);
+    }
   }
 
   return FaultPlan(std::move(events), params.base_loss, params.jitter_ms,
@@ -176,11 +196,12 @@ FaultPlan FaultPlan::random(const FaultPlanParams& params,
 
 namespace {
 
-/// Format a time with enough significant digits (max_digits10 = 17) that
-/// parse() recovers the exact double: serialize/parse is a lossless
-/// round-trip, which the plan-equality checks of the chaos suite rely on.
-/// Round times still print compactly ("500", not "500.000000").
-std::string fmt_ms(double v) {
+/// Format a double (times and loss probabilities alike) with enough
+/// significant digits (max_digits10 = 17) that parse() recovers the exact
+/// value: serialize/parse is a lossless round-trip, which the
+/// plan-equality checks of the chaos suite rely on. Round values still
+/// print compactly ("500", not "500.000000").
+std::string fmt_num(double v) {
   std::ostringstream os;
   os.precision(17);
   os << v;
@@ -217,46 +238,49 @@ std::string FaultPlan::serialize() const {
     if (!first) os << ";";
     first = false;
   };
-  // Bursts serialize as burst@open+span:loss, so pair each start with its
-  // matching end (events are time-sorted; windows from `random` and
-  // `parse` never nest).
-  double burst_open = -1.0;
-  double burst_loss = 0.0;
+  // Bursts serialize as burst@open+span:loss. An end event carries no
+  // identity, so it is paired with the OLDEST still-open window (FIFO in
+  // time-sorted order). Windows may overlap or nest — hand-written specs
+  // can interleave starts and ends freely — and any pairing reproduces
+  // the identical event multiset on parse; the injector matches ends the
+  // same way.
+  std::deque<std::pair<double, double>> open_bursts;  // (open time, loss)
   for (const FaultEvent& e : events_) {
     switch (e.kind) {
       case FaultKind::kCrash:
       case FaultKind::kRecover:
         sep();
         os << (e.kind == FaultKind::kCrash ? "crash@" : "recover@")
-           << fmt_ms(e.time_ms) << ":" << e.node.value();
+           << fmt_num(e.time_ms) << ":" << e.node.value();
         break;
       case FaultKind::kPartition:
       case FaultKind::kHeal:
         sep();
         os << (e.kind == FaultKind::kPartition ? "partition@" : "heal@")
-           << fmt_ms(e.time_ms) << ":" << e.a.value() << "/" << e.b.value();
+           << fmt_num(e.time_ms) << ":" << e.a.value() << "/" << e.b.value();
         break;
       case FaultKind::kBurstStart:
-        burst_open = e.time_ms;
-        burst_loss = e.loss;
+        open_bursts.emplace_back(e.time_ms, e.loss);
         break;
       case FaultKind::kBurstEnd:
-        ensure(burst_open >= 0.0, "FaultPlan::serialize: unmatched burst end");
+        ensure(!open_bursts.empty(),
+               "FaultPlan::serialize: unmatched burst end");
         sep();
-        os << "burst@" << fmt_ms(burst_open) << "+"
-           << fmt_ms(e.time_ms - burst_open) << ":" << burst_loss;
-        burst_open = -1.0;
+        os << "burst@" << fmt_num(open_bursts.front().first) << "+"
+           << fmt_num(e.time_ms - open_bursts.front().first) << ":"
+           << fmt_num(open_bursts.front().second);
+        open_bursts.pop_front();
         break;
     }
   }
-  ensure(burst_open < 0.0, "FaultPlan::serialize: unmatched burst start");
+  ensure(open_bursts.empty(), "FaultPlan::serialize: unmatched burst start");
   if (base_loss_ > 0.0) {
     sep();
-    os << "loss:" << base_loss_;
+    os << "loss:" << fmt_num(base_loss_);
   }
   if (jitter_ms_ > 0.0) {
     sep();
-    os << "jitter:" << fmt_ms(jitter_ms_);
+    os << "jitter:" << fmt_num(jitter_ms_);
   }
   sep();
   os << "seed:" << seed_;
@@ -297,8 +321,15 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       continue;
     }
     if (head == "seed") {
-      seed = static_cast<std::uint64_t>(
-          parse_int(token.substr(colon + 1), token));
+      // Full-u64 path: serialize() writes the seed verbatim, and a seed
+      // (e.g. from HFC_FAULT_SEED) can exceed both INT_MAX (UB through the
+      // parse_int cast) and 2^53 (silent precision loss through double).
+      const std::string raw = token.substr(colon + 1);
+      const char* why = "";
+      if (!parse_u64(raw.c_str(), seed, why)) {
+        throw std::invalid_argument("FaultPlan::parse: bad seed in '" +
+                                    token + "' (" + why + ")");
+      }
       continue;
     }
     require(at != std::string::npos && at < colon,

@@ -26,9 +26,8 @@ void warn_once(const char* name, const char* raw, const char* why,
             << why << "); using default " << fallback << "\n";
 }
 
-/// Parse a full base-10 unsigned integer. Fails on empty strings, signs,
-/// trailing garbage, and out-of-range values (strtoull alone would accept
-/// "-3" by wrapping and "12abc" by truncating).
+}  // namespace
+
 bool parse_u64(const char* raw, std::uint64_t& out, const char*& why) {
   std::string s(raw);
   const std::size_t begin = s.find_first_not_of(" \t");
@@ -56,8 +55,6 @@ bool parse_u64(const char* raw, std::uint64_t& out, const char*& why) {
   out = static_cast<std::uint64_t>(v);
   return true;
 }
-
-}  // namespace
 
 std::size_t env_size_t(const char* name, std::size_t fallback,
                        std::size_t min_value) {

@@ -27,6 +27,16 @@ namespace hfc {
 /// Same semantics for 64-bit seeds (min_value 0: every seed is valid).
 [[nodiscard]] std::uint64_t env_u64(const char* name, std::uint64_t fallback);
 
+/// The strict parser behind the knobs: a full base-10 unsigned integer,
+/// surrounding whitespace allowed. Fails (returning false and pointing
+/// `why` at a static reason) on empty strings, signs, trailing garbage,
+/// and values outside the 64-bit range — unlike a bare strtoull or a
+/// round-trip through double, which silently wraps, truncates, or loses
+/// precision above 2^53. Exposed for other text formats that embed u64
+/// values (e.g. the FaultPlan `seed:` directive).
+[[nodiscard]] bool parse_u64(const char* raw, std::uint64_t& out,
+                             const char*& why);
+
 /// Test hook: forget which variables have already warned, so negative-path
 /// tests can assert "exactly one warning" deterministically.
 void reset_env_warnings();

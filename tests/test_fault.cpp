@@ -95,10 +95,104 @@ TEST(FaultPlan, RandomWindowsCloseByHealFraction) {
   EXPECT_FALSE(plan.events().empty());
   for (const FaultEvent& e : plan.events()) {
     EXPECT_GE(e.time_ms, 0.0);
-    // The +1 covers the minimum-1ms window enforced for zero-length draws.
-    EXPECT_LE(e.time_ms, heal_by + 1.0) << fault_kind_name(e.kind);
+    EXPECT_LE(e.time_ms, heal_by) << fault_kind_name(e.kind);
   }
   EXPECT_DOUBLE_EQ(plan.last_event_ms(), plan.events().back().time_ms);
+}
+
+TEST(FaultPlan, RandomSubMillisecondHorizonStillClosesByHealBoundary) {
+  // Sub-millisecond fault windows: the 1 ms span floor must be clamped by
+  // the heal boundary, not applied after it, or recover/heal/burst-end
+  // events land inside the fault-free reconvergence tail.
+  FaultWorld w;
+  FaultPlanParams params;
+  params.horizon_ms = 2.0;
+  params.heal_fraction = 0.5;
+  params.crashes = 2;
+  params.partitions = 1;
+  params.bursts = 1;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const FaultPlan plan = FaultPlan::random(params, w.topo, seed);
+    EXPECT_FALSE(plan.events().empty());
+    for (const FaultEvent& e : plan.events()) {
+      EXPECT_LE(e.time_ms, params.horizon_ms * params.heal_fraction)
+          << fault_kind_name(e.kind) << " seed " << seed;
+    }
+  }
+}
+
+TEST(FaultPlan, RandomBurstWindowsNeverOverlap) {
+  // Huge mean spans force every draw to clamp: before slot partitioning,
+  // that produced interleaved windows (start1, start2, end1, end2) and
+  // serialize() threw std::logic_error for many seeds.
+  FaultWorld w;
+  FaultPlanParams params;
+  params.bursts = 3;
+  params.mean_burst_ms = 1e6;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const FaultPlan plan = FaultPlan::random(params, w.topo, seed);
+    int open = 0;
+    for (const FaultEvent& e : plan.events()) {
+      if (e.kind == FaultKind::kBurstStart) {
+        EXPECT_EQ(open, 0) << "overlapping windows, seed " << seed;
+        ++open;
+      } else if (e.kind == FaultKind::kBurstEnd) {
+        --open;
+      }
+    }
+    EXPECT_EQ(open, 0) << "unclosed window, seed " << seed;
+    EXPECT_EQ(FaultPlan::parse(plan.serialize()), plan) << "seed " << seed;
+  }
+}
+
+TEST(FaultPlan, SerializeSupportsInterleavedBurstWindows) {
+  // Hand-written specs may interleave windows (start1, start2, end1,
+  // end2). Each end pairs FIFO with the oldest open window, so the exact
+  // windows survive the round trip.
+  const FaultPlan plan =
+      FaultPlan::parse("burst@100+400:0.5;burst@300+400:0.75;seed:1");
+  const std::string spec = plan.serialize();
+  EXPECT_EQ(spec, "burst@100+400:0.5;burst@300+400:0.75;seed:1");
+  EXPECT_EQ(FaultPlan::parse(spec), plan);
+}
+
+TEST(FaultPlan, SerializeSupportsNestedBurstWindows) {
+  // Fully nested windows (start1, start2, end2, end1): FIFO pairing emits
+  // different window boundaries, but the identical event multiset — the
+  // plan, and every injector decision it drives, round-trips exactly.
+  const FaultPlan plan =
+      FaultPlan::parse("burst@100+600:0.5;burst@300+100:0.7;seed:1");
+  EXPECT_EQ(FaultPlan::parse(plan.serialize()), plan);
+}
+
+TEST(FaultPlan, SeedRoundTripsFullU64Range) {
+  // serialize() writes the seed verbatim; parse must recover any u64
+  // without the INT_MAX UB / 2^53 precision loss of a double-based path.
+  const FaultPlan plan =
+      FaultPlan::parse("crash@5:1;seed:18446744073709551615");
+  EXPECT_EQ(plan.seed(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(FaultPlan::parse(plan.serialize()), plan);
+  EXPECT_EQ(FaultPlan::parse("seed:9007199254740993").seed(),
+            9007199254740993ull);  // 2^53 + 1: unrepresentable as double
+}
+
+TEST(FaultPlan, LossValuesRoundTripAtFullPrecision) {
+  std::vector<FaultEvent> events;
+  FaultEvent open;
+  open.time_ms = 100.0;
+  open.kind = FaultKind::kBurstStart;
+  open.loss = 0.12345678901234567;
+  events.push_back(open);
+  FaultEvent close;
+  close.time_ms = 600.0;
+  close.kind = FaultKind::kBurstEnd;
+  events.push_back(close);
+  const FaultPlan plan(std::move(events),
+                       /*base_loss=*/0.098765432109876543,
+                       /*jitter_ms=*/0.0, /*seed=*/1);
+  // Bit-exact: losses serialize at max_digits10 like times, so replayed
+  // Bernoulli draws see the identical probabilities.
+  EXPECT_EQ(FaultPlan::parse(plan.serialize()), plan);
 }
 
 TEST(FaultPlan, RandomFullBiasPicksOnlyBorders) {
@@ -173,6 +267,10 @@ TEST(FaultPlan, ParseRejectsMalformedSpecs) {
       "loss:1.5",             // base loss outside [0,1)
       "jitter:-2",            // negative jitter
       "crash@-5:1",           // negative time
+      "seed:abc",             // non-numeric seed
+      "seed:-3",              // negative seed
+      "seed:1.5",             // fractional seed
+      "seed:18446744073709551616",  // above the u64 range
   };
   for (const char* spec : bad) {
     EXPECT_THROW((void)FaultPlan::parse(spec), std::invalid_argument) << spec;
@@ -301,6 +399,32 @@ TEST(FaultInjector, BurstWindowDropsEverything) {
 
   EXPECT_EQ(fates, (std::vector<bool>{true, false, true}));
   EXPECT_EQ(loss_probes, (std::vector<double>{0.0, 1.0, 0.0}));
+}
+
+TEST(FaultInjector, OverlappingBurstWindowsKeepMaxLoss) {
+  // Windows [100,500) at 0.5 and [300,700) at 1.0 interleave: the first
+  // window's end event must not cancel the still-open second window's
+  // correlated loss.
+  FaultWorld w;
+  const FaultPlan plan =
+      FaultPlan::parse("burst@100+400:0.5;burst@300+400:1;seed:1");
+  FaultInjector injector(plan, w.topo);
+  Simulator sim;
+  injector.arm(sim);
+
+  std::vector<double> loss_probes;
+  std::vector<bool> fates;
+  for (double t : {50.0, 350.0, 600.0, 800.0}) {
+    sim.schedule_at(t, [&](Simulator&) {
+      loss_probes.push_back(injector.current_burst_loss());
+      fates.push_back(injector.on_message(NodeId(0), NodeId(1)).delivered);
+    });
+  }
+  sim.run();
+
+  // 350 ms: both windows open, max wins; 600 ms: only the second remains.
+  EXPECT_EQ(loss_probes, (std::vector<double>{0.0, 1.0, 1.0, 0.0}));
+  EXPECT_EQ(fates, (std::vector<bool>{true, false, false, true}));
 }
 
 TEST(FaultInjector, BaseLossIsBernoulli) {

@@ -1,0 +1,254 @@
+// Topology-construction scaling: the spatial-index path vs the quadratic
+// brute-force scans (DESIGN.md §11).
+//
+// Phase 1 (A/B, default n = 20000): build the full structural pipeline —
+// Zahn clustering over the Euclidean MST plus HFC closest-pair border
+// selection — twice over the same clustered point cloud, once with
+// HFC_SPATIAL=off (the quadratic scans) and once with the kd-tree, and
+// compare wall-clock and the `topology.candidate_links` /
+// `cluster.mst_candidate_pairs` counters. At the acceptance size
+// (n >= 20000) the bench *asserts* a >= 10x construction speedup and a
+// >= 100x border-candidate reduction; reduced runs only report.
+//
+// Phase 2 (default n = 100000): build + route at a proxy count where the
+// brute scans are simply infeasible (2e10 candidate pairs), and assert
+// that coordinate-tier plus spatial-index resident state stays inside a
+// linear memory ceiling — the dense n^2/2 distance matrix alone would be
+// ~40 GB.
+//
+// Knobs: HFC_TOPO_N (phase-2 proxies, default 100000), HFC_TOPO_CMP_N
+// (phase-1 proxies, default 20000), HFC_TOPO_REQUESTS (routed requests,
+// default 1000), HFC_TOPO_DIM (coordinate dimension, default 5). The
+// sanitizer legs of scripts/check.sh run reduced sizes.
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/cluster/zahn.h"
+#include "src/distance/coord_distance.h"
+#include "src/obs/metrics.h"
+#include "src/overlay/hfc_topology.h"
+#include "src/overlay/overlay_network.h"
+#include "src/routing/hierarchical_router.h"
+#include "src/services/service_graph.h"
+#include "src/spatial/spatial_index.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace hfc;
+
+/// Clustered point cloud: centers on a coarse integer lattice (spacing
+/// 100), points uniform in a radius-4 box around their center — the
+/// well-separated geometry Zahn's inconsistency test splits cleanly.
+std::vector<Point> clustered_coords(std::size_t n, std::size_t dim,
+                                    std::uint64_t seed) {
+  const std::size_t centers = std::max<std::size_t>(4, n / 400);
+  std::size_t side = 1;
+  while (true) {
+    std::size_t cells = 1;
+    for (std::size_t d = 0; d < dim; ++d) cells *= side;
+    if (cells >= centers) break;
+    ++side;
+  }
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t cell = i % centers;
+    Point p(dim, 0.0);
+    for (std::size_t d = 0; d < dim; ++d) {
+      p[d] = static_cast<double>(cell % side) * 100.0 +
+             rng.uniform_real(-4.0, 4.0);
+      cell /= side;
+    }
+    pts.push_back(std::move(p));
+  }
+  return pts;
+}
+
+struct BuildResult {
+  double wall_ms = 0.0;
+  std::size_t clusters = 0;
+  std::uint64_t border_candidates = 0;
+  std::uint64_t mst_candidates = 0;
+};
+
+/// Cluster + build the HFC topology once under the current HFC_SPATIAL
+/// setting, returning wall-clock and the candidate-counter deltas.
+BuildResult build_once(const std::vector<Point>& coords) {
+  obs::Counter& borders =
+      obs::MetricsRegistry::global().counter("topology.candidate_links");
+  obs::Counter& mst =
+      obs::MetricsRegistry::global().counter("cluster.mst_candidate_pairs");
+  const std::uint64_t borders0 = borders.value();
+  const std::uint64_t mst0 = mst.value();
+  const auto t0 = std::chrono::steady_clock::now();
+  const CoordDistanceService dist(coords);
+  const Clustering clustering = cluster_nodes(dist);
+  const HfcTopology topo(clustering, dist);
+  BuildResult r;
+  r.wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  r.clusters = topo.live_cluster_count();
+  r.border_candidates = borders.value() - borders0;
+  r.mst_candidates = mst.value() - mst0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hfc;
+  const std::size_t n = benchutil::env_size("HFC_TOPO_N", 100000);
+  const std::size_t cmp_n = benchutil::env_size("HFC_TOPO_CMP_N", 20000);
+  const std::size_t requests = benchutil::env_size("HFC_TOPO_REQUESTS", 1000);
+  const std::size_t dim = benchutil::env_size("HFC_TOPO_DIM", 5);
+  benchutil::BenchJson json("topology_scaling");
+
+  // ---- Phase 1: brute vs spatial A/B at cmp_n --------------------------
+  std::cout << "Topology construction A/B at n=" << cmp_n << " (dim=" << dim
+            << ")\n";
+  const std::vector<Point> cmp_coords = clustered_coords(cmp_n, dim, 4071);
+  setenv("HFC_SPATIAL", "off", 1);
+  const BuildResult brute = build_once(cmp_coords);
+  setenv("HFC_SPATIAL", "kdtree", 1);
+  const BuildResult spatial = build_once(cmp_coords);
+  const double speedup = brute.wall_ms / std::max(spatial.wall_ms, 1e-9);
+  const double border_reduction =
+      static_cast<double>(brute.border_candidates) /
+      std::max<double>(static_cast<double>(spatial.border_candidates), 1.0);
+  const double mst_reduction =
+      static_cast<double>(brute.mst_candidates) /
+      std::max<double>(static_cast<double>(spatial.mst_candidates), 1.0);
+  std::cout << "  brute:   " << benchutil::fmt(brute.wall_ms, 0) << " ms, "
+            << brute.clusters << " clusters, border candidates "
+            << brute.border_candidates << ", mst candidates "
+            << brute.mst_candidates << "\n"
+            << "  kdtree:  " << benchutil::fmt(spatial.wall_ms, 0) << " ms, "
+            << spatial.clusters << " clusters, border candidates "
+            << spatial.border_candidates << ", mst candidates "
+            << spatial.mst_candidates << "\n"
+            << "  speedup " << benchutil::fmt(speedup, 1)
+            << "x, border candidate reduction "
+            << benchutil::fmt(border_reduction, 1) << "x, mst reduction "
+            << benchutil::fmt(mst_reduction, 1) << "x\n";
+  if (brute.clusters != spatial.clusters) {
+    std::cerr << "FATAL: brute and spatial paths built different cluster "
+                 "counts ("
+              << brute.clusters << " vs " << spatial.clusters << ")\n";
+    return 1;
+  }
+  if (cmp_n >= 20000) {
+    if (speedup < 10.0) {
+      std::cerr << "FATAL: construction speedup " << benchutil::fmt(speedup, 2)
+                << "x below the asserted 10x at n=" << cmp_n << "\n";
+      return 1;
+    }
+    if (border_reduction < 100.0) {
+      std::cerr << "FATAL: border candidate reduction "
+                << benchutil::fmt(border_reduction, 1)
+                << "x below the asserted 100x at n=" << cmp_n << "\n";
+      return 1;
+    }
+  }
+
+  // ---- Phase 2: build + route at n under a memory ceiling --------------
+  // Ceiling: linear in n — coordinate tier plus every spatial index the
+  // topology keeps. The dense pairwise matrix this pipeline used to imply
+  // is shown for contrast.
+  const double ceiling_bytes =
+      32.0 * 1024.0 * 1024.0 + 256.0 * static_cast<double>(n);
+  const double dense_bytes = 0.5 * static_cast<double>(n) *
+                             static_cast<double>(n + 1) * sizeof(double);
+  std::cout << "\nSpatial build + route at n=" << n
+            << " (resident ceiling "
+            << benchutil::fmt(ceiling_bytes / (1024.0 * 1024.0), 1)
+            << " MiB; dense matrix would be "
+            << benchutil::fmt(dense_bytes / (1024.0 * 1024.0 * 1024.0), 1)
+            << " GiB)\n";
+  const std::vector<Point> coords = clustered_coords(n, dim, 4072);
+  const auto b0 = std::chrono::steady_clock::now();
+  const CoordDistanceService dist(coords);
+  const Clustering clustering = cluster_nodes(dist);
+  const HfcTopology topo(clustering, dist);
+  const double build_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - b0)
+                              .count();
+  const auto check_ceiling = [&](const char* stage) {
+    const double resident =
+        static_cast<double>(dist.resident_bytes()) +
+        static_cast<double>(topo.spatial_resident_bytes());
+    if (resident > ceiling_bytes) {
+      std::cerr << "FATAL: " << stage << ": coord + spatial resident state "
+                << resident << " B exceeds ceiling " << ceiling_bytes
+                << " B\n";
+      std::exit(1);
+    }
+  };
+  check_ceiling("post-build");
+  std::cout << "  build: " << benchutil::fmt(build_ms, 0) << " ms, "
+            << topo.live_cluster_count() << " clusters, spatial "
+            << (topo.spatial_active() ? "active" : "off") << ", resident "
+            << benchutil::fmt(
+                   static_cast<double>(dist.resident_bytes() +
+                                       topo.spatial_resident_bytes()) /
+                       (1024.0 * 1024.0),
+                   1)
+            << " MiB\n";
+
+  // Service routing over the topology: a small catalog, one service per
+  // proxy, linear two-service request chains between random endpoints.
+  constexpr std::size_t kCatalog = 64;
+  ServicePlacement placement(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    placement[v] = {ServiceId(static_cast<std::int32_t>(v % kCatalog))};
+  }
+  const OverlayNetwork net(coords, std::move(placement));
+  const HierarchicalServiceRouter router(net, topo, dist);
+  Rng rng(4073);
+  const auto r0 = std::chrono::steady_clock::now();
+  std::size_t found = 0;
+  for (std::size_t i = 0; i < requests; ++i) {
+    ServiceRequest request;
+    request.source =
+        NodeId(rng.uniform_int(0, static_cast<int>(n) - 1));
+    request.destination =
+        NodeId(rng.uniform_int(0, static_cast<int>(n) - 1));
+    request.graph = ServiceGraph::linear(
+        {ServiceId(rng.uniform_int(0, kCatalog - 1)),
+         ServiceId(rng.uniform_int(0, kCatalog - 1))});
+    if (router.route(request).found) ++found;
+  }
+  const double route_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - r0)
+                              .count();
+  check_ceiling("post-routing");
+  if (found == 0) {
+    std::cerr << "FATAL: no request routed successfully\n";
+    return 1;
+  }
+  std::cout << "  routed " << found << "/" << requests << " requests in "
+            << benchutil::fmt(route_ms, 0) << " ms\n";
+
+  json.add_trials(3);
+  json.note("cmp_n", static_cast<double>(cmp_n));
+  json.note("n", static_cast<double>(n));
+  json.note("dim", static_cast<double>(dim));
+  json.note("brute_build_ms", brute.wall_ms);
+  json.note("spatial_build_ms", spatial.wall_ms);
+  json.note("construction_speedup", speedup);
+  json.note("border_candidate_reduction", border_reduction);
+  json.note("mst_candidate_reduction", mst_reduction);
+  json.note("build_ms_full", build_ms);
+  json.note("route_ms", route_ms);
+  json.note("requests_routed", static_cast<double>(found));
+  json.note("ceiling_bytes", ceiling_bytes);
+  json.note("resident_bytes",
+            static_cast<double>(dist.resident_bytes() +
+                                topo.spatial_resident_bytes()));
+  return 0;
+}

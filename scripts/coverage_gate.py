@@ -16,7 +16,7 @@ import os
 import subprocess
 import sys
 
-MONITORED = ("src/fault", "src/sim")
+MONITORED = ("src/fault", "src/sim", "src/spatial")
 DEFAULT_FLOOR = 90.0
 
 

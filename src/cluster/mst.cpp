@@ -1,12 +1,57 @@
 #include "cluster/mst.h"
 
+#include <algorithm>
 #include <limits>
+#include <numeric>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/require.h"
+#include "util/thread_pool.h"
 
 namespace hfc {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Disjoint-set over node indices (path-halving, no ranks — union order
+/// below is deterministic anyway).
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  /// False when a and b were already connected.
+  bool unite(std::size_t a, std::size_t b) {
+    const std::size_t ra = find(a);
+    const std::size_t rb = find(b);
+    if (ra == rb) return false;
+    parent_[ra] = rb;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+/// True when candidate (d, a, b) improves on the incumbent under the
+/// canonical lexicographic edge order.
+[[nodiscard]] bool edge_improves(double d, std::size_t a, std::size_t b,
+                                 double bd, std::size_t ba, std::size_t bb) {
+  if (d != bd) return d < bd;
+  if (a != ba) return a < ba;
+  return b < bb;
+}
+
+}  // namespace
 
 std::vector<MstEdge> mst_dense(std::size_t n, const DistanceFn& distance) {
   HFC_TRACE_SPAN("cluster.mst");
@@ -15,14 +60,15 @@ std::vector<MstEdge> mst_dense(std::size_t n, const DistanceFn& distance) {
   if (n <= 1) return edges;
   edges.reserve(n - 1);
 
-  constexpr double kInf = std::numeric_limits<double>::infinity();
   std::vector<bool> in_tree(n, false);
   std::vector<double> best(n, kInf);     // cheapest edge into the tree
   std::vector<std::size_t> parent(n, 0);
+  std::uint64_t evals = 0;
 
   in_tree[0] = true;
   for (std::size_t v = 1; v < n; ++v) {
     best[v] = distance(0, v);
+    ++evals;
     parent[v] = 0;
   }
   for (std::size_t added = 1; added < n; ++added) {
@@ -40,6 +86,7 @@ std::vector<MstEdge> mst_dense(std::size_t n, const DistanceFn& distance) {
     for (std::size_t v = 0; v < n; ++v) {
       if (!in_tree[v]) {
         const double d = distance(next, v);
+        ++evals;
         if (d < best[v]) {
           best[v] = d;
           parent[v] = next;
@@ -47,19 +94,155 @@ std::vector<MstEdge> mst_dense(std::size_t n, const DistanceFn& distance) {
       }
     }
   }
+  obs::MetricsRegistry::global()
+      .counter("cluster.mst_candidate_pairs")
+      .add(evals);
   return edges;
 }
 
 std::vector<MstEdge> mst_dense(const DistanceService& distance) {
-  return mst_dense(distance.size(), [&distance](std::size_t i, std::size_t j) {
-    return distance.at(i, j);
-  });
+  const std::vector<Point>* coords = distance.coord_view();
+  if (coords != nullptr && spatial_enabled(coords->size())) {
+    return euclidean_mst_spatial(*coords, spatial_mode());
+  }
+
+  HFC_TRACE_SPAN("cluster.mst");
+  obs::MetricsRegistry::global().counter("cluster.mst_builds").add(1);
+  const std::size_t n = distance.size();
+  std::vector<MstEdge> edges;
+  if (n <= 1) return edges;
+  edges.reserve(n - 1);
+
+  std::vector<bool> in_tree(n, false);
+  std::vector<double> best(n, kInf);
+  std::vector<std::size_t> parent(n, 0);
+  std::uint64_t evals = 0;
+
+  // One whole-row fetch per added node keeps the truth tier's bounded
+  // row cache on a sequential access pattern (n fetches total) instead
+  // of the per-pair at() canonicalization, which revisits every row
+  // O(n) times and evicts it in between.
+  in_tree[0] = true;
+  {
+    const auto row = distance.row(0);
+    for (std::size_t v = 1; v < n; ++v) {
+      best[v] = (*row)[v];
+      ++evals;
+      parent[v] = 0;
+    }
+  }
+  for (std::size_t added = 1; added < n; ++added) {
+    std::size_t next = n;
+    double next_cost = kInf;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!in_tree[v] && best[v] < next_cost) {
+        next = v;
+        next_cost = best[v];
+      }
+    }
+    ensure(next < n, "mst_dense: graph distance returned infinity");
+    in_tree[next] = true;
+    edges.push_back(MstEdge{parent[next], next, next_cost});
+    const auto row = distance.row(next);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!in_tree[v]) {
+        const double d = (*row)[v];
+        ++evals;
+        if (d < best[v]) {
+          best[v] = d;
+          parent[v] = next;
+        }
+      }
+    }
+  }
+  obs::MetricsRegistry::global()
+      .counter("cluster.mst_candidate_pairs")
+      .add(evals);
+  return edges;
 }
 
 std::vector<MstEdge> euclidean_mst(const std::vector<Point>& points) {
+  if (spatial_enabled(points.size())) {
+    return euclidean_mst_spatial(points, spatial_mode());
+  }
   return mst_dense(points.size(), [&points](std::size_t i, std::size_t j) {
     return euclidean(points[i], points[j]);
   });
+}
+
+std::vector<MstEdge> euclidean_mst_spatial(const std::vector<Point>& points,
+                                           SpatialMode mode) {
+  require(mode != SpatialMode::kOff,
+          "euclidean_mst_spatial: mode kOff has no index");
+  HFC_TRACE_SPAN("cluster.mst");
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("cluster.mst_builds").add(1);
+  const std::size_t n = points.size();
+  std::vector<MstEdge> edges;
+  if (n <= 1) return edges;
+  edges.reserve(n - 1);
+
+  const std::unique_ptr<SpatialIndex> index = make_spatial_index(mode, points);
+  UnionFind uf(n);
+  std::vector<std::int32_t> labels(n, 0);
+  std::vector<SpatialHit> hits(n);
+  std::vector<QueryStats> stats(n);
+
+  // Candidate light edge per component root, canonical (d, a, b)-minimal.
+  std::vector<double> cand_d(n, kInf);
+  std::vector<std::size_t> cand_a(n, 0);
+  std::vector<std::size_t> cand_b(n, 0);
+
+  // Borůvka: every round each component selects its cheapest outgoing
+  // edge and the selected edges are applied serially. The (d, a, b)
+  // total order on edges makes the selection — and with it the final
+  // tree — deterministic even under exact distance ties.
+  while (edges.size() + 1 < n) {
+    for (std::size_t v = 0; v < n; ++v) {
+      labels[v] = static_cast<std::int32_t>(uf.find(v));
+    }
+    index->retag(labels);
+    parallel_for(n, 256, [&](std::size_t v) {
+      hits[v] = index->nearest_foreign(points[v],
+                                       labels[static_cast<std::size_t>(v)],
+                                       kInf, stats[v]);
+    });
+
+    for (std::size_t v = 0; v < n; ++v) {
+      const SpatialHit& hit = hits[v];
+      ensure(hit.found(), "euclidean_mst_spatial: disconnected point set");
+      const std::size_t u = static_cast<std::size_t>(hit.id);
+      const std::size_t a = std::min(v, u);
+      const std::size_t b = std::max(v, u);
+      const std::size_t root = static_cast<std::size_t>(labels[v]);
+      if (edge_improves(hit.dist, a, b, cand_d[root], cand_a[root],
+                        cand_b[root])) {
+        cand_d[root] = hit.dist;
+        cand_a[root] = a;
+        cand_b[root] = b;
+      }
+    }
+    const std::size_t before = edges.size();
+    for (std::size_t root = 0; root < n; ++root) {
+      if (cand_d[root] == kInf) continue;
+      if (uf.unite(cand_a[root], cand_b[root])) {
+        edges.push_back(MstEdge{cand_a[root], cand_b[root], cand_d[root]});
+      }
+      cand_d[root] = kInf;
+    }
+    ensure(edges.size() > before, "euclidean_mst_spatial: no progress");
+  }
+
+  QueryStats total;
+  for (const QueryStats& s : stats) total += s;
+  registry.counter("cluster.mst_candidate_pairs").add(total.point_evals);
+  registry.counter("spatial.nodes_visited").add(total.nodes_visited);
+
+  std::sort(edges.begin(), edges.end(), [](const MstEdge& x, const MstEdge& y) {
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  });
+  return edges;
 }
 
 double total_length(const std::vector<MstEdge>& edges) {

@@ -1,9 +1,33 @@
 // Minimum spanning tree over a dense distance function.
 //
 // The Zahn clustering (paper §3.2) works on the Euclidean MST of the proxy
-// coordinates. Prim's algorithm with a linear scan is O(n^2), which is
-// optimal for a complete graph and comfortably fast at the paper's scales
-// (n <= 1000).
+// coordinates. Three tiers build it (DESIGN.md §11):
+//
+//   * Prim over a distance callback — O(n^2) evaluations, no structure
+//     assumed beyond symmetry. The only option for non-geometric
+//     distances, and the fastest below a few hundred points, where a
+//     spatial index costs more to build than it saves.
+//   * Prim over a DistanceService — the same scan restructured to fetch
+//     each added node's whole row once (n row fetches total), so the
+//     truth tier's bounded row cache is read sequentially instead of
+//     thrashed.
+//   * Borůvka over a spatial index (`euclidean_mst_spatial`) — each round
+//     tags the index with the current components and asks, per point in
+//     parallel, for its nearest foreign point; components shrink
+//     geometrically, so the whole build is O(n log n) nearest-neighbour
+//     work. This is what `euclidean_mst` and the coordinate-tier
+//     `mst_dense` dispatch to once `spatial_enabled(n)` holds (default:
+//     n >= 256 with HFC_SPATIAL != off), and it is the tier that carries
+//     Zahn clustering to the 100k-proxy scale (bench_topology_scaling).
+//
+// Equivalence across tiers: all evaluate the same `euclidean()` doubles,
+// and with distinct pairwise distances the MST is unique, so Prim and
+// Borůvka return the same edge set (Borůvka in canonical (a, b) order,
+// Prim in insertion order — Zahn consumes the set, not the order). Inputs
+// with exact distance ties can have several valid MSTs; the
+// HFC_SPATIAL_MIN_N floor keeps small hand-laid-out point sets (where
+// such ties are deliberate) on the Prim path whose tie behaviour existing
+// expectations encode.
 #pragma once
 
 #include <cstddef>
@@ -12,6 +36,7 @@
 
 #include "coords/point.h"
 #include "distance/distance_service.h"
+#include "spatial/spatial_index.h"
 
 namespace hfc {
 
@@ -30,16 +55,25 @@ using DistanceFn = std::function<double(std::size_t, std::size_t)>;
 [[nodiscard]] std::vector<MstEdge> mst_dense(std::size_t n,
                                              const DistanceFn& distance);
 
-/// MST over all nodes of a distance service (same Prim scan, so the edge
-/// set is bit-identical to the callback form over equal distances). The
-/// intended input is the coordinate tier — O(k) per query; the truth tier
-/// works but thrashes a small row cache, since Prim's scan order touches
-/// rows in non-sequential order.
+/// MST over all nodes of a distance service. Coordinate-tier services
+/// dispatch to the Borůvka path under the HFC_SPATIAL knobs; other tiers
+/// run a row-grouped Prim that fetches `row(next)` once per added node —
+/// sequential reads the truth tier's row cache retains, instead of the
+/// per-pair `at()` canonicalization that thrashes it. Row-tier values are
+/// the source's own row view (symmetric tiers are bit-identical to the
+/// callback form; see the orientation contract in distance_service.h).
 [[nodiscard]] std::vector<MstEdge> mst_dense(const DistanceService& distance);
 
-/// Convenience: MST of points under Euclidean distance.
+/// MST of points under Euclidean distance. Dispatches between Prim and
+/// the spatial Borůvka path via `spatial_enabled(points.size())`.
 [[nodiscard]] std::vector<MstEdge> euclidean_mst(
     const std::vector<Point>& points);
+
+/// The Borůvka-over-spatial-index path, exposed directly so equivalence
+/// tests and ablations can pin the structure regardless of environment.
+/// Edges come back canonical: a < b, sorted ascending by (a, b).
+[[nodiscard]] std::vector<MstEdge> euclidean_mst_spatial(
+    const std::vector<Point>& points, SpatialMode mode);
 
 /// Total length of an edge set.
 [[nodiscard]] double total_length(const std::vector<MstEdge>& edges);

@@ -30,6 +30,9 @@ class CoordDistanceService final : public DistanceService {
   [[nodiscard]] std::shared_ptr<const std::vector<double>> row(
       std::size_t source) const override;
   [[nodiscard]] std::size_t resident_bytes() const override;
+  [[nodiscard]] const std::vector<Point>* coord_view() const override {
+    return &coords_;
+  }
 
   [[nodiscard]] const std::vector<Point>& coords() const { return coords_; }
 

@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "coords/point.h"
 #include "util/ids.h"
 
 namespace hfc {
@@ -82,6 +83,15 @@ class DistanceService {
   /// Bytes of distance state currently resident (cached rows, stored
   /// coordinates). The quantity the bench memory-ceiling assertion bounds.
   [[nodiscard]] virtual std::size_t resident_bytes() const = 0;
+
+  /// The embedded coordinate array behind this service, when its
+  /// distances *are* `euclidean()` over those points (the coordinate
+  /// tier). Null for tiers whose distances are not geometric — spatial
+  /// index consumers must then stay on their brute paths, since index
+  /// pruning is only sound for the metric the boxes bound.
+  [[nodiscard]] virtual const std::vector<Point>* coord_view() const {
+    return nullptr;
+  }
 };
 
 /// Resolve the row-cache capacity for a service: `requested` wins when

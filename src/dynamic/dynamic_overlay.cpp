@@ -82,6 +82,10 @@ void DynamicHfcOverlay::do_deactivate(NodeId node) {
   require(active_count_ > 1,
           "DynamicHfcOverlay::deactivate: cannot empty the overlay");
   if (mode_ == ChurnMode::kIncremental) inc_topo_->on_member_removed(node);
+  if (spatial_join_) {
+    active_set_.erase(node.value());
+    active_set_.maybe_rebuild();
+  }
   active_[node.idx()] = false;
   labels_[node.idx()] = -1;
   --active_count_;
@@ -96,17 +100,36 @@ void DynamicHfcOverlay::do_activate(NodeId node) {
   require(!active_[node.idx()],
           "DynamicHfcOverlay::activate: node already active");
   // Paper's join rule: enter the cluster of the nearest active proxy. The
-  // scan goes through the coordinate distance tier (bit-equal to the raw
-  // euclidean, so both churn modes track identical labels).
-  double best = std::numeric_limits<double>::infinity();
+  // brute scan goes through the coordinate distance tier (bit-equal to
+  // the raw euclidean, so both churn modes track identical labels); the
+  // spatial path queries the active set, whose (distance, id) tie-break
+  // matches the ascending strict-`<` scan exactly.
+  static obs::Counter& join_candidates =
+      obs::MetricsRegistry::global().counter("churn.join_candidates");
+  static obs::Counter& visited =
+      obs::MetricsRegistry::global().counter("spatial.nodes_visited");
   std::int32_t label = -1;
-  for (std::size_t v = 0; v < coords_.size(); ++v) {
-    if (!active_[v]) continue;
-    const double d = dist_->at(node.idx(), v);
-    if (d < best) {
-      best = d;
-      label = labels_[v];
+  if (spatial_join_) {
+    QueryStats qs;
+    const SpatialHit hit = active_set_.nearest(
+        coords_[node.idx()], std::numeric_limits<double>::infinity(), qs);
+    ensure(hit.found(), "DynamicHfcOverlay::activate: no active neighbour");
+    label = labels_[static_cast<std::size_t>(hit.id)];
+    join_candidates.add(qs.point_evals);
+    visited.add(qs.nodes_visited);
+  } else {
+    double best = std::numeric_limits<double>::infinity();
+    std::uint64_t evals = 0;
+    for (std::size_t v = 0; v < coords_.size(); ++v) {
+      if (!active_[v]) continue;
+      const double d = dist_->at(node.idx(), v);
+      ++evals;
+      if (d < best) {
+        best = d;
+        label = labels_[v];
+      }
     }
+    join_candidates.add(evals);
   }
   ensure(label >= 0, "DynamicHfcOverlay::activate: no active neighbour");
   active_[node.idx()] = true;
@@ -114,6 +137,10 @@ void DynamicHfcOverlay::do_activate(NodeId node) {
   ++active_count_;
   ++mutations_since_restructure_;
   ++active_generation_;
+  if (spatial_join_) {
+    active_set_.insert(node.value());
+    active_set_.maybe_rebuild();
+  }
   if (mode_ == ChurnMode::kIncremental) {
     inc_topo_->on_member_added(node, ClusterId(label));
   }
@@ -230,6 +257,17 @@ void DynamicHfcOverlay::restructure() {
   }
   mutations_since_restructure_ = 0;
   ++active_generation_;
+  spatial_join_ = spatial_enabled(coords_.size());
+  if (spatial_join_) {
+    std::vector<std::int32_t> active_ids;
+    active_ids.reserve(active_count_);
+    for (std::size_t v = 0; v < coords_.size(); ++v) {
+      if (active_[v]) active_ids.push_back(static_cast<std::int32_t>(v));
+    }
+    active_set_.bulk_load(spatial_mode(), coords_, std::move(active_ids));
+  } else {
+    active_set_ = DynamicSpatialSet{};
+  }
   dirty_ = true;
   if (mode_ == ChurnMode::kIncremental) build_incremental_view();
 }

@@ -51,6 +51,7 @@
 #include "overlay/overlay_network.h"
 #include "routing/hierarchical_router.h"
 #include "routing/service_path.h"
+#include "spatial/dynamic_set.h"
 
 namespace hfc {
 
@@ -199,6 +200,18 @@ class DynamicHfcOverlay {
   /// Coordinate tier over the whole universe — the DistanceService seam
   /// both modes scan joins through and the incremental view routes with.
   std::unique_ptr<CoordDistanceService> dist_;
+
+  /// Spatial set over the active nodes for the nearest-active join rule
+  /// (DESIGN.md §11). Rebuilt by restructure(); maintained by
+  /// insert/erase at every (de)activation. Both churn modes use it: the
+  /// join scan is mode-independent. `spatial_join_` is latched per
+  /// restructure from the HFC_SPATIAL knobs and the universe size, so a
+  /// universe that grows past the threshold switches over at the next
+  /// restructure. The brute scan picks the min (distance, id) active
+  /// node under strict `<`, which is exactly what `nearest` returns, so
+  /// both paths assign identical labels.
+  DynamicSpatialSet active_set_;
+  bool spatial_join_ = false;
 
   /// Incremental mode: universe-level routing state, mutated in place.
   std::unique_ptr<OverlayNetwork> inc_net_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "spatial/dynamic_set.h"
 #include "util/require.h"
 
 namespace hfc {
@@ -92,7 +94,28 @@ MultiLevelHierarchy::MultiLevelHierarchy(const std::vector<Point>& coords,
 
 void MultiLevelHierarchy::select_borders(const std::vector<Point>& coords) {
   // For every parent, connect its children pairwise by the closest
-  // cross-group node pair (§3.3 applied at every level).
+  // cross-group node pair (§3.3 applied at every level). Group node
+  // lists are sorted ascending, so the brute strict-`<` scan picks the
+  // lex-min (d, x, y) pair — exactly what the spatial BCP returns, so
+  // both paths agree even under exact distance ties.
+  static obs::Counter& candidates =
+      obs::MetricsRegistry::global().counter("multilevel.candidate_links");
+  static obs::Counter& visited =
+      obs::MetricsRegistry::global().counter("spatial.nodes_visited");
+  const bool use_spatial = spatial_enabled(coords.size());
+  std::vector<DynamicSpatialSet> sets;
+  if (use_spatial) {
+    const SpatialMode mode = spatial_mode();
+    sets.resize(groups_.size());
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      std::vector<std::int32_t> ids;
+      ids.reserve(groups_[g].nodes.size());
+      for (const NodeId n : groups_[g].nodes) ids.push_back(n.value());
+      sets[g].bulk_load(mode, coords, std::move(ids));
+    }
+  }
+  QueryStats qs;
+  std::uint64_t brute_evals = 0;
   for (const HierarchyGroup& parent : groups_) {
     for (std::size_t i = 0; i + 1 < parent.children.size(); ++i) {
       for (std::size_t j = i + 1; j < parent.children.size(); ++j) {
@@ -101,13 +124,23 @@ void MultiLevelHierarchy::select_borders(const std::vector<Point>& coords) {
         double best = std::numeric_limits<double>::infinity();
         NodeId xa;
         NodeId xb;
-        for (NodeId x : groups_[a].nodes) {
-          for (NodeId y : groups_[b].nodes) {
-            const double d = euclidean(coords[x.idx()], coords[y.idx()]);
-            if (d < best) {
-              best = d;
-              xa = x;
-              xb = y;
+        if (use_spatial) {
+          const BcpResult r =
+              bichromatic_closest_pair(sets[a], sets[b], coords, qs);
+          ensure(r.found(), "MultiLevelHierarchy: empty group in BCP");
+          best = r.dist;
+          xa = NodeId(r.x);
+          xb = NodeId(r.y);
+        } else {
+          for (NodeId x : groups_[a].nodes) {
+            for (NodeId y : groups_[b].nodes) {
+              const double d = euclidean(coords[x.idx()], coords[y.idx()]);
+              ++brute_evals;
+              if (d < best) {
+                best = d;
+                xa = x;
+                xb = y;
+              }
             }
           }
         }
@@ -117,6 +150,8 @@ void MultiLevelHierarchy::select_borders(const std::vector<Point>& coords) {
       }
     }
   }
+  candidates.add(use_spatial ? qs.point_evals : brute_evals);
+  if (use_spatial) visited.add(qs.nodes_visited);
 }
 
 const HierarchyGroup& MultiLevelHierarchy::group(std::size_t index) const {

@@ -15,7 +15,28 @@ namespace hfc {
 HfcTopology::HfcTopology(Clustering clustering,
                          const DistanceService& distance,
                          BorderSelection selection)
-    : HfcTopology(std::move(clustering), distance.fn(), selection) {}
+    : clustering_(std::move(clustering)),
+      distance_(distance.fn()),
+      selection_(selection) {
+  // Spatial acceleration only applies to the closest-pair rule (the
+  // other strategies never scan candidate pairs) and only when the
+  // service's distances *are* euclidean() over an exposed coordinate
+  // array — index pruning is unsound for any other metric.
+  const std::vector<Point>* coords = distance.coord_view();
+  if (selection == BorderSelection::kClosestPair && coords != nullptr &&
+      spatial_enabled(clustering_.node_count())) {
+    coords_ = coords;
+    spatial_mode_ = spatial_mode();
+    cluster_sets_.resize(clustering_.cluster_count());
+    for (std::size_t ci = 0; ci < clustering_.cluster_count(); ++ci) {
+      std::vector<std::int32_t> ids;
+      ids.reserve(clustering_.members[ci].size());
+      for (const NodeId m : clustering_.members[ci]) ids.push_back(m.value());
+      cluster_sets_[ci].bulk_load(spatial_mode_, *coords_, std::move(ids));
+    }
+  }
+  build_borders();
+}
 
 HfcTopology::HfcTopology(Clustering clustering,
                          const OverlayDistance& distance,
@@ -23,9 +44,13 @@ HfcTopology::HfcTopology(Clustering clustering,
     : clustering_(std::move(clustering)),
       distance_(distance),
       selection_(selection) {
+  require(static_cast<bool>(distance), "HfcTopology: null distance");
+  build_borders();
+}
+
+void HfcTopology::build_borders() {
   HFC_TRACE_SPAN("topology.select_borders");
   require(clustering_.cluster_count() >= 1, "HfcTopology: empty clustering");
-  require(static_cast<bool>(distance), "HfcTopology: null distance");
   const std::size_t c = clustering_.cluster_count();
   border_.assign(c * c, NodeId{});
   border_refs_.assign(clustering_.node_count(), 0);
@@ -37,7 +62,7 @@ HfcTopology::HfcTopology(Clustering clustering,
   // node id) for all external links — the classic "one logical node"
   // aggregation the paper argues against.
   std::vector<NodeId> hub(c);
-  if (selection == BorderSelection::kSingleHub) {
+  if (selection_ == BorderSelection::kSingleHub) {
     for (std::size_t i = 0; i < c; ++i) hub[i] = clustering_.members[i].front();
   }
 
@@ -53,6 +78,8 @@ HfcTopology::HfcTopology(Clustering clustering,
       obs::MetricsRegistry::global().counter("topology.border_pairs");
   static obs::Counter& candidates =
       obs::MetricsRegistry::global().counter("topology.candidate_links");
+  static obs::Counter& visited =
+      obs::MetricsRegistry::global().counter("spatial.nodes_visited");
   parallel_for(pair_count, 4, [&](std::size_t pair) {
     // Invert pair = a * c - a * (a + 1) / 2 + (b - a - 1) by scanning
     // rows; c is at most a few hundred, so this is negligible next to
@@ -67,17 +94,29 @@ HfcTopology::HfcTopology(Clustering clustering,
     const std::vector<NodeId>& xs = clustering_.members[a];
     const std::vector<NodeId>& ys = clustering_.members[b];
     pairs.add(1);
-    if (selection == BorderSelection::kClosestPair) {
-      candidates.add(xs.size() * ys.size());
-    }
     NodeId xb;
     NodeId yb;
-    switch (selection) {
+    switch (selection_) {
       case BorderSelection::kClosestPair: {
+        if (spatial_active()) {
+          // Both counters report *actual* work: the candidate-pair
+          // reduction vs the brute |a|·|b| count is the headline number
+          // of BENCH_topology_scaling.json.
+          QueryStats qs;
+          const BcpResult r = bichromatic_closest_pair(
+              cluster_sets_[a], cluster_sets_[b], *coords_, qs);
+          ensure(r.found(), "HfcTopology: empty cluster in BCP");
+          candidates.add(qs.point_evals);
+          visited.add(qs.nodes_visited);
+          xb = NodeId(r.x);
+          yb = NodeId(r.y);
+          break;
+        }
+        candidates.add(xs.size() * ys.size());
         double best = std::numeric_limits<double>::infinity();
         for (NodeId x : xs) {
           for (NodeId y : ys) {
-            const double d = distance(x, y);
+            const double d = distance_(x, y);
             if (d < best) {
               best = d;
               xb = x;
@@ -277,6 +316,14 @@ std::size_t HfcTopology::service_state_count(NodeId node) const {
   return members(cluster_of(node)).size() + live_cluster_count();
 }
 
+std::size_t HfcTopology::spatial_resident_bytes() const {
+  std::size_t bytes = 0;
+  for (const DynamicSpatialSet& s : cluster_sets_) {
+    bytes += s.resident_bytes();
+  }
+  return bytes;
+}
+
 // ---------------------------------------------------------------------
 // Incremental membership maintenance (DESIGN.md §9).
 
@@ -298,6 +345,7 @@ void HfcTopology::kill_cluster(std::size_t cluster) {
   const std::size_t c = clustering_.cluster_count();
   live_[cluster] = false;
   --live_count_;
+  if (spatial_active()) cluster_sets_[cluster] = DynamicSpatialSet{};
   for (std::size_t o = 0; o < c; ++o) {
     if (o == cluster || !live_[o]) continue;
     set_border(cluster * c + o, NodeId{});
@@ -323,6 +371,7 @@ void HfcTopology::on_member_added(NodeId node, ClusterId cluster) {
   std::vector<NodeId>& ms = clustering_.members[cluster.idx()];
   ms.insert(std::lower_bound(ms.begin(), ms.end(), node), node);
   clustering_.assignment[node.idx()] = cluster;
+  if (spatial_active()) cluster_sets_[cluster.idx()].insert(node.value());
   ++generation_[cluster.idx()];
   ++structure_generation_;
   touched_.insert(cluster.idx());
@@ -339,6 +388,7 @@ void HfcTopology::on_member_removed(NodeId node) {
   std::vector<NodeId>& ms = clustering_.members[ci];
   ms.erase(std::lower_bound(ms.begin(), ms.end(), node));
   clustering_.assignment[node.idx()] = ClusterId{};
+  if (spatial_active()) cluster_sets_[ci].erase(node.value());
   ++generation_[ci];
   ++structure_generation_;
   // If the node joined earlier in this batch it is no longer an add.
@@ -401,10 +451,22 @@ void HfcTopology::repair_staged() {
   }
   std::sort(pairs.begin(), pairs.end());
 
+  // Fold mutation buffers into the per-cluster indexes *before* the
+  // parallel fan-out below — queries are const and never rebuild, so
+  // this serial point is the only place set structure may change.
+  if (spatial_active()) {
+    for (const std::size_t key : pairs) {
+      cluster_sets_[key / c].maybe_rebuild();
+      cluster_sets_[key % c].maybe_rebuild();
+    }
+  }
+
   static obs::Counter& rescans =
       obs::MetricsRegistry::global().counter("churn.border_rescans");
   static obs::Counter& add_scans =
       obs::MetricsRegistry::global().counter("churn.border_add_scans");
+  static obs::Counter& visited =
+      obs::MetricsRegistry::global().counter("spatial.nodes_visited");
 
   // Each task owns one cluster pair and writes only its own output slot;
   // the shared border table and reference counts are applied serially
@@ -430,6 +492,16 @@ void HfcTopology::repair_staged() {
         double best = std::numeric_limits<double>::infinity();
         if (full_pairs_.contains(pairs[i]) || !cur_x.valid()) {
           rescans.add(1);
+          if (spatial_active()) {
+            QueryStats qs;
+            const BcpResult r = bichromatic_closest_pair(
+                cluster_sets_[a], cluster_sets_[b], *coords_, qs);
+            ensure(r.found(), "HfcTopology: empty cluster in BCP repair");
+            visited.add(qs.nodes_visited);
+            xb = NodeId(r.x);
+            yb = NodeId(r.y);
+            break;
+          }
           for (NodeId x : xs) {
             for (NodeId y : ys) {
               const double d = distance_(x, y);
@@ -440,6 +512,39 @@ void HfcTopology::repair_staged() {
               }
             }
           }
+        } else if (spatial_active()) {
+          // Incumbent-vs-additions, one nearest query per added node in
+          // staged order. `hit.dist < best` mirrors the brute strict-`<`
+          // (a tie never displaces the incumbent), and the per-query
+          // smallest-id tie-break matches the ascending inner scan.
+          add_scans.add(1);
+          QueryStats qs;
+          best = distance_(cur_x, cur_y);
+          xb = cur_x;
+          yb = cur_y;
+          if (const auto it = staged_adds_.find(a); it != staged_adds_.end()) {
+            for (NodeId x : it->second) {
+              const SpatialHit hit = cluster_sets_[b].nearest(
+                  (*coords_)[x.idx()], best, qs);
+              if (hit.found() && hit.dist < best) {
+                best = hit.dist;
+                xb = x;
+                yb = NodeId(hit.id);
+              }
+            }
+          }
+          if (const auto it = staged_adds_.find(b); it != staged_adds_.end()) {
+            for (NodeId y : it->second) {
+              const SpatialHit hit = cluster_sets_[a].nearest(
+                  (*coords_)[y.idx()], best, qs);
+              if (hit.found() && hit.dist < best) {
+                best = hit.dist;
+                xb = NodeId(hit.id);
+                yb = y;
+              }
+            }
+          }
+          visited.add(qs.nodes_visited);
         } else {
           // The incumbent pair is still the argmin over the surviving old
           // members; only the additions can beat it.

@@ -30,6 +30,7 @@
 
 #include "cluster/zahn.h"
 #include "overlay/overlay_network.h"
+#include "spatial/dynamic_set.h"
 #include "util/ids.h"
 
 namespace hfc {
@@ -67,7 +68,13 @@ class HfcTopology {
               BorderSelection selection = BorderSelection::kClosestPair);
 
   /// Same, querying a distance service (the framework passes its
-  /// coordinate tier). The service must outlive the topology.
+  /// coordinate tier). The service must outlive the topology. When the
+  /// service exposes a coordinate view and `spatial_enabled(n)` holds,
+  /// kClosestPair border selection — at build time and in churn repair —
+  /// runs as bichromatic closest-pair queries over per-cluster spatial
+  /// sets instead of full cross-cluster scans; member lists are kept
+  /// sorted ascending, so the answers (lex-min (d, x, y) pairs) are
+  /// identical to the brute scans even under exact distance ties.
   HfcTopology(Clustering clustering, const DistanceService& distance,
               BorderSelection selection = BorderSelection::kClosestPair);
 
@@ -188,7 +195,17 @@ class HfcTopology {
   /// (§6.1, Figure 9b).
   [[nodiscard]] std::size_t service_state_count(NodeId node) const;
 
+  /// True when kClosestPair selection runs on per-cluster spatial sets.
+  [[nodiscard]] bool spatial_active() const { return coords_ != nullptr; }
+
+  /// Bytes of spatial-index state resident across the per-cluster sets
+  /// (0 when the spatial path is off). Bounded by the bench memory
+  /// ceiling alongside the coordinate tier.
+  [[nodiscard]] std::size_t spatial_resident_bytes() const;
+
  private:
+  /// The border-selection sweep shared by both constructors.
+  void build_borders();
   /// Key identifying the unordered cluster pair {a, b} in repair staging.
   [[nodiscard]] std::size_t pair_key(std::size_t a, std::size_t b) const;
   /// Overwrite one border slot, maintaining the per-node reference counts.
@@ -227,6 +244,15 @@ class HfcTopology {
   std::unordered_set<std::size_t> touched_;
   /// Pair keys whose stored border node was removed: full rescan needed.
   std::unordered_set<std::size_t> full_pairs_;
+
+  /// Spatial acceleration (DESIGN.md §11). Set only by the
+  /// DistanceService constructor when the service has a coordinate view
+  /// and the HFC_SPATIAL knobs enable it; points into the service's
+  /// coordinate array (which may grow — ids are re-read through it).
+  const std::vector<Point>* coords_ = nullptr;
+  SpatialMode spatial_mode_ = SpatialMode::kOff;
+  /// One churn-capable set per cluster slot, mirroring members.
+  std::vector<DynamicSpatialSet> cluster_sets_;
 };
 
 }  // namespace hfc

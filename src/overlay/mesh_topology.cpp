@@ -8,9 +8,44 @@
 
 #include "distance/distance_service.h"
 #include "obs/metrics.h"
+#include "spatial/spatial_index.h"
 #include "util/require.h"
 
 namespace hfc {
+
+namespace {
+
+/// Label connected components of an adjacency list; returns their count.
+std::int32_t label_components(const std::vector<std::vector<NodeId>>& adj,
+                              std::vector<std::int32_t>& component) {
+  const std::size_t n = adj.size();
+  component.assign(n, -1);
+  std::int32_t comps = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (component[s] >= 0) continue;
+    component[s] = comps;
+    std::vector<std::size_t> stack{s};
+    while (!stack.empty()) {
+      const std::size_t x = stack.back();
+      stack.pop_back();
+      for (NodeId y : adj[x]) {
+        if (component[y.idx()] < 0) {
+          component[y.idx()] = comps;
+          stack.push_back(y.idx());
+        }
+      }
+    }
+    ++comps;
+  }
+  return comps;
+}
+
+/// SpatialFilter excluding the query node itself; ctx is its id.
+bool not_self(std::int32_t id, const void* ctx) {
+  return id != *static_cast<const std::int32_t*>(ctx);
+}
+
+}  // namespace
 
 MeshRouting::MeshRouting(std::vector<std::vector<NodeId>> adjacency,
                          OverlayDistance edge_distance,
@@ -104,6 +139,9 @@ MeshTopology::MeshTopology(std::size_t n, const OverlayDistance& distance,
   require(params.random_min <= params.random_max,
           "MeshTopology: bad random-link range");
   adjacency_.resize(n);
+  static obs::Counter& candidates =
+      obs::MetricsRegistry::global().counter("mesh.candidate_links");
+  std::uint64_t evals = 0;
 
   // Per-node links: k nearest plus a few random far nodes.
   for (std::size_t u = 0; u < n; ++u) {
@@ -120,6 +158,7 @@ MeshTopology::MeshTopology(std::size_t n, const OverlayDistance& distance,
       if (v == u) continue;
       ranked.emplace_back(distance(nu, NodeId(static_cast<std::int32_t>(v))),
                           v);
+      ++evals;
     }
     std::partial_sort(ranked.begin(), ranked.begin() + static_cast<long>(k),
                       ranked.end());
@@ -140,26 +179,8 @@ MeshTopology::MeshTopology(std::size_t n, const OverlayDistance& distance,
 
   // Connectivity repair: link closest pairs across components until one
   // component remains.
-  while (true) {
-    std::vector<std::int32_t> component(n, -1);
-    std::int32_t comps = 0;
-    for (std::size_t s = 0; s < n; ++s) {
-      if (component[s] >= 0) continue;
-      component[s] = comps;
-      std::vector<std::size_t> stack{s};
-      while (!stack.empty()) {
-        const std::size_t x = stack.back();
-        stack.pop_back();
-        for (NodeId y : adjacency_[x]) {
-          if (component[y.idx()] < 0) {
-            component[y.idx()] = comps;
-            stack.push_back(y.idx());
-          }
-        }
-      }
-      ++comps;
-    }
-    if (comps <= 1) break;
+  std::vector<std::int32_t> component;
+  while (label_components(adjacency_, component) > 1) {
     // Closest pair between component 0 and any other component.
     double best = std::numeric_limits<double>::infinity();
     std::size_t ba = 0;
@@ -170,6 +191,7 @@ MeshTopology::MeshTopology(std::size_t n, const OverlayDistance& distance,
         if (component[b] == 0) continue;
         const double d = distance(NodeId(static_cast<std::int32_t>(a)),
                                   NodeId(static_cast<std::int32_t>(b)));
+        ++evals;
         if (d < best) {
           best = d;
           ba = a;
@@ -180,6 +202,7 @@ MeshTopology::MeshTopology(std::size_t n, const OverlayDistance& distance,
     add_edge(NodeId(static_cast<std::int32_t>(ba)),
              NodeId(static_cast<std::int32_t>(bb)));
   }
+  candidates.add(evals);
 }
 
 void MeshTopology::add_edge(NodeId a, NodeId b) {
@@ -224,9 +247,90 @@ bool MeshTopology::connected() const {
 }
 
 MeshTopology::MeshTopology(const DistanceService& distance,
-                           const MeshParams& params, Rng& rng)
-    : MeshTopology(distance.size(), OverlayDistance(distance.fn()), params,
-                   rng) {}
+                           const MeshParams& params, Rng& rng) {
+  const std::vector<Point>* coords = distance.coord_view();
+  if (coords != nullptr && spatial_enabled(coords->size())) {
+    require(coords->size() > 0, "MeshTopology: empty network");
+    require(params.nearest_min >= 1 &&
+                params.nearest_min <= params.nearest_max,
+            "MeshTopology: bad nearest-neighbor range");
+    require(params.random_min <= params.random_max,
+            "MeshTopology: bad random-link range");
+    adjacency_.resize(coords->size());
+    build_spatial(*coords, params, rng);
+    return;
+  }
+  *this = MeshTopology(distance.size(), OverlayDistance(distance.fn()),
+                       params, rng);
+}
+
+void MeshTopology::build_spatial(const std::vector<Point>& coords,
+                                 const MeshParams& params, Rng& rng) {
+  const std::size_t n = coords.size();
+  static obs::Counter& candidates =
+      obs::MetricsRegistry::global().counter("mesh.candidate_links");
+  static obs::Counter& visited =
+      obs::MetricsRegistry::global().counter("spatial.nodes_visited");
+  const std::unique_ptr<SpatialIndex> index =
+      make_spatial_index(spatial_mode(), coords);
+  QueryStats qs;
+
+  for (std::size_t u = 0; u < n; ++u) {
+    const NodeId nu(static_cast<std::int32_t>(u));
+    const std::int32_t self = static_cast<std::int32_t>(u);
+    const std::size_t k = std::min<std::size_t>(
+        static_cast<std::size_t>(
+            rng.uniform_int(static_cast<int>(params.nearest_min),
+                            static_cast<int>(params.nearest_max))),
+        n - 1);
+    // Same (distance, id)-ranked prefix the brute partial_sort keeps.
+    const std::vector<SpatialHit> hits =
+        index->k_nearest(coords[u], k, qs, &not_self, &self);
+    for (const SpatialHit& hit : hits) add_edge(nu, NodeId(hit.id));
+
+    const std::size_t extras = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<int>(params.random_min),
+                        static_cast<int>(params.random_max)));
+    // Exclusion list for the far links: self plus the k nearest.
+    std::vector<std::int32_t> excluded{self};
+    for (const SpatialHit& hit : hits) excluded.push_back(hit.id);
+    std::sort(excluded.begin(), excluded.end());
+    for (std::size_t e = 0; e < extras && n > k + 1; ++e) {
+      // Same Rng draw as the brute path; the draw indexes the remaining
+      // ids ascending instead of the unsorted tail of a partial_sort.
+      std::size_t target = rng.pick_index(n - 1 - k);
+      for (const std::int32_t ex : excluded) {
+        if (static_cast<std::size_t>(ex) <= target) ++target;
+      }
+      add_edge(nu, NodeId(static_cast<std::int32_t>(target)));
+    }
+  }
+
+  // Connectivity repair: nearest-foreign queries against the components.
+  std::vector<std::int32_t> component;
+  while (label_components(adjacency_, component) > 1) {
+    index->retag(component);
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t ba = 0;
+    std::size_t bb = 0;
+    bool found = false;
+    for (std::size_t a = 0; a < n; ++a) {
+      if (component[a] != 0) continue;
+      const SpatialHit hit = index->nearest_foreign(coords[a], 0, best, qs);
+      if (hit.found() && hit.dist < best) {
+        best = hit.dist;
+        ba = a;
+        bb = static_cast<std::size_t>(hit.id);
+        found = true;
+      }
+    }
+    ensure(found, "MeshTopology: connectivity repair found no pair");
+    add_edge(NodeId(static_cast<std::int32_t>(ba)),
+             NodeId(static_cast<std::int32_t>(bb)));
+  }
+  candidates.add(qs.point_evals);
+  visited.add(qs.nodes_visited);
+}
 
 MeshRouting MeshTopology::compute_routing(const OverlayDistance& distance,
                                           std::size_t cache_rows) const {

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "coords/point.h"
 #include "distance/row_cache.h"
 #include "overlay/overlay_network.h"
 #include "util/ids.h"
@@ -79,7 +80,13 @@ class MeshTopology {
                const MeshParams& params, Rng& rng);
 
   /// Same, querying a distance service. The service is only used during
-  /// construction.
+  /// construction. When the service exposes a coordinate view and
+  /// `spatial_enabled(n)` holds, the k-nearest links come from spatial
+  /// k-NN queries (the same (d, id)-ranked prefix the brute partial_sort
+  /// keeps) and connectivity repair uses nearest-foreign queries; the
+  /// random far links then pick by ascending id among non-neighbors
+  /// instead of by rank position, so meshes with random links differ
+  /// between the paths (both remain deterministic for a given Rng).
   MeshTopology(const DistanceService& distance, const MeshParams& params,
                Rng& rng);
 
@@ -102,6 +109,9 @@ class MeshTopology {
 
  private:
   void add_edge(NodeId a, NodeId b);
+  /// Spatial-index construction path (coordinate-tier services).
+  void build_spatial(const std::vector<Point>& coords,
+                     const MeshParams& params, Rng& rng);
 
   std::vector<std::vector<NodeId>> adjacency_;
   std::size_t edge_count_ = 0;

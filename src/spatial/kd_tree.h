@@ -1,0 +1,83 @@
+// Bucketed k-d tree over runtime-dimension points (DESIGN.md §11).
+//
+// Build: recursive median split (nth_element under the total order
+// (coordinate, id), so the partition — and therefore the whole tree
+// shape — is deterministic even with duplicate coordinates) on the
+// widest axis of each node's bounding box, into leaves of <= 16 points.
+//
+// Search correctness rests on exact bounding boxes, not on split planes:
+// a subtree is pruned only when its box distance — accumulated in the
+// same axis order and with the same operations as `euclidean()`, so the
+// computed bound never exceeds the computed distance of any contained
+// point — is strictly greater than the current best distance. Boxes at
+// exactly the best distance are still visited, which is what preserves
+// the smallest-id tie-break.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spatial/spatial_index.h"
+
+namespace hfc {
+
+class KdTree final : public SpatialIndex {
+ public:
+  /// Index the points `ids` (empty = all) of `coords`, which must
+  /// outlive the tree. Throws on empty input or inconsistent dimensions.
+  KdTree(const std::vector<Point>& coords, std::vector<std::int32_t> ids);
+
+  [[nodiscard]] std::size_t size() const override { return ids_.size(); }
+  [[nodiscard]] SpatialHit nearest(const Point& q, double bound,
+                                   QueryStats& stats, SpatialFilter accept,
+                                   const void* ctx) const override;
+  [[nodiscard]] std::vector<SpatialHit> k_nearest(
+      const Point& q, std::size_t k, QueryStats& stats, SpatialFilter accept,
+      const void* ctx) const override;
+  [[nodiscard]] std::vector<std::int32_t> range(
+      const Point& q, double radius, QueryStats& stats) const override;
+  void retag(const std::vector<std::int32_t>& labels) override;
+  [[nodiscard]] SpatialHit nearest_foreign(const Point& q, std::int32_t label,
+                                           double bound,
+                                           QueryStats& stats) const override;
+  [[nodiscard]] std::size_t resident_bytes() const override;
+
+ private:
+  static constexpr std::uint32_t kLeafSize = 16;
+  /// node_tag_ value for subtrees spanning more than one component.
+  static constexpr std::int32_t kMixedTag = -2;
+  /// `label` sentinel for searches without component filtering.
+  static constexpr std::int32_t kAnyLabel = INT32_MIN;
+
+  struct Node {
+    std::uint32_t begin = 0;  ///< range into ids_ (subtree points)
+    std::uint32_t end = 0;
+    std::int32_t left = -1;   ///< children; -1 for leaves
+    std::int32_t right = -1;
+    std::int32_t axis = -1;   ///< traversal-order hint; -1 for leaves
+    double split = 0.0;
+  };
+
+  [[nodiscard]] const Point& point(std::uint32_t pos) const {
+    return (*coords_)[static_cast<std::size_t>(ids_[pos])];
+  }
+  [[nodiscard]] std::int32_t build(std::uint32_t begin, std::uint32_t end);
+  /// Exact distance from q to node's bounding box (0 when inside).
+  [[nodiscard]] double box_distance(std::int32_t node, const Point& q) const;
+  void search(std::int32_t node, const Point& q, std::int32_t foreign_label,
+              SpatialFilter accept, const void* ctx, SpatialHit& best,
+              QueryStats& stats) const;
+  [[nodiscard]] std::int32_t retag_node(
+      std::int32_t node, const std::vector<std::int32_t>& labels);
+
+  const std::vector<Point>* coords_;
+  std::size_t dim_ = 0;
+  std::vector<std::int32_t> ids_;    ///< permuted by the build
+  std::vector<Node> nodes_;
+  std::vector<double> boxes_;        ///< per node: dim_ lows, dim_ highs
+  std::int32_t root_ = -1;
+  std::vector<std::int32_t> point_tag_;  ///< aligned with ids_
+  std::vector<std::int32_t> node_tag_;   ///< label or kMixedTag
+};
+
+}  // namespace hfc

@@ -1,0 +1,367 @@
+#include "spatial/uniform_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "util/require.h"
+
+namespace hfc {
+
+namespace {
+
+[[nodiscard]] inline bool hit_less(const SpatialHit& a, const SpatialHit& b) {
+  if (a.dist != b.dist) return a.dist < b.dist;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+UniformGrid::UniformGrid(const std::vector<Point>& coords,
+                         std::vector<std::int32_t> ids)
+    : coords_(&coords), ids_(std::move(ids)) {
+  require(!coords.empty(), "UniformGrid: empty coordinate set");
+  dim_ = coords.front().size();
+  require(dim_ >= 1, "UniformGrid: zero-dimensional points");
+  if (ids_.empty()) {
+    ids_.reserve(coords.size());
+    for (std::size_t i = 0; i < coords.size(); ++i) {
+      ids_.push_back(static_cast<std::int32_t>(i));
+    }
+  }
+  for (const std::int32_t id : ids_) {
+    require(id >= 0 && static_cast<std::size_t>(id) < coords.size() &&
+                coords[static_cast<std::size_t>(id)].size() == dim_,
+            "UniformGrid: bad point id or dimension");
+  }
+  const std::size_t n = ids_.size();
+
+  lo_.assign(dim_, 0.0);
+  std::vector<double> hi(dim_, 0.0);
+  for (std::size_t d = 0; d < dim_; ++d) {
+    lo_[d] = hi[d] = (*coords_)[static_cast<std::size_t>(ids_[0])][d];
+  }
+  for (const std::int32_t id : ids_) {
+    const Point& p = (*coords_)[static_cast<std::size_t>(id)];
+    for (std::size_t d = 0; d < dim_; ++d) {
+      lo_[d] = std::min(lo_[d], p[d]);
+      hi[d] = std::max(hi[d], p[d]);
+    }
+  }
+
+  // ~n cells total: res per axis ≈ n^(1/dim), shrunk until res^dim fits
+  // a 4n budget (and cannot overflow).
+  res_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             std::pow(static_cast<double>(n), 1.0 / static_cast<double>(dim_)))));
+  const std::size_t budget = std::max<std::size_t>(64, 4 * n);
+  for (;;) {
+    cells_ = 1;
+    bool fits = true;
+    for (std::size_t d = 0; d < dim_; ++d) {
+      if (cells_ > budget / res_) {
+        fits = false;
+        break;
+      }
+      cells_ *= res_;
+    }
+    if (fits && cells_ <= budget) break;
+    require(res_ > 1, "UniformGrid: cell budget exhausted");
+    --res_;
+  }
+
+  width_.assign(dim_, 0.0);
+  for (std::size_t d = 0; d < dim_; ++d) {
+    width_[d] = (hi[d] - lo_[d]) / static_cast<double>(res_);
+  }
+
+  // CSR bucketing, ascending id inside each cell so leaf scans visit
+  // candidates in the same order a brute ascending loop would.
+  std::vector<std::pair<std::size_t, std::int32_t>> keyed;
+  keyed.reserve(n);
+  for (const std::int32_t id : ids_) {
+    keyed.emplace_back(cell_of((*coords_)[static_cast<std::size_t>(id)]), id);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  cell_start_.assign(cells_ + 1, 0);
+  for (const auto& [cell, id] : keyed) {
+    ++cell_start_[cell + 1];
+    (void)id;
+  }
+  for (std::size_t c = 0; c < cells_; ++c) cell_start_[c + 1] += cell_start_[c];
+  for (std::size_t p = 0; p < n; ++p) ids_[p] = keyed[p].second;
+
+  // Exact per-cell bounding boxes over member points (empty cells keep
+  // the inverted sentinel and are never box-tested).
+  cell_box_.assign(cells_ * 2 * dim_, 0.0);
+  for (std::size_t c = 0; c < cells_; ++c) {
+    const std::size_t box = c * 2 * dim_;
+    for (std::size_t d = 0; d < dim_; ++d) {
+      cell_box_[box + d] = std::numeric_limits<double>::infinity();
+      cell_box_[box + dim_ + d] = -std::numeric_limits<double>::infinity();
+    }
+    for (std::uint32_t p = cell_start_[c]; p < cell_start_[c + 1]; ++p) {
+      for (std::size_t d = 0; d < dim_; ++d) {
+        cell_box_[box + d] = std::min(cell_box_[box + d], point(p)[d]);
+        cell_box_[box + dim_ + d] =
+            std::max(cell_box_[box + dim_ + d], point(p)[d]);
+      }
+    }
+  }
+}
+
+std::size_t UniformGrid::axis_cell(double x, std::size_t d) const {
+  if (width_[d] <= 0.0) return 0;
+  const double v = (x - lo_[d]) / width_[d];
+  if (v <= 0.0) return 0;
+  const std::size_t i = static_cast<std::size_t>(v);
+  return std::min(i, res_ - 1);
+}
+
+std::size_t UniformGrid::cell_of(const Point& p) const {
+  std::size_t flat = 0;
+  for (std::size_t d = 0; d < dim_; ++d) {
+    flat = flat * res_ + axis_cell(p[d], d);
+  }
+  return flat;
+}
+
+double UniformGrid::cell_box_distance(std::size_t cell, const Point& q) const {
+  const std::size_t box = cell * 2 * dim_;
+  double sum = 0.0;
+  for (std::size_t d = 0; d < dim_; ++d) {
+    double excess = 0.0;
+    if (q[d] < cell_box_[box + d]) {
+      excess = cell_box_[box + d] - q[d];
+    } else if (q[d] > cell_box_[box + dim_ + d]) {
+      excess = q[d] - cell_box_[box + dim_ + d];
+    }
+    sum += excess * excess;
+  }
+  return std::sqrt(sum);
+}
+
+double UniformGrid::inflated_bound(const std::vector<std::int64_t>& idx,
+                                   const Point& q) const {
+  double sum = 0.0;
+  for (std::size_t d = 0; d < dim_; ++d) {
+    if (width_[d] <= 0.0) continue;  // degenerate axis: no lower bound
+    const double blo =
+        lo_[d] + static_cast<double>(idx[d] - 1) * width_[d];
+    const double bhi =
+        lo_[d] + static_cast<double>(idx[d] + 2) * width_[d];
+    double excess = 0.0;
+    if (q[d] < blo) {
+      excess = blo - q[d];
+    } else if (q[d] > bhi) {
+      excess = q[d] - bhi;
+    }
+    sum += excess * excess;
+  }
+  return std::sqrt(sum);
+}
+
+template <typename Fn>
+void UniformGrid::for_shell(const std::vector<std::int64_t>& center,
+                            std::int64_t r, Fn&& fn) const {
+  // Enumerate the surface |offset|_inf == r of the offset hypercube; the
+  // last free axis is pinned to ±r unless an earlier axis already is.
+  std::vector<std::int64_t> idx(dim_, 0);
+  const std::int64_t hi = static_cast<std::int64_t>(res_) - 1;
+  const auto recurse = [&](const auto& self, std::size_t d,
+                           bool extreme) -> void {
+    if (d == dim_) {
+      std::size_t flat = 0;
+      for (std::size_t i = 0; i < dim_; ++i) {
+        flat = flat * res_ + static_cast<std::size_t>(idx[i]);
+      }
+      fn(flat, idx);
+      return;
+    }
+    const bool last_chance = (d + 1 == dim_) && !extreme;
+    for (std::int64_t o = -r; o <= r; ++o) {
+      if (last_chance && o != -r && o != r) continue;
+      const std::int64_t i = center[d] + o;
+      if (i < 0 || i > hi) continue;
+      idx[d] = i;
+      self(self, d + 1, extreme || o == -r || o == r);
+    }
+  };
+  recurse(recurse, 0, r == 0);
+}
+
+SpatialHit UniformGrid::shell_nearest(const Point& q,
+                                      std::int32_t foreign_label, double bound,
+                                      QueryStats& stats, SpatialFilter accept,
+                                      const void* ctx) const {
+  SpatialHit best;
+  best.dist = bound;
+  best.id = std::numeric_limits<std::int32_t>::max();
+
+  std::vector<std::int64_t> center(dim_, 0);
+  std::int64_t rmax = 0;
+  for (std::size_t d = 0; d < dim_; ++d) {
+    center[d] = static_cast<std::int64_t>(axis_cell(q[d], d));
+    const std::int64_t hi = static_cast<std::int64_t>(res_) - 1;
+    rmax = std::max({rmax, center[d], hi - center[d]});
+  }
+  for (std::int64_t r = 0; r <= rmax; ++r) {
+    double shell_min = std::numeric_limits<double>::infinity();
+    for_shell(center, r, [&](std::size_t cell,
+                             const std::vector<std::int64_t>& idx) {
+      ++stats.nodes_visited;
+      shell_min = std::min(shell_min, inflated_bound(idx, q));
+      if (cell_start_[cell] == cell_start_[cell + 1]) return;
+      if (foreign_label != kAnyLabel && cell_tag_[cell] == foreign_label) {
+        return;
+      }
+      if (cell_box_distance(cell, q) > best.dist) return;
+      for (std::uint32_t p = cell_start_[cell]; p < cell_start_[cell + 1];
+           ++p) {
+        const std::int32_t id = ids_[p];
+        if (foreign_label != kAnyLabel && point_tag_[p] == foreign_label) {
+          continue;
+        }
+        if (accept != nullptr && !accept(id, ctx)) continue;
+        ++stats.point_evals;
+        const double d = euclidean(q, point(p));
+        if (d < best.dist || (d == best.dist && id < best.id)) {
+          best.dist = d;
+          best.id = id;
+        }
+      }
+    });
+    if (shell_min > best.dist) break;
+  }
+  if (best.id == std::numeric_limits<std::int32_t>::max()) return SpatialHit{};
+  return best;
+}
+
+SpatialHit UniformGrid::nearest(const Point& q, double bound,
+                                QueryStats& stats, SpatialFilter accept,
+                                const void* ctx) const {
+  require(q.size() == dim_, "UniformGrid::nearest: dimension mismatch");
+  return shell_nearest(q, kAnyLabel, bound, stats, accept, ctx);
+}
+
+SpatialHit UniformGrid::nearest_foreign(const Point& q, std::int32_t label,
+                                        double bound,
+                                        QueryStats& stats) const {
+  require(q.size() == dim_, "UniformGrid::nearest_foreign: dimension mismatch");
+  require(cell_tag_.size() == cells_,
+          "UniformGrid::nearest_foreign: retag() has not been called");
+  return shell_nearest(q, label, bound, stats, nullptr, nullptr);
+}
+
+std::vector<SpatialHit> UniformGrid::k_nearest(const Point& q, std::size_t k,
+                                               QueryStats& stats,
+                                               SpatialFilter accept,
+                                               const void* ctx) const {
+  require(q.size() == dim_, "UniformGrid::k_nearest: dimension mismatch");
+  if (k == 0) return {};
+  std::vector<SpatialHit> heap;
+  heap.reserve(k);
+
+  std::vector<std::int64_t> center(dim_, 0);
+  std::int64_t rmax = 0;
+  for (std::size_t d = 0; d < dim_; ++d) {
+    center[d] = static_cast<std::int64_t>(axis_cell(q[d], d));
+    const std::int64_t hi = static_cast<std::int64_t>(res_) - 1;
+    rmax = std::max({rmax, center[d], hi - center[d]});
+  }
+  for (std::int64_t r = 0; r <= rmax; ++r) {
+    double shell_min = std::numeric_limits<double>::infinity();
+    for_shell(center, r, [&](std::size_t cell,
+                             const std::vector<std::int64_t>& idx) {
+      ++stats.nodes_visited;
+      shell_min = std::min(shell_min, inflated_bound(idx, q));
+      if (cell_start_[cell] == cell_start_[cell + 1]) return;
+      if (heap.size() == k && cell_box_distance(cell, q) > heap.front().dist) {
+        return;
+      }
+      for (std::uint32_t p = cell_start_[cell]; p < cell_start_[cell + 1];
+           ++p) {
+        const std::int32_t id = ids_[p];
+        if (accept != nullptr && !accept(id, ctx)) continue;
+        ++stats.point_evals;
+        const SpatialHit cand{id, euclidean(q, point(p))};
+        if (heap.size() < k) {
+          heap.push_back(cand);
+          std::push_heap(heap.begin(), heap.end(), hit_less);
+        } else if (hit_less(cand, heap.front())) {
+          std::pop_heap(heap.begin(), heap.end(), hit_less);
+          heap.back() = cand;
+          std::push_heap(heap.begin(), heap.end(), hit_less);
+        }
+      }
+    });
+    if (heap.size() == k && shell_min > heap.front().dist) break;
+  }
+  std::sort(heap.begin(), heap.end(), hit_less);
+  return heap;
+}
+
+std::vector<std::int32_t> UniformGrid::range(const Point& q, double radius,
+                                             QueryStats& stats) const {
+  require(q.size() == dim_, "UniformGrid::range: dimension mismatch");
+  std::vector<std::int32_t> out;
+
+  std::vector<std::int64_t> center(dim_, 0);
+  std::int64_t rmax = 0;
+  for (std::size_t d = 0; d < dim_; ++d) {
+    center[d] = static_cast<std::int64_t>(axis_cell(q[d], d));
+    const std::int64_t hi = static_cast<std::int64_t>(res_) - 1;
+    rmax = std::max({rmax, center[d], hi - center[d]});
+  }
+  for (std::int64_t r = 0; r <= rmax; ++r) {
+    double shell_min = std::numeric_limits<double>::infinity();
+    for_shell(center, r, [&](std::size_t cell,
+                             const std::vector<std::int64_t>& idx) {
+      ++stats.nodes_visited;
+      shell_min = std::min(shell_min, inflated_bound(idx, q));
+      if (cell_start_[cell] == cell_start_[cell + 1]) return;
+      if (cell_box_distance(cell, q) > radius) return;
+      for (std::uint32_t p = cell_start_[cell]; p < cell_start_[cell + 1];
+           ++p) {
+        ++stats.point_evals;
+        if (euclidean(q, point(p)) <= radius) out.push_back(ids_[p]);
+      }
+    });
+    if (shell_min > radius) break;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void UniformGrid::retag(const std::vector<std::int32_t>& labels) {
+  point_tag_.resize(ids_.size());
+  for (std::size_t p = 0; p < ids_.size(); ++p) {
+    require(static_cast<std::size_t>(ids_[p]) < labels.size(),
+            "UniformGrid::retag: labels too short");
+    point_tag_[p] = labels[static_cast<std::size_t>(ids_[p])];
+  }
+  cell_tag_.assign(cells_, kMixedTag);
+  for (std::size_t c = 0; c < cells_; ++c) {
+    if (cell_start_[c] == cell_start_[c + 1]) continue;
+    std::int32_t tag = point_tag_[cell_start_[c]];
+    for (std::uint32_t p = cell_start_[c] + 1; p < cell_start_[c + 1]; ++p) {
+      if (point_tag_[p] != tag) {
+        tag = kMixedTag;
+        break;
+      }
+    }
+    cell_tag_[c] = tag;
+  }
+}
+
+std::size_t UniformGrid::resident_bytes() const {
+  return ids_.capacity() * sizeof(std::int32_t) +
+         lo_.capacity() * sizeof(double) + width_.capacity() * sizeof(double) +
+         cell_start_.capacity() * sizeof(std::uint32_t) +
+         cell_box_.capacity() * sizeof(double) +
+         point_tag_.capacity() * sizeof(std::int32_t) +
+         cell_tag_.capacity() * sizeof(std::int32_t);
+}
+
+}  // namespace hfc

@@ -1,0 +1,92 @@
+// CSR-bucketed uniform grid over runtime-dimension points — the ablation
+// counterpart to KdTree (DESIGN.md §11).
+//
+// Points are bucketed into ~n equal cells (per-axis resolution ≈
+// n^(1/dim)); queries expand Chebyshev shells of cells outward from the
+// query's cell. Two bounds keep the exactness contract:
+//
+//   * a non-empty cell is scanned unless the distance to its *exact*
+//     point-derived bounding box (same accumulation as `euclidean()`)
+//     strictly exceeds the current best — identical to a k-d tree leaf;
+//   * the shell walk stops once the minimum distance to any cell of the
+//     current shell — computed against the cell's geometric box inflated
+//     by one full cell per side, which swamps any floating-point slack in
+//     the bucketing division — exceeds the best. Every farther cell sits
+//     "behind" some cell of the current shell (reduce its largest axis
+//     offset step by step), so its bound can only be larger.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spatial/spatial_index.h"
+
+namespace hfc {
+
+class UniformGrid final : public SpatialIndex {
+ public:
+  /// Index the points `ids` (empty = all) of `coords`, which must
+  /// outlive the grid. Throws on empty input or inconsistent dimensions.
+  UniformGrid(const std::vector<Point>& coords, std::vector<std::int32_t> ids);
+
+  [[nodiscard]] std::size_t size() const override { return ids_.size(); }
+  [[nodiscard]] SpatialHit nearest(const Point& q, double bound,
+                                   QueryStats& stats, SpatialFilter accept,
+                                   const void* ctx) const override;
+  [[nodiscard]] std::vector<SpatialHit> k_nearest(
+      const Point& q, std::size_t k, QueryStats& stats, SpatialFilter accept,
+      const void* ctx) const override;
+  [[nodiscard]] std::vector<std::int32_t> range(
+      const Point& q, double radius, QueryStats& stats) const override;
+  void retag(const std::vector<std::int32_t>& labels) override;
+  [[nodiscard]] SpatialHit nearest_foreign(const Point& q, std::int32_t label,
+                                           double bound,
+                                           QueryStats& stats) const override;
+  [[nodiscard]] std::size_t resident_bytes() const override;
+
+ private:
+  /// cell_tag_ value for cells spanning more than one component.
+  static constexpr std::int32_t kMixedTag = -2;
+  /// `label` sentinel for searches without component filtering.
+  static constexpr std::int32_t kAnyLabel = INT32_MIN;
+
+  [[nodiscard]] const Point& point(std::uint32_t pos) const {
+    return (*coords_)[static_cast<std::size_t>(ids_[pos])];
+  }
+  /// Per-axis bucket index of a coordinate (clamped into the grid).
+  [[nodiscard]] std::size_t axis_cell(double x, std::size_t d) const;
+  /// Flattened (mixed-radix) cell index of a point.
+  [[nodiscard]] std::size_t cell_of(const Point& p) const;
+  /// Exact distance from q to the cell's point-derived bounding box.
+  [[nodiscard]] double cell_box_distance(std::size_t cell,
+                                         const Point& q) const;
+  /// Conservative distance from q to the cell's geometric box inflated by
+  /// one cell per side (the shell stop bound).
+  [[nodiscard]] double inflated_bound(const std::vector<std::int64_t>& idx,
+                                      const Point& q) const;
+  /// Visit every in-grid cell at Chebyshev cell-offset exactly `r` from
+  /// `center`, invoking fn(flat_cell, axis_indices).
+  template <typename Fn>
+  void for_shell(const std::vector<std::int64_t>& center, std::int64_t r,
+                 Fn&& fn) const;
+  /// Shared shell-walking core for nearest / nearest_foreign.
+  [[nodiscard]] SpatialHit shell_nearest(const Point& q,
+                                         std::int32_t foreign_label,
+                                         double bound, QueryStats& stats,
+                                         SpatialFilter accept,
+                                         const void* ctx) const;
+
+  const std::vector<Point>* coords_;
+  std::size_t dim_ = 0;
+  std::size_t res_ = 1;               ///< buckets per axis
+  std::size_t cells_ = 1;             ///< res_^dim_
+  std::vector<double> lo_;            ///< data bounding box, per axis
+  std::vector<double> width_;         ///< cell width, per axis (may be 0)
+  std::vector<std::int32_t> ids_;     ///< grouped by cell, ascending inside
+  std::vector<std::uint32_t> cell_start_;  ///< CSR offsets, size cells_+1
+  std::vector<double> cell_box_;      ///< per cell: dim_ lows, dim_ highs
+  std::vector<std::int32_t> point_tag_;    ///< aligned with ids_
+  std::vector<std::int32_t> cell_tag_;     ///< label or kMixedTag
+};
+
+}  // namespace hfc

@@ -8,12 +8,14 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/mst.h"
 #include "coords/point.h"
 #include "distance/coord_distance.h"
 #include "distance/latency_oracle.h"
 #include "distance/probe_distance.h"
 #include "distance/row_cache.h"
 #include "distance/truth_distance.h"
+#include "obs/metrics.h"
 #include "overlay/mesh_topology.h"
 #include "overlay/overlay_network.h"
 #include "topology/shortest_paths.h"
@@ -203,6 +205,26 @@ TEST(TruthDistance, EvictionRecomputesIdenticalRows) {
             tight.resident_rows() * subset.size() * sizeof(double));
 }
 
+TEST(TruthDistance, MstRowGroupedScanComputesEachRowOnce) {
+  Rng rng(45);
+  const TransitStubTopology topo =
+      generate_transit_stub(TransitStubParams::for_total_routers(200), rng);
+  std::vector<RouterId> subset;
+  for (int r = 0; r < 48; ++r) subset.push_back(RouterId(r * 2));
+  // Cache far smaller than the endpoint set: the old per-pair at() scan
+  // canonicalized every lookup to the higher-indexed row and thrashed
+  // this LRU with O(n) recomputes per row.
+  const TruthDistanceService svc(topo.network, subset, 4);
+  obs::Counter& computes =
+      obs::MetricsRegistry::global().counter("distance.truth_row_computes");
+  const std::uint64_t before = computes.value();
+  const std::vector<MstEdge> edges = mst_dense(svc);
+  EXPECT_EQ(edges.size(), subset.size() - 1);
+  // Row-grouped Prim fetches each source row exactly once, so even the
+  // 4-row cache sees a sequential miss pattern: n computes, no thrash.
+  EXPECT_EQ(computes.value() - before, subset.size());
+}
+
 TEST(TruthDistance, RejectsBadEndpoints) {
   const PhysicalNetwork net = triangle_with_tail();
   EXPECT_THROW(TruthDistanceService(net, {}), std::invalid_argument);
@@ -247,6 +269,25 @@ TEST(CoordDistance, RowPairsAndFnMatchAt) {
   }
   EXPECT_EQ(fn(NodeId(3), NodeId(9)), svc.at(3, 9));
   EXPECT_GT(svc.resident_bytes(), 0u);
+}
+
+TEST(CoordDistance, MstDenseRowPathBitEqualToCallbackPath) {
+  // n = 60 stays under HFC_SPATIAL_MIN_N, so the service form runs the
+  // row-grouped Prim; it must be bit-identical to the per-pair callback
+  // form (the coordinate tier is exactly symmetric).
+  const std::vector<Point> pts = random_points(60, 13);
+  const CoordDistanceService svc(pts);
+  const std::vector<MstEdge> grouped = mst_dense(svc);
+  const std::vector<MstEdge> callback =
+      mst_dense(pts.size(), [&pts](std::size_t i, std::size_t j) {
+        return euclidean(pts[i], pts[j]);
+      });
+  ASSERT_EQ(grouped.size(), callback.size());
+  for (std::size_t e = 0; e < grouped.size(); ++e) {
+    EXPECT_EQ(grouped[e].a, callback[e].a);
+    EXPECT_EQ(grouped[e].b, callback[e].b);
+    EXPECT_EQ(grouped[e].length, callback[e].length);
+  }
 }
 
 TEST(CoordDistance, RejectsInconsistentInput) {

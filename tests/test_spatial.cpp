@@ -1,0 +1,671 @@
+// Tests for src/spatial: the kd-tree and uniform-grid indexes, the
+// churn-capable DynamicSpatialSet, and — the load-bearing part — the
+// exactness contract: every consumer (MST, Zahn, HFC borders, mesh,
+// multilevel, dynamic join) must produce identical results on the brute
+// and spatial paths (DESIGN.md §11).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/mst.h"
+#include "cluster/zahn.h"
+#include "distance/coord_distance.h"
+#include "dynamic/dynamic_overlay.h"
+#include "multilevel/multilevel_hierarchy.h"
+#include "overlay/hfc_topology.h"
+#include "overlay/mesh_topology.h"
+#include "overlay/overlay_network.h"
+#include "routing/hierarchical_router.h"
+#include "services/service_graph.h"
+#include "spatial/dynamic_set.h"
+#include "spatial/spatial_index.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace hfc {
+namespace {
+
+/// RAII environment override that restores the previous value on exit.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    const char* old = ::getenv(name);
+    if (old != nullptr) {
+      had_ = true;
+      old_ = old;
+    }
+    ::setenv(name, value, 1);
+  }
+  ~EnvGuard() {
+    if (had_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  const char* name_;
+  bool had_ = false;
+  std::string old_;
+};
+
+std::vector<Point> random_points(std::size_t n, std::size_t dim, Rng& rng,
+                                 double lo = 0.0, double hi = 100.0) {
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Point p(dim, 0.0);
+    for (double& c : p) c = rng.uniform_real(lo, hi);
+    pts.push_back(std::move(p));
+  }
+  return pts;
+}
+
+/// Brute reference: ascending strict-`<` scan (the tie behaviour every
+/// consumer encodes).
+SpatialHit brute_nearest(const std::vector<Point>& pts,
+                         const std::vector<std::int32_t>& ids, const Point& q,
+                         double bound = std::numeric_limits<double>::infinity(),
+                         SpatialFilter accept = nullptr,
+                         const void* ctx = nullptr) {
+  SpatialHit best;
+  best.dist = bound;
+  best.id = std::numeric_limits<std::int32_t>::max();
+  for (const std::int32_t id : ids) {
+    if (accept != nullptr && !accept(id, ctx)) continue;
+    const double d = euclidean(q, pts[static_cast<std::size_t>(id)]);
+    if (d < best.dist || (d == best.dist && id < best.id)) {
+      best.dist = d;
+      best.id = id;
+    }
+  }
+  if (best.id == std::numeric_limits<std::int32_t>::max()) return SpatialHit{};
+  return best;
+}
+
+std::vector<SpatialHit> brute_k_nearest(const std::vector<Point>& pts,
+                                        const std::vector<std::int32_t>& ids,
+                                        const Point& q, std::size_t k) {
+  std::vector<SpatialHit> all;
+  for (const std::int32_t id : ids) {
+    all.push_back({id, euclidean(q, pts[static_cast<std::size_t>(id)])});
+  }
+  std::sort(all.begin(), all.end(), [](const SpatialHit& a, const SpatialHit& b) {
+    return a.dist != b.dist ? a.dist < b.dist : a.id < b.id;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::vector<std::int32_t> brute_range(const std::vector<Point>& pts,
+                                      const std::vector<std::int32_t>& ids,
+                                      const Point& q, double radius) {
+  std::vector<std::int32_t> out;
+  for (const std::int32_t id : ids) {
+    if (euclidean(q, pts[static_cast<std::size_t>(id)]) <= radius) {
+      out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::int32_t> all_ids(std::size_t n) {
+  std::vector<std::int32_t> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<std::int32_t>(i);
+  return ids;
+}
+
+void expect_hit_eq(const SpatialHit& got, const SpatialHit& want) {
+  EXPECT_EQ(got.id, want.id);
+  EXPECT_EQ(got.dist, want.dist);  // exact: same doubles, not approximate
+}
+
+/// The full query battery for one index kind against the brute reference.
+void run_index_battery(SpatialMode mode) {
+  Rng rng(mode == SpatialMode::kKdTree ? 901 : 902);
+  const std::vector<Point> pts = random_points(257, 3, rng);
+  const auto ids = all_ids(pts.size());
+  const auto index = make_spatial_index(mode, pts);
+  ASSERT_EQ(index->size(), pts.size());
+  QueryStats stats;
+
+  for (std::size_t t = 0; t < 60; ++t) {
+    Point q(3, 0.0);
+    for (double& c : q) c = rng.uniform_real(-20.0, 120.0);
+
+    expect_hit_eq(index->nearest(
+                      q, std::numeric_limits<double>::infinity(), stats),
+                  brute_nearest(pts, ids, q));
+
+    // Bounded query: the bound is inclusive.
+    const double bound = rng.uniform_real(0.0, 60.0);
+    expect_hit_eq(index->nearest(q, bound, stats),
+                  brute_nearest(pts, ids, q, bound));
+
+    for (const std::size_t k : {std::size_t{1}, std::size_t{5},
+                                std::size_t{17}, pts.size() + 3}) {
+      const auto got = index->k_nearest(q, k, stats);
+      const auto want = brute_k_nearest(pts, ids, q, k);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        expect_hit_eq(got[i], want[i]);
+      }
+    }
+
+    const double radius = rng.uniform_real(0.0, 80.0);
+    EXPECT_EQ(index->range(q, radius, stats), brute_range(pts, ids, q, radius));
+  }
+  EXPECT_GT(stats.nodes_visited, 0u);
+  EXPECT_GT(index->resident_bytes(), 0u);
+}
+
+void run_foreign_battery(SpatialMode mode) {
+  Rng rng(mode == SpatialMode::kKdTree ? 911 : 912);
+  const std::vector<Point> pts = random_points(200, 2, rng);
+  const auto index = make_spatial_index(mode, pts);
+  std::vector<std::int32_t> labels(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    labels[i] = static_cast<std::int32_t>(i % 5);
+  }
+  index->retag(labels);
+  QueryStats stats;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const std::int32_t own = labels[i];
+    SpatialHit want;
+    want.dist = std::numeric_limits<double>::infinity();
+    want.id = std::numeric_limits<std::int32_t>::max();
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      if (labels[j] == own) continue;
+      const double d = euclidean(pts[i], pts[j]);
+      const auto id = static_cast<std::int32_t>(j);
+      if (d < want.dist || (d == want.dist && id < want.id)) {
+        want.dist = d;
+        want.id = id;
+      }
+    }
+    expect_hit_eq(index->nearest_foreign(
+                      pts[i], own, std::numeric_limits<double>::infinity(),
+                      stats),
+                  want);
+  }
+}
+
+void run_ties_battery(SpatialMode mode) {
+  // Duplicate coordinates force exact distance ties; the smallest id must
+  // win, exactly like the ascending strict-`<` scan.
+  std::vector<Point> pts;
+  for (std::size_t i = 0; i < 40; ++i) {
+    pts.push_back({static_cast<double>(i / 4), static_cast<double>(i % 2)});
+  }
+  const auto index = make_spatial_index(mode, pts);
+  const auto ids = all_ids(pts.size());
+  QueryStats stats;
+  for (std::size_t t = 0; t < pts.size(); ++t) {
+    const Point& q = pts[t];
+    expect_hit_eq(index->nearest(
+                      q, std::numeric_limits<double>::infinity(), stats),
+                  brute_nearest(pts, ids, q));
+    const auto got = index->k_nearest(q, 7, stats);
+    const auto want = brute_k_nearest(pts, ids, q, 7);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) expect_hit_eq(got[i], want[i]);
+  }
+}
+
+TEST(SpatialKdTree, MatchesBruteForce) { run_index_battery(SpatialMode::kKdTree); }
+TEST(SpatialKdTree, NearestForeignMatchesBrute) {
+  run_foreign_battery(SpatialMode::kKdTree);
+}
+TEST(SpatialKdTree, TiesResolveToSmallestId) {
+  run_ties_battery(SpatialMode::kKdTree);
+}
+
+TEST(SpatialGrid, MatchesBruteForce) { run_index_battery(SpatialMode::kGrid); }
+TEST(SpatialGrid, NearestForeignMatchesBrute) {
+  run_foreign_battery(SpatialMode::kGrid);
+}
+TEST(SpatialGrid, TiesResolveToSmallestId) {
+  run_ties_battery(SpatialMode::kGrid);
+}
+
+TEST(SpatialIndexKnobs, SubsetIndexAndFilter) {
+  Rng rng(921);
+  const std::vector<Point> pts = random_points(120, 2, rng);
+  std::vector<std::int32_t> subset;
+  for (std::size_t i = 0; i < pts.size(); i += 3) {
+    subset.push_back(static_cast<std::int32_t>(i));
+  }
+  const auto index = make_spatial_index(SpatialMode::kKdTree, pts, subset);
+  EXPECT_EQ(index->size(), subset.size());
+  const auto odd_only = [](std::int32_t id, const void*) {
+    return id % 2 == 1;
+  };
+  QueryStats stats;
+  for (std::size_t t = 0; t < 30; ++t) {
+    Point q(2, 0.0);
+    for (double& c : q) c = rng.uniform_real(0.0, 100.0);
+    expect_hit_eq(
+        index->nearest(q, std::numeric_limits<double>::infinity(), stats,
+                       odd_only, nullptr),
+        brute_nearest(pts, subset, q,
+                      std::numeric_limits<double>::infinity(), odd_only,
+                      nullptr));
+  }
+}
+
+TEST(SpatialIndexKnobs, ModeParsing) {
+  {
+    EnvGuard g("HFC_SPATIAL", "off");
+    EXPECT_EQ(spatial_mode(), SpatialMode::kOff);
+    EXPECT_FALSE(spatial_enabled(1u << 20));
+  }
+  {
+    EnvGuard g("HFC_SPATIAL", "grid");
+    EXPECT_EQ(spatial_mode(), SpatialMode::kGrid);
+  }
+  {
+    EnvGuard g("HFC_SPATIAL", "kdtree");
+    EXPECT_EQ(spatial_mode(), SpatialMode::kKdTree);
+  }
+  {
+    // Invalid values fall back to the default kd-tree.
+    EnvGuard g("HFC_SPATIAL", "quadtree");
+    EXPECT_EQ(spatial_mode(), SpatialMode::kKdTree);
+  }
+  {
+    EnvGuard g("HFC_SPATIAL_MIN_N", "8");
+    EXPECT_EQ(spatial_min_n(), 8u);
+    EXPECT_FALSE(spatial_enabled(7));
+    EXPECT_TRUE(spatial_enabled(8));
+  }
+}
+
+TEST(SpatialDynamicSet, ChurnMatchesBruteScan) {
+  Rng rng(931);
+  const std::vector<Point> pts = random_points(300, 3, rng);
+  DynamicSpatialSet set;
+  std::set<std::int32_t> live;
+  std::vector<std::int32_t> initial;
+  for (std::size_t i = 0; i < 200; ++i) {
+    initial.push_back(static_cast<std::int32_t>(i));
+    live.insert(static_cast<std::int32_t>(i));
+  }
+  set.bulk_load(SpatialMode::kKdTree, pts, initial);
+
+  for (std::size_t round = 0; round < 40; ++round) {
+    // A small batch of random inserts and erases.
+    for (std::size_t m = 0; m < 8; ++m) {
+      const auto id =
+          static_cast<std::int32_t>(rng.uniform_int(0, 299));
+      if (live.count(id) != 0) {
+        set.erase(id);
+        live.erase(id);
+      } else {
+        set.insert(id);
+        live.insert(id);
+      }
+    }
+    if (round % 4 == 0) set.maybe_rebuild();
+    ASSERT_EQ(set.live_size(), live.size());
+    const std::vector<std::int32_t> live_ids(live.begin(), live.end());
+    ASSERT_EQ(set.live_ids(), live_ids);
+
+    QueryStats stats;
+    for (std::size_t t = 0; t < 10; ++t) {
+      Point q(3, 0.0);
+      for (double& c : q) c = rng.uniform_real(0.0, 100.0);
+      expect_hit_eq(
+          set.nearest(q, std::numeric_limits<double>::infinity(), stats),
+          brute_nearest(pts, live_ids, q));
+    }
+  }
+}
+
+TEST(SpatialDynamicSet, BcpMatchesBruteDoubleLoop) {
+  Rng rng(941);
+  const std::vector<Point> pts = random_points(260, 2, rng);
+  std::vector<std::int32_t> left;
+  std::vector<std::int32_t> right;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    (i % 3 == 0 ? left : right).push_back(static_cast<std::int32_t>(i));
+  }
+  DynamicSpatialSet a;
+  DynamicSpatialSet b;
+  a.bulk_load(SpatialMode::kKdTree, pts, left);
+  b.bulk_load(SpatialMode::kGrid, pts, right);
+
+  BcpResult want;
+  for (const std::int32_t x : left) {
+    for (const std::int32_t y : right) {
+      const double d = euclidean(pts[static_cast<std::size_t>(x)],
+                                 pts[static_cast<std::size_t>(y)]);
+      if (d < want.dist) {
+        want.dist = d;
+        want.x = x;
+        want.y = y;
+      }
+    }
+  }
+  QueryStats stats;
+  const BcpResult got = bichromatic_closest_pair(a, b, pts, stats);
+  EXPECT_EQ(got.x, want.x);
+  EXPECT_EQ(got.y, want.y);
+  EXPECT_EQ(got.dist, want.dist);
+  // Orientation follows the argument order even when b is the smaller
+  // enumerated side.
+  const BcpResult flipped = bichromatic_closest_pair(b, a, pts, stats);
+  EXPECT_EQ(flipped.x, want.y);
+  EXPECT_EQ(flipped.y, want.x);
+  EXPECT_EQ(flipped.dist, want.dist);
+}
+
+std::multiset<std::pair<std::size_t, std::size_t>> edge_set(
+    const std::vector<MstEdge>& edges) {
+  std::multiset<std::pair<std::size_t, std::size_t>> out;
+  for (const MstEdge& e : edges) {
+    out.insert({std::min(e.a, e.b), std::max(e.a, e.b)});
+  }
+  return out;
+}
+
+TEST(SpatialEquivalence, MstEdgeSetMatchesBrute) {
+  Rng rng(951);
+  const std::vector<Point> pts = random_points(300, 3, rng);
+  EnvGuard min_n("HFC_SPATIAL_MIN_N", "2");
+  std::vector<MstEdge> brute;
+  {
+    EnvGuard g("HFC_SPATIAL", "off");
+    brute = euclidean_mst(pts);
+  }
+  const std::vector<MstEdge> kd = euclidean_mst_spatial(pts, SpatialMode::kKdTree);
+  const std::vector<MstEdge> grid = euclidean_mst_spatial(pts, SpatialMode::kGrid);
+  EXPECT_EQ(edge_set(brute), edge_set(kd));
+  EXPECT_EQ(edge_set(brute), edge_set(grid));
+}
+
+TEST(SpatialEquivalence, ZahnClustersMatchBrute) {
+  Rng rng(952);
+  std::vector<Point> pts = random_points(150, 2, rng, 0.0, 10.0);
+  const std::vector<Point> far = random_points(150, 2, rng, 200.0, 210.0);
+  pts.insert(pts.end(), far.begin(), far.end());
+  EnvGuard min_n("HFC_SPATIAL_MIN_N", "2");
+  Clustering brute;
+  {
+    EnvGuard g("HFC_SPATIAL", "off");
+    brute = cluster_points(pts);
+  }
+  Clustering kd;
+  {
+    EnvGuard g("HFC_SPATIAL", "kdtree");
+    kd = cluster_points(pts);
+  }
+  Clustering grid;
+  {
+    EnvGuard g("HFC_SPATIAL", "grid");
+    grid = cluster_points(pts);
+  }
+  EXPECT_GE(brute.cluster_count(), 2u);
+  EXPECT_EQ(brute.members, kd.members);
+  EXPECT_EQ(brute.members, grid.members);
+}
+
+/// Shared fixture state for the topology equivalence checks: one point
+/// cloud, one clustering, three topologies (brute / kd-tree / grid).
+struct TopologyArms {
+  std::vector<Point> pts;
+  std::unique_ptr<CoordDistanceService> dist;
+  Clustering clustering;
+  std::unique_ptr<HfcTopology> brute;
+  std::unique_ptr<HfcTopology> kd;
+  std::unique_ptr<HfcTopology> grid;
+
+  explicit TopologyArms(std::uint64_t seed, std::size_t n = 240) {
+    Rng rng(seed);
+    pts = random_points(n / 2, 2, rng, 0.0, 20.0);
+    const std::vector<Point> far =
+        random_points(n - n / 2, 2, rng, 300.0, 330.0);
+    pts.insert(pts.end(), far.begin(), far.end());
+    dist = std::make_unique<CoordDistanceService>(pts);
+    clustering = cluster_nodes(*dist);
+    {
+      EnvGuard g("HFC_SPATIAL", "off");
+      brute = std::make_unique<HfcTopology>(clustering, *dist);
+      EXPECT_FALSE(brute->spatial_active());
+    }
+    {
+      EnvGuard g("HFC_SPATIAL", "kdtree");
+      kd = std::make_unique<HfcTopology>(clustering, *dist);
+      EXPECT_TRUE(kd->spatial_active());
+    }
+    {
+      EnvGuard g("HFC_SPATIAL", "grid");
+      grid = std::make_unique<HfcTopology>(clustering, *dist);
+      EXPECT_TRUE(grid->spatial_active());
+    }
+  }
+};
+
+void expect_same_borders(const HfcTopology& a, const HfcTopology& b) {
+  ASSERT_EQ(a.cluster_count(), b.cluster_count());
+  const auto count = static_cast<std::int32_t>(a.cluster_count());
+  for (std::int32_t x = 0; x < count; ++x) {
+    for (std::int32_t y = 0; y < count; ++y) {
+      if (x == y) continue;
+      if (!a.live(ClusterId(x)) || !a.live(ClusterId(y))) continue;
+      EXPECT_EQ(a.border(ClusterId(x), ClusterId(y)),
+                b.border(ClusterId(x), ClusterId(y)))
+          << "border(" << x << ", " << y << ")";
+    }
+  }
+}
+
+TEST(SpatialEquivalence, BorderPairsMatchBrute) {
+  EnvGuard min_n("HFC_SPATIAL_MIN_N", "2");
+  TopologyArms arms(953);
+  ASSERT_GE(arms.clustering.cluster_count(), 2u);
+  expect_same_borders(*arms.brute, *arms.kd);
+  expect_same_borders(*arms.brute, *arms.grid);
+  EXPECT_GT(arms.kd->spatial_resident_bytes(), 0u);
+}
+
+TEST(SpatialEquivalence, ChurnRepairMatchesBrute) {
+  EnvGuard min_n("HFC_SPATIAL_MIN_N", "2");
+  TopologyArms arms(954);
+  Rng rng(955);
+  const auto mutate = [&](HfcTopology& topo) {
+    Rng local(rng.seed());  // same event stream for every arm
+    std::vector<NodeId> removed;
+    topo.begin_mutation_batch();
+    for (std::size_t m = 0; m < 30; ++m) {
+      const NodeId victim(local.uniform_int(
+          0, static_cast<int>(topo.node_count()) - 1));
+      if (topo.cluster_of(victim).valid() &&
+          topo.members(topo.cluster_of(victim)).size() > 1) {
+        topo.on_member_removed(victim);
+        removed.push_back(victim);
+      }
+      if (!removed.empty() && local.uniform_int(0, 2) == 0) {
+        const NodeId back = removed.back();
+        removed.pop_back();
+        // Rejoin a live cluster chosen deterministically.
+        const auto count = static_cast<std::int32_t>(topo.cluster_count());
+        for (std::int32_t c = 0; c < count; ++c) {
+          if (topo.live(ClusterId(c))) {
+            topo.on_member_added(back, ClusterId(c));
+            break;
+          }
+        }
+      }
+    }
+    topo.end_mutation_batch();
+  };
+  mutate(*arms.brute);
+  mutate(*arms.kd);
+  mutate(*arms.grid);
+  expect_same_borders(*arms.brute, *arms.kd);
+  expect_same_borders(*arms.brute, *arms.grid);
+}
+
+TEST(SpatialEquivalence, MeshKnnLinksMatchBrute) {
+  EnvGuard min_n("HFC_SPATIAL_MIN_N", "2");
+  Rng rng(956);
+  const std::vector<Point> pts = random_points(220, 2, rng);
+  const CoordDistanceService dist(pts);
+  MeshParams params;
+  params.random_min = 0;
+  params.random_max = 0;  // spatial and brute agree exactly without extras
+  const auto build = [&](const char* mode) {
+    EnvGuard g("HFC_SPATIAL", mode);
+    Rng mesh_rng(957);
+    return MeshTopology(dist, params, mesh_rng);
+  };
+  const MeshTopology brute = build("off");
+  const MeshTopology kd = build("kdtree");
+  const MeshTopology grid = build("grid");
+  ASSERT_EQ(brute.node_count(), kd.node_count());
+  EXPECT_EQ(brute.edge_count(), kd.edge_count());
+  EXPECT_EQ(brute.edge_count(), grid.edge_count());
+  for (std::size_t v = 0; v < brute.node_count(); ++v) {
+    const NodeId node(static_cast<std::int32_t>(v));
+    auto sorted = [](std::vector<NodeId> n) {
+      std::sort(n.begin(), n.end());
+      return n;
+    };
+    EXPECT_EQ(sorted(brute.neighbors(node)), sorted(kd.neighbors(node)));
+    EXPECT_EQ(sorted(brute.neighbors(node)), sorted(grid.neighbors(node)));
+  }
+  EXPECT_TRUE(kd.connected());
+}
+
+TEST(SpatialEquivalence, MultilevelHopPathsMatchBrute) {
+  EnvGuard min_n("HFC_SPATIAL_MIN_N", "2");
+  Rng rng(958);
+  std::vector<Point> pts = random_points(120, 2, rng, 0.0, 15.0);
+  const std::vector<Point> far = random_points(120, 2, rng, 400.0, 430.0);
+  pts.insert(pts.end(), far.begin(), far.end());
+  MultiLevelParams params;
+  params.levels = 2;
+  const auto build = [&](const char* mode) {
+    EnvGuard g("HFC_SPATIAL", mode);
+    return MultiLevelHierarchy(pts, params);
+  };
+  const MultiLevelHierarchy brute = build("off");
+  const MultiLevelHierarchy kd = build("kdtree");
+  ASSERT_EQ(brute.levels(), kd.levels());
+  Rng pick(959);
+  for (std::size_t t = 0; t < 50; ++t) {
+    const NodeId a(pick.uniform_int(0, static_cast<int>(pts.size()) - 1));
+    const NodeId b(pick.uniform_int(0, static_cast<int>(pts.size()) - 1));
+    EXPECT_EQ(brute.hop_path(a, b), kd.hop_path(a, b));
+  }
+}
+
+/// Routed-path equivalence over the spatial vs brute topologies, at the
+/// given thread count (the acceptance criterion asks for serial and
+/// 4-thread runs).
+void run_routing_equivalence(std::size_t threads) {
+  set_global_threads(threads);
+  EnvGuard min_n("HFC_SPATIAL_MIN_N", "2");
+  TopologyArms arms(961);
+  ServicePlacement placement(arms.pts.size());
+  for (std::size_t v = 0; v < placement.size(); ++v) {
+    placement[v] = {ServiceId(static_cast<std::int32_t>(v % 7))};
+  }
+  const OverlayNetwork net(arms.pts, placement);
+  const HierarchicalServiceRouter brute(net, *arms.brute, *arms.dist);
+  const HierarchicalServiceRouter kd(net, *arms.kd, *arms.dist);
+  Rng rng(962);
+  std::size_t found = 0;
+  for (std::size_t t = 0; t < 40; ++t) {
+    ServiceRequest request;
+    request.source = NodeId(
+        rng.uniform_int(0, static_cast<int>(arms.pts.size()) - 1));
+    request.destination = NodeId(
+        rng.uniform_int(0, static_cast<int>(arms.pts.size()) - 1));
+    request.graph = ServiceGraph::linear({ServiceId(rng.uniform_int(0, 6))});
+    const ServicePath a = brute.route(request);
+    const ServicePath b = kd.route(request);
+    ASSERT_EQ(a.found, b.found);
+    if (!a.found) continue;
+    ++found;
+    ASSERT_EQ(a.hops.size(), b.hops.size());
+    for (std::size_t h = 0; h < a.hops.size(); ++h) {
+      EXPECT_EQ(a.hops[h].proxy, b.hops[h].proxy);
+    }
+  }
+  EXPECT_GT(found, 0u);
+  set_global_threads(0);
+}
+
+TEST(TopologyScaling, RoutedPathsMatchBruteSerial) {
+  run_routing_equivalence(1);
+}
+
+TEST(TopologyScaling, RoutedPathsMatchBruteFourThreads) {
+  run_routing_equivalence(4);
+}
+
+TEST(TopologyScaling, DynamicChurnEquivalence) {
+  EnvGuard min_n("HFC_SPATIAL_MIN_N", "2");
+  Rng rng(971);
+  std::vector<Point> pts = random_points(80, 2, rng, 0.0, 12.0);
+  const std::vector<Point> far = random_points(80, 2, rng, 250.0, 270.0);
+  pts.insert(pts.end(), far.begin(), far.end());
+  ServicePlacement placement(pts.size());
+  for (std::size_t v = 0; v < placement.size(); ++v) {
+    placement[v] = {ServiceId(static_cast<std::int32_t>(v % 5))};
+  }
+  const auto run_arm = [&](const char* mode) {
+    EnvGuard g("HFC_SPATIAL", mode);
+    DynamicHfcOverlay overlay(pts, placement);
+    Rng events(972);
+    std::vector<NodeId> inactive;
+    for (std::size_t round = 0; round < 12; ++round) {
+      std::vector<ChurnEvent> batch;
+      for (std::size_t e = 0; e < 6; ++e) {
+        const bool leave = inactive.empty() || events.uniform_int(0, 1) == 0;
+        if (leave && overlay.active_count() > 4) {
+          NodeId victim;
+          do {
+            victim = NodeId(events.uniform_int(
+                0, static_cast<int>(overlay.universe_size()) - 1));
+          } while (!overlay.is_active(victim));
+          batch.push_back(ChurnEvent::make_deactivate(victim));
+          inactive.push_back(victim);
+          // Mark locally so the loop above skips it next time.
+          // (is_active reflects it only after apply.)
+        } else if (!inactive.empty()) {
+          batch.push_back(ChurnEvent::make_activate(inactive.back()));
+          inactive.pop_back();
+        }
+      }
+      // Deduplicate conflicting events inside the batch: a node picked
+      // for deactivation twice would throw on the second.
+      std::vector<ChurnEvent> cleaned;
+      std::set<std::int32_t> touched;
+      for (const ChurnEvent& ev : batch) {
+        if (touched.insert(ev.node.value()).second) cleaned.push_back(ev);
+      }
+      overlay.apply(cleaned);
+    }
+    return std::make_pair(overlay.active_partition(), overlay.border_pairs());
+  };
+  const auto brute = run_arm("off");
+  const auto kd = run_arm("kdtree");
+  const auto grid = run_arm("grid");
+  EXPECT_EQ(brute.first, kd.first);
+  EXPECT_EQ(brute.second, kd.second);
+  EXPECT_EQ(brute.first, grid.first);
+  EXPECT_EQ(brute.second, grid.second);
+}
+
+}  // namespace
+}  // namespace hfc

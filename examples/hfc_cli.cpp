@@ -5,7 +5,10 @@
 //   $ example_hfc_cli --proxies 500 --routers 600 --requests 200
 //         --noise 0.1 --zahn-k 3 --dims 2 --seed 7 [--dot hfc.dot]
 //
-// Every flag has a sensible default; --help lists them.
+// Every flag has a sensible default; --help lists them. The `knobs`
+// subcommand dumps the central environment-knob registry (util/env.h) —
+// the authoritative list of every HFC_* variable the framework reads.
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -14,6 +17,7 @@
 
 #include "core/experiment.h"
 #include "overlay/dot_export.h"
+#include "util/env.h"
 
 namespace {
 
@@ -84,13 +88,29 @@ void print_help() {
       "  --zahn-k X      Zahn inconsistency factor (default 3)\n"
       "  --dims N        coordinate-space dimension (default 2)\n"
       "  --seed N        master seed (default 1)\n"
-      "  --dot PATH      write the HFC topology as graphviz DOT\n";
+      "  --dot PATH      write the HFC topology as graphviz DOT\n"
+      "subcommands:\n"
+      "  knobs           list every HFC_* environment knob with its\n"
+      "                  default and description\n";
+}
+
+void print_knobs() {
+  std::printf("%-28s %-8s %-10s %s\n", "knob", "scope", "default",
+              "description");
+  for (const hfc::EnvKnob& knob : hfc::registered_knobs()) {
+    std::printf("%-28s %-8s %-10s %s\n", knob.name, knob.scope, knob.fallback,
+                knob.description);
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace hfc;
+  if (argc > 1 && std::strcmp(argv[1], "knobs") == 0) {
+    print_knobs();
+    return 0;
+  }
   const CliOptions opts = parse(argc, argv);
   if (opts.help) {
     print_help();

@@ -13,8 +13,10 @@
 #      distance row caches, parallel construction paths, dynamic/churn
 #      suites) with a 4-thread pool, so data races in the registry, the
 #      pool, the sharded LRU or the batched border repair fail loudly;
-#      then reduced bench_churn_dynamic and bench_topology_scaling runs
-#      under the same build (the latter with the spatial index forced on).
+#      then reduced bench_churn_dynamic, bench_topology_scaling (spatial
+#      index forced on) and bench_serving_throughput runs under the same
+#      build — the serving bench hammers snapshot publication + the
+#      sharded cache with a 4-thread pool.
 #   4. Build with -DHFC_SANITIZE=address (Debug, so the NDEBUG-gated
 #      lifetime asserts are live) into build-asan/, run the memory-heavy
 #      suites plus the dynamic/churn suites, and run the distance-scaling
@@ -22,8 +24,9 @@
 #      pipeline — including row-cache eviction and incremental border
 #      repair — is exercised under ASan.
 #   5. Build with -DHFC_COVERAGE=ON into build-cov/, run the full suite,
-#      and enforce the line-coverage floor (90%) for src/fault/, src/sim/
-#      and src/spatial/ via scripts/coverage_gate.py (gcov JSON, no gcovr).
+#      and enforce the line-coverage floor (90%) for src/fault/,
+#      src/serve/, src/sim/ and src/spatial/ via scripts/coverage_gate.py
+#      (gcov JSON, no gcovr).
 #
 # The sanitizer and coverage stages are the expensive ones; --fast skips
 # all three.
@@ -58,23 +61,27 @@ echo "== [3/5] TSan gate =="
 cmake -B build-tsan -S . -DHFC_SANITIZE=thread
 cmake --build build-tsan -j"$JOBS"
 HFC_THREADS=4 ctest --test-dir build-tsan -j"$JOBS" --output-on-failure \
-  -R 'Obs|Metrics|Trace|ThreadPool|Parallel|StateProtocol|Simulator|Distance|RowCache|Dynamic|Churn|Fault|Chaos|Spatial|TopologyScaling'
+  -R 'Obs|Metrics|Trace|ThreadPool|Parallel|StateProtocol|Simulator|Distance|RowCache|Dynamic|Churn|Fault|Chaos|Spatial|TopologyScaling|Serve'
 HFC_THREADS=4 HFC_CHURN_N=500 HFC_CHURN_EVENTS=96 HFC_REQUESTS=40 \
   HFC_WAVES=2 HFC_BENCH_JSON=0 ./build-tsan/bench/bench_churn_dynamic
 HFC_THREADS=4 HFC_TOPO_N=1500 HFC_TOPO_CMP_N=400 HFC_TOPO_REQUESTS=40 \
   HFC_SPATIAL_MIN_N=2 HFC_BENCH_JSON=0 ./build-tsan/bench/bench_topology_scaling
+HFC_THREADS=4 HFC_SERVE_N=500 HFC_SERVE_WAVES=8 HFC_SERVE_WAVE_REQUESTS=48 \
+  HFC_BENCH_JSON=0 ./build-tsan/bench/bench_serving_throughput
 
 echo "== [4/5] ASan gate =="
 cmake -B build-asan -S . -DHFC_SANITIZE=address -DCMAKE_BUILD_TYPE=Debug
 cmake --build build-asan -j"$JOBS"
 ctest --test-dir build-asan -j"$JOBS" --output-on-failure \
-  -R 'Distance|RowCache|SymMatrix|Oracle|Mesh|Overlay|CoordDistance|Probe|Dynamic|Churn|Fault|Chaos|Spatial|TopologyScaling'
+  -R 'Distance|RowCache|SymMatrix|Oracle|Mesh|Overlay|CoordDistance|Probe|Dynamic|Churn|Fault|Chaos|Spatial|TopologyScaling|Serve'
 HFC_DIST_N=400 HFC_DIST_REQUESTS=200 HFC_BENCH_JSON=0 \
   ./build-asan/bench/bench_distance_scaling
 HFC_CHURN_N=500 HFC_CHURN_EVENTS=96 HFC_REQUESTS=40 HFC_WAVES=2 \
   HFC_BENCH_JSON=0 ./build-asan/bench/bench_churn_dynamic
 HFC_TOPO_N=1500 HFC_TOPO_CMP_N=400 HFC_TOPO_REQUESTS=40 \
   HFC_SPATIAL_MIN_N=2 HFC_BENCH_JSON=0 ./build-asan/bench/bench_topology_scaling
+HFC_SERVE_N=500 HFC_SERVE_WAVES=8 HFC_SERVE_WAVE_REQUESTS=48 \
+  HFC_BENCH_JSON=0 ./build-asan/bench/bench_serving_throughput
 
 echo "== [5/5] coverage gate =="
 cmake -B build-cov -S . -DHFC_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug

@@ -16,7 +16,7 @@ import os
 import subprocess
 import sys
 
-MONITORED = ("src/fault", "src/sim", "src/spatial")
+MONITORED = ("src/fault", "src/serve", "src/sim", "src/spatial")
 DEFAULT_FLOOR = 90.0
 
 

@@ -475,6 +475,31 @@ std::vector<std::pair<NodeId, NodeId>> DynamicHfcOverlay::border_pairs() {
   return out;
 }
 
+const OverlayNetwork& DynamicHfcOverlay::universe_network() const {
+  require(mode_ == ChurnMode::kIncremental,
+          "DynamicHfcOverlay::universe_network: incremental mode only");
+  return *inc_net_;
+}
+
+const HfcTopology& DynamicHfcOverlay::universe_topology() const {
+  require(mode_ == ChurnMode::kIncremental,
+          "DynamicHfcOverlay::universe_topology: incremental mode only");
+  return *inc_topo_;
+}
+
+const CoordDistanceService& DynamicHfcOverlay::universe_distance() const {
+  require(mode_ == ChurnMode::kIncremental,
+          "DynamicHfcOverlay::universe_distance: incremental mode only");
+  return *dist_;
+}
+
+HierarchicalServiceRouter& DynamicHfcOverlay::universe_router() {
+  require(mode_ == ChurnMode::kIncremental,
+          "DynamicHfcOverlay::universe_router: incremental mode only");
+  inc_router_->sync_with_topology();
+  return *inc_router_;
+}
+
 const HfcTopology& DynamicHfcOverlay::view_topology() {
   rebuild_if_dirty();
   return *view_topo_;

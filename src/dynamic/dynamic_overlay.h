@@ -174,6 +174,19 @@ class DynamicHfcOverlay {
   [[nodiscard]] const HfcTopology& view_topology();
   [[nodiscard]] const OverlayNetwork& view_network();
 
+  /// --- universe-level routing state (incremental mode only) ---
+  ///
+  /// The serving engine (src/serve, DESIGN.md §12) snapshots these
+  /// between mutation batches: ids in them ARE universe NodeIds, so
+  /// frozen copies serve requests with no id remapping. All three throw
+  /// in full-rebuild mode, which has no universe-level state.
+  [[nodiscard]] const OverlayNetwork& universe_network() const;
+  [[nodiscard]] const HfcTopology& universe_topology() const;
+  [[nodiscard]] const CoordDistanceService& universe_distance() const;
+  /// The universe router with SCT_C synced to the topology (same sync
+  /// route() performs before answering).
+  [[nodiscard]] HierarchicalServiceRouter& universe_router();
+
  private:
   void do_deactivate(NodeId node);
   void do_activate(NodeId node);

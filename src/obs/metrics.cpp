@@ -232,4 +232,33 @@ double sum_delta(const std::vector<MetricSnapshot>& before,
   return (a == nullptr ? 0.0 : a->value) - (b == nullptr ? 0.0 : b->value);
 }
 
+double histogram_quantile(const MetricSnapshot& snap, double q) {
+  if (snap.kind != MetricSnapshot::Kind::kHistogram || snap.count == 0) {
+    return 0.0;
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(snap.count);
+  double seen = 0.0;
+  for (std::size_t b = 0; b < snap.buckets.size(); ++b) {
+    const double in_bucket = static_cast<double>(snap.buckets[b]);
+    if (seen + in_bucket < target || in_bucket == 0.0) {
+      seen += in_bucket;
+      continue;
+    }
+    if (b >= snap.bounds.size()) break;  // overflow bucket: clamp below
+    const double lo = b == 0 ? 0.0 : snap.bounds[b - 1];
+    const double hi = snap.bounds[b];
+    return lo + (hi - lo) * ((target - seen) / in_bucket);
+  }
+  // Everything at or past the overflow bucket clamps to the last finite
+  // bound (the histogram cannot resolve further).
+  return snap.bounds.empty() ? 0.0 : snap.bounds.back();
+}
+
+double histogram_quantile(const std::vector<MetricSnapshot>& snap,
+                          std::string_view name, double q) {
+  const MetricSnapshot* s = find(snap, name);
+  return s == nullptr ? 0.0 : histogram_quantile(*s, q);
+}
+
 }  // namespace hfc::obs

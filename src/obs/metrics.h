@@ -180,4 +180,16 @@ class MetricsRegistry {
                                const std::vector<MetricSnapshot>& after,
                                std::string_view name);
 
+/// Quantile estimate from a histogram snapshot (q in [0, 1]): linear
+/// interpolation inside the bucket holding the q-th observation, the
+/// standard fixed-bucket estimator. Observations in the +inf overflow
+/// bucket clamp to the last finite bound. Returns 0 for empty histograms
+/// and for snapshots that are not histograms. Used for the serving
+/// engine's p50/p99 latency reporting (serve.* histograms).
+[[nodiscard]] double histogram_quantile(const MetricSnapshot& snap, double q);
+
+/// Same, looking `name` up in a snapshot vector (0 when missing).
+[[nodiscard]] double histogram_quantile(
+    const std::vector<MetricSnapshot>& snap, std::string_view name, double q);
+
 }  // namespace hfc::obs

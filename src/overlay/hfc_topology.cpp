@@ -324,6 +324,43 @@ std::size_t HfcTopology::spatial_resident_bytes() const {
   return bytes;
 }
 
+std::unique_ptr<HfcTopology> HfcTopology::clone_frozen(
+    const OverlayDistance& distance) const {
+  require(!in_batch_, "HfcTopology::clone_frozen: open mutation batch");
+  require(static_cast<bool>(distance),
+          "HfcTopology::clone_frozen: null distance");
+  std::unique_ptr<HfcTopology> copy(new HfcTopology());
+  copy->clustering_ = clustering_;
+  copy->distance_ = distance;
+  copy->selection_ = selection_;
+  copy->border_ = border_;
+  copy->border_refs_ = border_refs_;
+  copy->all_borders_ = all_borders();  // refresh the lazy list eagerly
+  copy->borders_dirty_ = false;
+  copy->live_ = live_;
+  copy->live_count_ = live_count_;
+  copy->generation_ = generation_;
+  copy->structure_generation_ = structure_generation_;
+  return copy;
+}
+
+void HfcTopology::override_border_pair(ClusterId a, ClusterId b, NodeId in_a,
+                                       NodeId in_b) {
+  const std::size_t c = clustering_.cluster_count();
+  require(a.valid() && a.idx() < c && b.valid() && b.idx() < c && a != b,
+          "HfcTopology::override_border_pair: bad cluster pair");
+  require(live_[a.idx()] && live_[b.idx()],
+          "HfcTopology::override_border_pair: dead cluster");
+  require(in_a.valid() && in_a.idx() < clustering_.assignment.size() &&
+              clustering_.assignment[in_a.idx()] == a,
+          "HfcTopology::override_border_pair: in_a not a member of a");
+  require(in_b.valid() && in_b.idx() < clustering_.assignment.size() &&
+              clustering_.assignment[in_b.idx()] == b,
+          "HfcTopology::override_border_pair: in_b not a member of b");
+  set_border(a.idx() * c + b.idx(), in_a);
+  set_border(b.idx() * c + a.idx(), in_b);
+}
+
 // ---------------------------------------------------------------------
 // Incremental membership maintenance (DESIGN.md §9).
 

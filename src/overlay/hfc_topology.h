@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -195,6 +196,30 @@ class HfcTopology {
   /// (§6.1, Figure 9b).
   [[nodiscard]] std::size_t service_state_count(NodeId node) const;
 
+  /// Deep-copy the routing-relevant state into a standalone frozen
+  /// topology for snapshot publication (src/serve, DESIGN.md §12):
+  /// clustering, border table + reference counts, liveness and the
+  /// generation stamps are all copied; the distance functor is rebound to
+  /// `distance` (the snapshot owns its own coordinate tier, so the clone
+  /// has no lifetime tie to this topology's service). Spatial
+  /// acceleration is deliberately dropped — a frozen clone never mutates,
+  /// and spatial state only accelerates mutation repair; queries answer
+  /// identically either way (the §11 exactness contract). Throws inside
+  /// an open mutation batch.
+  [[nodiscard]] std::unique_ptr<HfcTopology> clone_frozen(
+      const OverlayDistance& distance) const;
+
+  /// Replace the stored border pair of two distinct live clusters. Used
+  /// for snapshot degradation baking (DESIGN.md §12): the publisher
+  /// overwrites pairs whose stored border has a crashed end with the
+  /// surviving pair, so readers resolve them in O(1) instead of
+  /// re-scanning members per request. `in_a`/`in_b` must be members of
+  /// `a`/`b`. Reference counts are maintained; generation stamps do NOT
+  /// advance — the overwrite refines the view, it is not a membership
+  /// change.
+  void override_border_pair(ClusterId a, ClusterId b, NodeId in_a,
+                            NodeId in_b);
+
   /// True when kClosestPair selection runs on per-cluster spatial sets.
   [[nodiscard]] bool spatial_active() const { return coords_ != nullptr; }
 
@@ -204,6 +229,9 @@ class HfcTopology {
   [[nodiscard]] std::size_t spatial_resident_bytes() const;
 
  private:
+  /// Uninitialized shell for clone_frozen to fill member-by-member.
+  HfcTopology() = default;
+
   /// The border-selection sweep shared by both constructors.
   void build_borders();
   /// Key identifying the unordered cluster pair {a, b} in repair staging.

@@ -155,6 +155,13 @@ void HierarchicalServiceRouter::set_cluster_capability(
   cluster_services_[cluster.idx()] = std::move(services);
 }
 
+const std::vector<ServiceId>& HierarchicalServiceRouter::cluster_capability(
+    ClusterId cluster) const {
+  require(cluster.valid() && cluster.idx() < cluster_services_.size(),
+          "HierarchicalServiceRouter::cluster_capability: bad cluster");
+  return cluster_services_[cluster.idx()];
+}
+
 std::vector<ClusterId> HierarchicalServiceRouter::clusters_hosting(
     ServiceId service) const {
   std::vector<ClusterId> out;

@@ -209,6 +209,13 @@ class HierarchicalServiceRouter {
   [[nodiscard]] std::vector<ClusterId> clusters_hosting(
       ServiceId service) const;
 
+  /// The aggregate SCT_C of one cluster, sorted ascending (empty for dead
+  /// slots after sync). Exposed for snapshot capture and the serving
+  /// tests, which assert a frozen snapshot derives byte-identical
+  /// aggregates to the live router (src/serve, DESIGN.md §12).
+  [[nodiscard]] const std::vector<ServiceId>& cluster_capability(
+      ClusterId cluster) const;
+
  private:
   const OverlayNetwork& net_;
   const HfcTopology& topo_;

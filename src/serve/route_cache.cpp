@@ -1,0 +1,140 @@
+#include "serve/route_cache.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+#include "util/rng.h"
+
+namespace hfc::serve {
+
+RequestKey RequestKey::make(const ServiceRequest& request,
+                            const RouteSnapshot& snap) {
+  const ClusterId src = snap.cluster_of(request.source);
+  const ClusterId dst = snap.cluster_of(request.destination);
+  require(src.valid() && dst.valid(),
+          "RequestKey::make: request endpoints must be clustered");
+
+  RequestKey key;
+  key.source = request.source;
+  key.destination = request.destination;
+  key.sg_encoding = request.graph.canonical_encoding();
+
+  // Shard selection: the ISSUE-level (src cluster, SG hash, dst cluster)
+  // triple, so requests of one cluster pair with one SG co-locate.
+  std::uint64_t mix = splitmix64(0x524b6579ull ^ request.graph.structural_hash());
+  mix = splitmix64(mix ^ static_cast<std::uint64_t>(src.idx()));
+  mix = splitmix64(mix ^ static_cast<std::uint64_t>(dst.idx()));
+  key.shard_mix = mix;
+
+  // Bucket hash folds the concrete endpoints back in for the shard map.
+  mix = splitmix64(mix ^ static_cast<std::uint64_t>(request.source.idx()));
+  mix = splitmix64(mix ^ static_cast<std::uint64_t>(request.destination.idx()));
+  key.bucket_mix = mix;
+  return key;
+}
+
+CachedRoute make_cached_route(ServicePath path, const ServiceRequest& request,
+                              const RouteSnapshot& snap) {
+  CachedRoute entry;
+  entry.crash_epoch = snap.crash_epoch();
+
+  std::vector<ClusterId> clusters = {snap.cluster_of(request.source),
+                                     snap.cluster_of(request.destination)};
+  for (const ServiceHop& hop : path.hops) {
+    clusters.push_back(snap.cluster_of(hop.proxy));
+  }
+  std::sort(clusters.begin(), clusters.end());
+  clusters.erase(std::unique(clusters.begin(), clusters.end()),
+                 clusters.end());
+  entry.cluster_tags.reserve(clusters.size());
+  for (ClusterId c : clusters) {
+    require(c.valid(), "make_cached_route: unclustered hop proxy");
+    entry.cluster_tags.emplace_back(c, snap.cluster_generation(c));
+  }
+
+  const std::vector<ServiceId> services = request.graph.distinct_services();
+  entry.service_tags.reserve(services.size());
+  for (ServiceId s : services) {
+    entry.service_tags.emplace_back(s, snap.service_fingerprint(s));
+  }
+
+  entry.path = std::move(path);
+  return entry;
+}
+
+bool route_current(const CachedRoute& entry, const RouteSnapshot& snap) {
+  if (entry.crash_epoch != snap.crash_epoch()) return false;
+  for (const auto& [cluster, gen] : entry.cluster_tags) {
+    if (!snap.cluster_generation_is(cluster, gen)) return false;
+  }
+  for (const auto& [service, fp] : entry.service_tags) {
+    if (snap.service_fingerprint(service) != fp) return false;
+  }
+  return true;
+}
+
+ShardedRouteCache::ShardedRouteCache(std::size_t shards,
+                                     std::size_t capacity_per_shard)
+    : capacity_(capacity_per_shard) {
+  require(shards >= 1, "ShardedRouteCache: need at least one shard");
+  require(capacity_per_shard >= 1,
+          "ShardedRouteCache: need capacity of at least one entry per shard");
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::size_t ShardedRouteCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+std::optional<CachedRoute> ShardedRouteCache::find(
+    const RequestKey& key) const {
+  const Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) return std::nullopt;
+  return it->second;
+}
+
+ShardedRouteCache::InsertResult ShardedRouteCache::insert(
+    const RequestKey& key, CachedRoute entry) {
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+
+  InsertResult result;
+  entry.insert_seq = ++shard.next_seq;
+  const auto [it, inserted] = shard.map.insert_or_assign(key, std::move(entry));
+  result.replaced = !inserted;
+  shard.fifo.emplace_back(key, it->second.insert_seq);
+
+  while (shard.map.size() > capacity_) {
+    require(!shard.fifo.empty(),
+            "ShardedRouteCache: FIFO lost track of a resident entry");
+    auto [victim, seq] = std::move(shard.fifo.front());
+    shard.fifo.pop_front();
+    const auto vit = shard.map.find(victim);
+    // Skip stale records: the key was refreshed after this record was
+    // queued (its live seq is newer) or already evicted.
+    if (vit == shard.map.end() || vit->second.insert_seq != seq) continue;
+    shard.map.erase(vit);
+    ++result.evicted;
+  }
+  return result;
+}
+
+void ShardedRouteCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->map.clear();
+    shard->fifo.clear();
+  }
+}
+
+}  // namespace hfc::serve

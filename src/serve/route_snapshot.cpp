@@ -1,0 +1,135 @@
+#include "serve/route_snapshot.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/require.h"
+#include "util/rng.h"
+
+namespace hfc::serve {
+namespace {
+
+/// Seed of the per-service fingerprint chains ("Serv"). A service no
+/// cluster hosts fingerprints to the bare seeded value, so the in-range
+/// and beyond-catalog cases agree.
+constexpr std::uint64_t kFingerprintSeed = 0x53657276ull;
+
+[[nodiscard]] std::uint64_t empty_fingerprint(std::uint64_t service) {
+  return splitmix64(kFingerprintSeed ^ service);
+}
+
+}  // namespace
+
+std::shared_ptr<const RouteSnapshot> RouteSnapshot::capture(
+    const OverlayNetwork& net, const HfcTopology& topo,
+    const CoordDistanceService& dist, std::vector<NodeId> crashed,
+    std::uint64_t crash_epoch) {
+  require(net.size() == topo.node_count(),
+          "RouteSnapshot::capture: network / topology node count mismatch");
+  require(dist.size() >= net.size(),
+          "RouteSnapshot::capture: distance tier smaller than the network");
+
+  std::sort(crashed.begin(), crashed.end());
+  crashed.erase(std::unique(crashed.begin(), crashed.end()), crashed.end());
+  for (NodeId node : crashed) {
+    require(node.valid() && node.idx() < net.size(),
+            "RouteSnapshot::capture: crashed node outside the network");
+  }
+
+  std::shared_ptr<RouteSnapshot> snap(new RouteSnapshot());
+  snap->crashed_ = std::move(crashed);
+  snap->crash_epoch_ = crash_epoch;
+  snap->net_ = std::make_unique<OverlayNetwork>(net);
+  snap->dist_ = std::make_unique<CoordDistanceService>(dist.coords());
+  snap->topo_ = topo.clone_frozen(snap->dist_->fn());
+
+  snap->up_.assign(snap->net_->size(), 1);
+  for (NodeId node : snap->crashed_) snap->up_[node.idx()] = 0;
+
+  // Bake the degraded border table: resolve every live pair whose stored
+  // border has a crashed end to its surviving pair, once, so readers pay
+  // O(1) per BorderView resolution instead of a member re-scan per
+  // request. Pairs with no survivor keep their stored slots — the
+  // reader's per-request scan then reports them disconnected exactly like
+  // the live router would.
+  if (!snap->crashed_.empty()) {
+    static obs::Counter& baked =
+        obs::MetricsRegistry::global().counter("serve.baked_borders");
+    const auto up = [&snap](NodeId n) { return snap->up_[n.idx()] != 0; };
+    HfcTopology& frozen = *snap->topo_;
+    const std::size_t slots = frozen.cluster_count();
+    for (std::size_t a = 0; a + 1 < slots; ++a) {
+      const ClusterId ca(static_cast<std::int32_t>(a));
+      if (!frozen.live(ca)) continue;
+      for (std::size_t b = a + 1; b < slots; ++b) {
+        const ClusterId cb(static_cast<std::int32_t>(b));
+        if (!frozen.live(cb)) continue;
+        const NodeId in_a = frozen.border(ca, cb);
+        const NodeId in_b = frozen.border(cb, ca);
+        if (!in_a.valid() || !in_b.valid()) continue;
+        if (up(in_a) && up(in_b)) continue;
+        const HfcTopology::SurvivingPair pair =
+            frozen.surviving_border_pair(ca, cb, up);
+        if (!pair.found) continue;
+        frozen.override_border_pair(ca, cb, pair.in_from, pair.in_toward);
+        baked.add(1);
+      }
+    }
+  }
+
+  snap->router_ = std::make_unique<HierarchicalServiceRouter>(
+      *snap->net_, *snap->topo_, *snap->dist_);
+  snap->router_->sync_with_topology();
+
+  // Per-service candidate-set fingerprints over the capture-time catalog
+  // (the largest service id the placement mentions).
+  std::size_t catalog = 0;
+  for (std::size_t v = 0; v < snap->net_->size(); ++v) {
+    const auto& services =
+        snap->net_->services_at(NodeId(static_cast<std::int32_t>(v)));
+    if (!services.empty()) {
+      catalog = std::max(catalog, services.back().idx() + 1);
+    }
+  }
+  snap->fingerprints_.resize(catalog);
+  for (std::size_t s = 0; s < catalog; ++s) {
+    const ServiceId sid(static_cast<std::int32_t>(s));
+    std::uint64_t h = empty_fingerprint(s);
+    for (ClusterId c : snap->router_->clusters_hosting(sid)) {
+      h = splitmix64(h ^ static_cast<std::uint64_t>(c.idx()));
+      h = splitmix64(h ^ snap->topo_->generation(c));
+    }
+    snap->fingerprints_[s] = h;
+  }
+
+  static obs::Counter& captures =
+      obs::MetricsRegistry::global().counter("serve.snapshot_captures");
+  captures.add(1);
+  return snap;
+}
+
+std::uint64_t RouteSnapshot::service_fingerprint(ServiceId service) const {
+  require(service.valid(), "RouteSnapshot::service_fingerprint: invalid id");
+  if (service.idx() < fingerprints_.size()) return fingerprints_[service.idx()];
+  return empty_fingerprint(service.idx());
+}
+
+ServicePath RouteSnapshot::route(const ServiceRequest& request) const {
+  require(request.source.valid() && request.source.idx() < net_->size() &&
+              request.destination.valid() &&
+              request.destination.idx() < net_->size(),
+          "RouteSnapshot::route: request endpoints outside the snapshot");
+  require(cluster_of(request.source).valid() &&
+              cluster_of(request.destination).valid(),
+          "RouteSnapshot::route: request endpoints must be clustered");
+  if (crashed_.empty()) return router_->route(request);
+  require(up(request.source) && up(request.destination),
+          "RouteSnapshot::route: request endpoints must be up");
+  return router_
+      ->route_degraded(request,
+                       [this](NodeId n) { return up_[n.idx()] != 0; })
+      .path;
+}
+
+}  // namespace hfc::serve

@@ -1,0 +1,130 @@
+// RouteSnapshot — the immutable unit of the serving engine (DESIGN.md §12).
+//
+// The routers answer requests against live mutable state (topology
+// membership, border tables, SCT_C), which forces request threads to
+// synchronize with churn maintenance. A RouteSnapshot freezes everything
+// a route computation reads — the overlay placement, its own coordinate
+// tier, a clone of the HFC topology (borders, liveness, generation
+// stamps), a router whose SCT_C is derived from that frozen membership,
+// and the crash state — into one immutable object published RCU-style by
+// the ServingEngine (atomic shared_ptr swap). Reader threads route
+// against whatever snapshot they loaded with no locks and no risk of a
+// torn topology; the publisher captures a fresh snapshot whenever
+// `HfcTopology::structure_generation()` advances or the crash set
+// changes.
+//
+// Degradation baking: when the snapshot carries crashed nodes, border
+// pairs whose stored end is down are resolved to the surviving pair
+// (HfcTopology::surviving_border_pair) ONCE at capture and written into
+// the frozen border table, so per-request BorderView resolution is O(1)
+// instead of an O(|a|·|b|) member re-scan per request. Pairs with no
+// surviving member keep their stored slots, which reproduces the live
+// router's per-request not-found handling exactly. Routes served from a
+// snapshot are byte-identical to what the live router returns for the
+// same membership and crash set.
+//
+// Cache invalidation inputs: the snapshot precomputes, per service, a
+// fingerprint over the (hosting cluster, generation) set. A cached route
+// is exact iff its endpoint clusters' generations, its traversed
+// clusters' generations, every fingerprint of a service its SG mentions,
+// and the crash epoch all still match — see ShardedRouteCache.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "distance/coord_distance.h"
+#include "overlay/hfc_topology.h"
+#include "overlay/overlay_network.h"
+#include "routing/hierarchical_router.h"
+#include "routing/service_path.h"
+#include "services/service_graph.h"
+#include "util/ids.h"
+
+namespace hfc::serve {
+
+class RouteSnapshot {
+ public:
+  /// Freeze the current routing state. `crashed` (any order, duplicates
+  /// tolerated) are the down proxies baked into the view; `crash_epoch`
+  /// is the publisher's monotone stamp for the crash set (entries cached
+  /// under another epoch are invalid). The live objects are only read
+  /// during the call — the snapshot owns deep copies and has no lifetime
+  /// ties to them afterwards.
+  [[nodiscard]] static std::shared_ptr<const RouteSnapshot> capture(
+      const OverlayNetwork& net, const HfcTopology& topo,
+      const CoordDistanceService& dist, std::vector<NodeId> crashed,
+      std::uint64_t crash_epoch);
+
+  RouteSnapshot(const RouteSnapshot&) = delete;
+  RouteSnapshot& operator=(const RouteSnapshot&) = delete;
+
+  /// Topology-wide generation this snapshot froze at.
+  [[nodiscard]] std::uint64_t structure_generation() const {
+    return topo_->structure_generation();
+  }
+  [[nodiscard]] std::uint64_t crash_epoch() const { return crash_epoch_; }
+  /// Crashed proxies, sorted ascending, deduplicated.
+  [[nodiscard]] const std::vector<NodeId>& crashed() const { return crashed_; }
+  [[nodiscard]] bool up(NodeId node) const {
+    return node.valid() && node.idx() < up_.size() && up_[node.idx()] != 0;
+  }
+
+  [[nodiscard]] std::size_t node_count() const { return net_->size(); }
+  [[nodiscard]] ClusterId cluster_of(NodeId node) const {
+    return topo_->cluster_of(node);
+  }
+  /// Generation stamp of one cluster slot at capture time.
+  [[nodiscard]] std::uint64_t cluster_generation(ClusterId cluster) const {
+    return topo_->generation(cluster);
+  }
+  /// True when `cluster` exists in this snapshot with exactly `gen`.
+  [[nodiscard]] bool cluster_generation_is(ClusterId cluster,
+                                           std::uint64_t gen) const {
+    return cluster.valid() && cluster.idx() < topo_->cluster_count() &&
+           topo_->generation(cluster) == gen;
+  }
+
+  /// Fingerprint of `service`'s candidate set: a splitmix64 chain over
+  /// the ascending (hosting cluster, generation) pairs, seeded by the
+  /// service id. Equal fingerprints imply the service's CSP candidate
+  /// clusters and their memberships are unchanged; services no cluster
+  /// hosts (including ids beyond the snapshot's catalog) fingerprint to
+  /// the seeded empty chain, so "still unhosted" also matches exactly.
+  [[nodiscard]] std::uint64_t service_fingerprint(ServiceId service) const;
+
+  /// Route against the frozen view: the plain hierarchical pipeline when
+  /// the snapshot has no crashes, graceful-degradation routing (with the
+  /// baked surviving borders) when it does. Thread-safe: concurrent
+  /// callers share only immutable state. Endpoints must be clustered in
+  /// this snapshot (and up, when crashed).
+  [[nodiscard]] ServicePath route(const ServiceRequest& request) const;
+
+  /// The frozen sub-objects, for tests and introspection.
+  [[nodiscard]] const HfcTopology& topology() const { return *topo_; }
+  [[nodiscard]] const OverlayNetwork& network() const { return *net_; }
+  [[nodiscard]] const HierarchicalServiceRouter& router() const {
+    return *router_;
+  }
+
+ private:
+  RouteSnapshot() = default;
+
+  std::vector<NodeId> crashed_;
+  std::uint64_t crash_epoch_ = 0;
+  std::vector<char> up_;  ///< up_[node] = 1 unless crashed
+
+  /// Ownership order matters: net_/dist_ outlive topo_ (whose distance
+  /// functor reads dist_), which outlives router_.
+  std::unique_ptr<OverlayNetwork> net_;
+  std::unique_ptr<CoordDistanceService> dist_;
+  std::unique_ptr<HfcTopology> topo_;
+  std::unique_ptr<HierarchicalServiceRouter> router_;
+
+  /// fingerprints_[s] for services inside the capture-time catalog;
+  /// out-of-range services derive the empty chain on demand.
+  std::vector<std::uint64_t> fingerprints_;
+};
+
+}  // namespace hfc::serve

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "util/require.h"
+#include "util/rng.h"
 
 namespace hfc {
 
@@ -137,6 +139,46 @@ ServiceGraph ServiceGraph::linear(const std::vector<ServiceId>& chain) {
   for (ServiceId s : chain) g.add_vertex(s);
   for (std::size_t v = 0; v + 1 < chain.size(); ++v) g.add_edge(v, v + 1);
   return g;
+}
+
+std::string ServiceGraph::canonical_encoding() const {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t v = 0; v < labels_.size(); ++v) {
+    for (std::size_t w : succ_[v]) edges.emplace_back(v, w);
+  }
+  std::sort(edges.begin(), edges.end());
+  std::ostringstream os;
+  os << labels_.size() << ';';
+  for (std::size_t v = 0; v < labels_.size(); ++v) {
+    if (v > 0) os << ',';
+    os << labels_[v].value();
+  }
+  os << ';';
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (e > 0) os << ',';
+    os << edges[e].first << '>' << edges[e].second;
+  }
+  return os.str();
+}
+
+std::uint64_t ServiceGraph::structural_hash() const {
+  // splitmix64 chain over the same (size, labels, sorted edges) sequence
+  // canonical_encoding() prints, so hash equality follows from encoding
+  // equality without building the string.
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t v = 0; v < labels_.size(); ++v) {
+    for (std::size_t w : succ_[v]) edges.emplace_back(v, w);
+  }
+  std::sort(edges.begin(), edges.end());
+  std::uint64_t h = splitmix64(0x5347u ^ (labels_.size() << 8));
+  for (const ServiceId s : labels_) {
+    h = splitmix64(h ^ static_cast<std::uint64_t>(s.value()));
+  }
+  for (const auto& [u, v] : edges) {
+    h = splitmix64(h ^ (static_cast<std::uint64_t>(u) << 32 |
+                        static_cast<std::uint64_t>(v)));
+  }
+  return h;
 }
 
 std::string ServiceGraph::to_string() const {

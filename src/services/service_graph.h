@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,17 @@ class ServiceGraph {
 
   /// The distinct services mentioned by the SG, ascending.
   [[nodiscard]] std::vector<ServiceId> distinct_services() const;
+
+  /// Canonical structural encoding: "<n>;l0,l1,...;u>v,u>v,..." with the
+  /// edge list sorted. Two SGs produce the same string iff they have the
+  /// same vertex labelling and edge set — the exact-equality key the
+  /// serving engine's route cache groups requests by (DESIGN.md §12).
+  [[nodiscard]] std::string canonical_encoding() const;
+
+  /// 64-bit splitmix chain over the canonical structure (labels + sorted
+  /// edges), without materializing the string. Equal SGs hash equal;
+  /// used to pick a route-cache shard before the exact key is compared.
+  [[nodiscard]] std::uint64_t structural_hash() const;
 
   /// Build a linear SG s0 -> s1 -> ... -> sk.
   [[nodiscard]] static ServiceGraph linear(const std::vector<ServiceId>& chain);

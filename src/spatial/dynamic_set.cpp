@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "util/env.h"
 #include "util/require.h"
 
 namespace hfc {
@@ -38,6 +40,9 @@ void DynamicSpatialSet::rebuild() {
   pending_.clear();
   dead_.clear();
   if (mode_ == SpatialMode::kOff || live_.size() < kBruteThreshold) return;
+  static obs::Counter& rebuilds =
+      obs::MetricsRegistry::global().counter("spatial.set_rebuilds");
+  rebuilds.add(1);
   index_ = make_spatial_index(mode_, *coords_, live_);
   indexed_count_ = live_.size();
 }
@@ -68,14 +73,26 @@ bool DynamicSpatialSet::contains(std::int32_t id) const {
   return std::binary_search(live_.begin(), live_.end(), id);
 }
 
+std::size_t DynamicSpatialSet::rebuild_budget(std::size_t indexed) {
+  // HFC_SPATIAL_REBUILD_BUDGET >= 1 pins the budget; unset (or rejected
+  // by the robust parser, which falls back to 0) keeps the adaptive rule.
+  // Queries stay exact at any budget — the pending/tombstone overlay is
+  // consulted on every lookup — so the knob only trades rebuild frequency
+  // against per-query overlay size.
+  const std::size_t knob = env_size_t("HFC_SPATIAL_REBUILD_BUDGET", 0, 1);
+  if (knob > 0) return knob;
+  return std::max<std::size_t>(32, indexed / 4);
+}
+
 void DynamicSpatialSet::maybe_rebuild() {
   if (mode_ == SpatialMode::kOff) return;
   if (index_ == nullptr) {
     if (live_.size() >= kBruteThreshold) rebuild();
     return;
   }
-  const std::size_t budget = std::max<std::size_t>(32, indexed_count_ / 4);
-  if (pending_.size() + dead_.size() > budget) rebuild();
+  if (pending_.size() + dead_.size() > rebuild_budget(indexed_count_)) {
+    rebuild();
+  }
 }
 
 SpatialHit DynamicSpatialSet::nearest(const Point& q, double bound,

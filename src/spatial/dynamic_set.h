@@ -5,10 +5,11 @@
 // keeps one over the active set. Mutations (insert/erase) are O(log n)
 // buffer updates; queries answer over (indexed − tombstoned) ∪ pending,
 // so they are exact at every instant without rebuilding. `maybe_rebuild`
-// folds the buffers back into a fresh bulk load once they exceed
-// max(32, indexed/4) — callers invoke it only from serial mutation
-// points, never concurrently with queries, so the parallel repair sweeps
-// can fan out over `nearest` safely.
+// folds the buffers back into a fresh bulk load once they exceed the
+// rebuild budget — max(32, indexed/4), or the HFC_SPATIAL_REBUILD_BUDGET
+// knob when set — callers invoke it only from serial mutation points,
+// never concurrently with queries, so the parallel repair sweeps can fan
+// out over `nearest` safely.
 //
 // Sets smaller than 32 points skip the index entirely: a brute scan of
 // the sorted live list is both exact and faster than tree traversal.
@@ -43,6 +44,13 @@ class DynamicSpatialSet {
   /// Fold mutation buffers into a fresh index when they exceed the
   /// rebuild budget. Serial mutation points only.
   void maybe_rebuild();
+
+  /// The rebuild budget for a set of `indexed` points: the
+  /// HFC_SPATIAL_REBUILD_BUDGET knob when set (>= 1), otherwise the
+  /// adaptive max(32, indexed/4). Exact query results are independent of
+  /// the budget — it only schedules when buffers fold back into the
+  /// index (each fold bumps the spatial.set_rebuilds counter).
+  [[nodiscard]] static std::size_t rebuild_budget(std::size_t indexed);
 
   /// Live ids, ascending.
   [[nodiscard]] const std::vector<std::int32_t>& live_ids() const {

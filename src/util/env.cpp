@@ -1,5 +1,6 @@
 #include "util/env.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <iostream>
@@ -83,6 +84,106 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
     return fallback;
   }
   return v;
+}
+
+const std::vector<EnvKnob>& registered_knobs() {
+  // Sorted by name; test_knobs.cpp asserts the order so the `hfc_cli
+  // knobs` dump stays stable and diffs cleanly.
+  static const std::vector<EnvKnob> knobs = {
+      {"HFC_BENCH_JSON", "1",
+       "write BENCH_<name>.json next to each bench binary (0 = suppress)",
+       "bench"},
+      {"HFC_CHURN_BATCH", "16",
+       "churn events per apply() batch in bench_churn_dynamic", "bench"},
+      {"HFC_CHURN_EVENTS", "320",
+       "churn stream length per size in bench_churn_dynamic", "bench"},
+      {"HFC_CHURN_INCREMENTAL", "1",
+       "churn maintenance mode: 0 = full rebuild baseline, else incremental",
+       "core"},
+      {"HFC_CHURN_N", "0",
+       "single universe-size override for bench_churn_dynamic (0 = sweep)",
+       "bench"},
+      {"HFC_DIST_CACHE_ROWS", "per-consumer",
+       "row capacity of the truth-distance LRU row cache", "core"},
+      {"HFC_DIST_N", "20000",
+       "overlay size for bench_distance_scaling", "bench"},
+      {"HFC_DIST_REQUESTS", "2000",
+       "routed requests in bench_distance_scaling", "bench"},
+      {"HFC_FAULT_PLAN", "(none)",
+       "fault schedule spec armed by FaultPlan::from_env "
+       "(crash@t:n;recover@t:n;...)", "core"},
+      {"HFC_FAULT_SEED", "1",
+       "seed for FaultPlan::random when the caller has no opinion", "core"},
+      {"HFC_FULL", "0",
+       "1 = paper-scale benchmark configurations instead of reduced ones",
+       "bench"},
+      {"HFC_REQUESTS", "per-bench",
+       "request-batch size used by several benches", "bench"},
+      {"HFC_RUNS", "2 (5 full)",
+       "independent underlay runs in bench_fig10_path_efficiency", "bench"},
+      {"HFC_SCT_TTL", "0",
+       "soft-state TTL in ms for protocol SCT entries (0 = no expiry)",
+       "core"},
+      {"HFC_SERVE_CACHE", "4096",
+       "route-cache capacity per shard in the serving engine", "core"},
+      {"HFC_SERVE_HOT", "90",
+       "percent of bench_serving_throughput requests drawn from the hot set",
+       "bench"},
+      {"HFC_SERVE_N", "2000",
+       "universe size for bench_serving_throughput", "bench"},
+      {"HFC_SERVE_SHARDS", "16",
+       "shard count of the serving engine's route cache", "core"},
+      {"HFC_SERVE_WAVES", "24",
+       "request waves per configuration in bench_serving_throughput",
+       "bench"},
+      {"HFC_SERVE_WAVE_REQUESTS", "256",
+       "requests per wave in bench_serving_throughput", "bench"},
+      {"HFC_SESSIONS", "600 (2000 full)",
+       "session count in bench_ablation_qos_aggregation", "bench"},
+      {"HFC_SPATIAL", "kdtree",
+       "spatial index backend: off | kdtree | grid", "core"},
+      {"HFC_SPATIAL_MIN_N", "256",
+       "smallest point count that turns the spatial index on", "core"},
+      {"HFC_SPATIAL_REBUILD_BUDGET", "0",
+       "DynamicSpatialSet mutations tolerated before a rebuild "
+       "(0 = auto max(32, indexed/4))", "core"},
+      {"HFC_SPEEDUP_N", "512",
+       "problem size for bench_parallel_speedup", "bench"},
+      {"HFC_THREADS", "hardware",
+       "worker-thread count of the global pool", "core"},
+      {"HFC_TOPOLOGIES", "3 (10 full)",
+       "underlay count in the fig9 overhead benches", "bench"},
+      {"HFC_TOPO_CMP_N", "20000",
+       "size of the spatial-vs-brute A/B stage in bench_topology_scaling",
+       "bench"},
+      {"HFC_TOPO_DIM", "5",
+       "coordinate dimension in bench_topology_scaling", "bench"},
+      {"HFC_TOPO_N", "100000",
+       "size of the big build-and-route stage in bench_topology_scaling",
+       "bench"},
+      {"HFC_TOPO_REQUESTS", "200",
+       "routed probes in bench_topology_scaling", "bench"},
+      {"HFC_TRACE", "0",
+       "1 = write a chrome://tracing JSON of the span ring at exit", "core"},
+      {"HFC_TRACE_BUF", "65536",
+       "capacity of the bounded trace-span ring", "core"},
+      {"HFC_TRACE_FILE", "hfc_trace.json",
+       "output path for the HFC_TRACE=1 dump", "core"},
+      {"HFC_TRIALS", "15 (40 full)",
+       "trial count in bench_multicast_sharing", "bench"},
+      {"HFC_WAVES", "6",
+       "churn waves in bench_churn_dynamic part 1", "bench"},
+  };
+  return knobs;
+}
+
+const EnvKnob* find_knob(std::string_view name) {
+  const std::vector<EnvKnob>& knobs = registered_knobs();
+  const auto it = std::lower_bound(
+      knobs.begin(), knobs.end(), name,
+      [](const EnvKnob& k, std::string_view n) { return k.name < n; });
+  if (it == knobs.end() || name != it->name) return nullptr;
+  return &*it;
 }
 
 void reset_env_warnings() {

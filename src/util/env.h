@@ -11,6 +11,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
+#include <vector>
 
 namespace hfc {
 
@@ -36,6 +38,25 @@ namespace hfc {
 /// values (e.g. the FaultPlan `seed:` directive).
 [[nodiscard]] bool parse_u64(const char* raw, std::uint64_t& out,
                              const char*& why);
+
+/// One registered HFC_* environment knob. The registry is the single
+/// source of truth for what knobs exist: `hfc_cli knobs` dumps it, and
+/// tests/test_knobs.cpp greps the tree for `HFC_[A-Z0-9_]+` uses and
+/// fails on any knob that is missing from it — so a new knob cannot land
+/// undocumented.
+struct EnvKnob {
+  const char* name;         ///< e.g. "HFC_THREADS"
+  const char* fallback;     ///< human-readable default ("hardware", "16")
+  const char* description;  ///< one line: what the knob controls
+  /// "core" for library knobs, "bench" for bench/example sweep knobs.
+  const char* scope;
+};
+
+/// All registered knobs, sorted by name.
+[[nodiscard]] const std::vector<EnvKnob>& registered_knobs();
+
+/// Registry lookup; nullptr when `name` is not a registered knob.
+[[nodiscard]] const EnvKnob* find_knob(std::string_view name);
 
 /// Test hook: forget which variables have already warned, so negative-path
 /// tests can assert "exactly one warning" deterministically.

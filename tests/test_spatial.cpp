@@ -16,6 +16,7 @@
 #include "distance/coord_distance.h"
 #include "dynamic/dynamic_overlay.h"
 #include "multilevel/multilevel_hierarchy.h"
+#include "obs/metrics.h"
 #include "overlay/hfc_topology.h"
 #include "overlay/mesh_topology.h"
 #include "overlay/overlay_network.h"
@@ -23,6 +24,7 @@
 #include "services/service_graph.h"
 #include "spatial/dynamic_set.h"
 #include "spatial/spatial_index.h"
+#include "util/env.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -665,6 +667,64 @@ TEST(TopologyScaling, DynamicChurnEquivalence) {
   EXPECT_EQ(brute.second, kd.second);
   EXPECT_EQ(brute.first, grid.first);
   EXPECT_EQ(brute.second, grid.second);
+}
+
+TEST(SpatialRebuildBudget, KnobOverridesAdaptiveDefault) {
+  {
+    EnvGuard unset("HFC_SPATIAL_REBUILD_BUDGET", "0");
+    EXPECT_EQ(DynamicSpatialSet::rebuild_budget(0), 32u);
+    EXPECT_EQ(DynamicSpatialSet::rebuild_budget(100), 32u);
+    EXPECT_EQ(DynamicSpatialSet::rebuild_budget(1000), 250u);
+  }
+  {
+    EnvGuard guard("HFC_SPATIAL_REBUILD_BUDGET", "7");
+    EXPECT_EQ(DynamicSpatialSet::rebuild_budget(0), 7u);
+    EXPECT_EQ(DynamicSpatialSet::rebuild_budget(1000000), 7u);
+  }
+}
+
+TEST(SpatialRebuildBudget, MalformedKnobWarnsOnceAndFallsBack) {
+  EnvGuard guard("HFC_SPATIAL_REBUILD_BUDGET", "not-a-number");
+  reset_env_warnings();
+  EXPECT_EQ(DynamicSpatialSet::rebuild_budget(400), 100u);
+  EXPECT_EQ(DynamicSpatialSet::rebuild_budget(400), 100u);
+  EXPECT_EQ(env_warning_count(), 1u);
+}
+
+// A pathologically small budget forces a rebuild after almost every
+// mutation; query answers must be identical to the brute scan anyway
+// (the budget only schedules index folds), and the spatial.set_rebuilds
+// counter must show the folds actually happened.
+TEST(SpatialRebuildBudget, TinyBudgetIsExactAndRebuildsOften) {
+  EnvGuard guard("HFC_SPATIAL_REBUILD_BUDGET", "1");
+  Rng rng(4242);
+  const std::size_t n = 300;
+  std::vector<Point> pts = random_points(n, 2, rng);
+
+  obs::Counter& rebuilds =
+      obs::MetricsRegistry::global().counter("spatial.set_rebuilds");
+  const std::uint64_t before = rebuilds.value();
+
+  DynamicSpatialSet set;
+  set.bulk_load(SpatialMode::kKdTree, pts, all_ids(n));
+  std::vector<std::int32_t> live = all_ids(n);
+  for (std::size_t step = 0; step < 150; ++step) {
+    const std::int32_t victim = live[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(live.size()) - 1))];
+    set.erase(victim);
+    live.erase(std::find(live.begin(), live.end(), victim));
+    set.maybe_rebuild();
+
+    Point q(2, 0.0);
+    for (double& c : q) c = rng.uniform_real(0.0, 100.0);
+    QueryStats stats;
+    const SpatialHit got = set.nearest(
+        q, std::numeric_limits<double>::infinity(), stats);
+    const SpatialHit want = brute_nearest(pts, live, q);
+    EXPECT_EQ(got.id, want.id);
+    EXPECT_EQ(got.dist, want.dist);
+  }
+  EXPECT_GT(rebuilds.value() - before, 50u);
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 // Topology-construction scaling: the spatial-index path vs the quadratic
-// brute-force scans (DESIGN.md §11).
+// brute-force scans (DESIGN.md §11), and the construction stack that
+// carries the build to n = 1,000,000 proxies (DESIGN.md §13).
 //
 // Phase 1 (A/B, default n = 20000): build the full structural pipeline —
 // Zahn clustering over the Euclidean MST plus HFC closest-pair border
@@ -10,28 +11,41 @@
 // (n >= 20000) the bench *asserts* a >= 10x construction speedup and a
 // >= 100x border-candidate reduction; reduced runs only report.
 //
-// Phase 2 (default n = 100000): build + route at a proxy count where the
-// brute scans are simply infeasible (2e10 candidate pairs), and assert
-// that coordinate-tier plus spatial-index resident state stays inside a
-// linear memory ceiling — the dense n^2/2 distance matrix alone would be
-// ~40 GB.
+// Phase 2 (A/B, default n = 100000): the Borůvka MST alone, rounds vs
+// pruned sweep strategy over the same kd-tree (HFC_MST_ALGO semantics,
+// forced explicitly here). The two must produce bit-identical edge lists;
+// the bench asserts that, reports the candidate-pair and node-visit
+// reductions from the component-shared shrinking bound, and at the
+// acceptance size (n >= 100000) asserts the candidate reduction is real.
 //
-// Knobs: HFC_TOPO_N (phase-2 proxies, default 100000), HFC_TOPO_CMP_N
-// (phase-1 proxies, default 20000), HFC_TOPO_REQUESTS (routed requests,
-// default 1000), HFC_TOPO_DIM (coordinate dimension, default 5). The
-// sanitizer legs of scripts/check.sh run reduced sizes.
+// Phase 3 (default n = 1000000): build + route at a proxy count where the
+// flat topology's all-pairs border selection is infeasible, through the
+// bounded-fanout multilevel hierarchy. Asserts that coordinate-tier plus
+// hierarchy resident state stays inside a linear memory ceiling — the
+// dense n^2/2 distance matrix alone would be ~4 TB — and (at n >= 500000)
+// that process peak RSS stays under a hard ceiling.
+//
+// Knobs: HFC_TOPO_N (phase-3 proxies, default 1000000), HFC_TOPO_MST_N
+// (phase-2 proxies, default 100000), HFC_TOPO_CMP_N (phase-1 proxies,
+// default 20000), HFC_TOPO_REQUESTS (routed requests, default 1000),
+// HFC_TOPO_DIM (coordinate dimension, default 5), HFC_ML_FANOUT (phase-3
+// hierarchy fanout). The sanitizer legs of scripts/check.sh run reduced
+// sizes with both HFC_MST_ALGO settings.
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <utility>
 #include <vector>
 
 #include "bench/common.h"
+#include "src/cluster/mst.h"
 #include "src/cluster/zahn.h"
 #include "src/distance/coord_distance.h"
+#include "src/multilevel/multilevel_hierarchy.h"
+#include "src/multilevel/multilevel_router.h"
 #include "src/obs/metrics.h"
 #include "src/overlay/hfc_topology.h"
 #include "src/overlay/overlay_network.h"
-#include "src/routing/hierarchical_router.h"
 #include "src/services/service_graph.h"
 #include "src/spatial/spatial_index.h"
 #include "src/util/rng.h"
@@ -99,11 +113,39 @@ BuildResult build_once(const std::vector<Point>& coords) {
   return r;
 }
 
+struct MstResult {
+  double wall_ms = 0.0;
+  std::vector<MstEdge> edges;
+  std::uint64_t candidates = 0;
+  std::uint64_t nodes_visited = 0;
+};
+
+/// One Borůvka MST over the kd-tree under the given sweep strategy, with
+/// candidate-pair and tree-node-visit counter deltas.
+MstResult mst_once(const std::vector<Point>& coords, MstAlgo algo) {
+  obs::Counter& cand =
+      obs::MetricsRegistry::global().counter("cluster.mst_candidate_pairs");
+  obs::Counter& visits =
+      obs::MetricsRegistry::global().counter("spatial.nodes_visited");
+  const std::uint64_t cand0 = cand.value();
+  const std::uint64_t visits0 = visits.value();
+  const auto t0 = std::chrono::steady_clock::now();
+  MstResult r;
+  r.edges = euclidean_mst_spatial(coords, SpatialMode::kKdTree, algo);
+  r.wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  r.candidates = cand.value() - cand0;
+  r.nodes_visited = visits.value() - visits0;
+  return r;
+}
+
 }  // namespace
 
 int main() {
   using namespace hfc;
-  const std::size_t n = benchutil::env_size("HFC_TOPO_N", 100000);
+  const std::size_t n = benchutil::env_size("HFC_TOPO_N", 1000000);
+  const std::size_t mst_n = benchutil::env_size("HFC_TOPO_MST_N", 100000);
   const std::size_t cmp_n = benchutil::env_size("HFC_TOPO_CMP_N", 20000);
   const std::size_t requests = benchutil::env_size("HFC_TOPO_REQUESTS", 1000);
   const std::size_t dim = benchutil::env_size("HFC_TOPO_DIM", 5);
@@ -156,59 +198,119 @@ int main() {
     }
   }
 
-  // ---- Phase 2: build + route at n under a memory ceiling --------------
-  // Ceiling: linear in n — coordinate tier plus every spatial index the
-  // topology keeps. The dense pairwise matrix this pipeline used to imply
-  // is shown for contrast.
+  // ---- Phase 2: MST rounds vs pruned A/B at mst_n ----------------------
+  std::cout << "\nBorůvka sweep A/B at n=" << mst_n << "\n";
+  const std::vector<Point> mst_coords = clustered_coords(mst_n, dim, 4074);
+  const MstResult rounds = mst_once(mst_coords, MstAlgo::kRounds);
+  const MstResult pruned = mst_once(mst_coords, MstAlgo::kPruned);
+  const double mst_speedup = rounds.wall_ms / std::max(pruned.wall_ms, 1e-9);
+  const double cand_reduction =
+      static_cast<double>(rounds.candidates) /
+      std::max<double>(static_cast<double>(pruned.candidates), 1.0);
+  const double visit_reduction =
+      static_cast<double>(rounds.nodes_visited) /
+      std::max<double>(static_cast<double>(pruned.nodes_visited), 1.0);
+  std::cout << "  rounds:  " << benchutil::fmt(rounds.wall_ms, 0) << " ms, "
+            << rounds.candidates << " candidates, " << rounds.nodes_visited
+            << " node visits\n"
+            << "  pruned:  " << benchutil::fmt(pruned.wall_ms, 0) << " ms, "
+            << pruned.candidates << " candidates, " << pruned.nodes_visited
+            << " node visits\n"
+            << "  speedup " << benchutil::fmt(mst_speedup, 2)
+            << "x, candidate reduction " << benchutil::fmt(cand_reduction, 2)
+            << "x, node-visit reduction " << benchutil::fmt(visit_reduction, 2)
+            << "x\n";
+  if (rounds.edges.size() != pruned.edges.size()) {
+    std::cerr << "FATAL: rounds and pruned MSTs differ in size ("
+              << rounds.edges.size() << " vs " << pruned.edges.size() << ")\n";
+    return 1;
+  }
+  for (std::size_t i = 0; i < rounds.edges.size(); ++i) {
+    if (rounds.edges[i].a != pruned.edges[i].a ||
+        rounds.edges[i].b != pruned.edges[i].b ||
+        rounds.edges[i].length != pruned.edges[i].length) {
+      std::cerr << "FATAL: MST edge " << i << " differs between rounds ("
+                << rounds.edges[i].a << "," << rounds.edges[i].b
+                << ") and pruned (" << pruned.edges[i].a << ","
+                << pruned.edges[i].b << ")\n";
+      return 1;
+    }
+  }
+  if (mst_n >= 100000 && visit_reduction < 1.2) {
+    std::cerr << "FATAL: pruned sweep node-visit reduction "
+              << benchutil::fmt(visit_reduction, 2)
+              << "x below the asserted 1.2x at n=" << mst_n << "\n";
+    return 1;
+  }
+
+  // ---- Phase 3: multilevel build + route at n under memory ceilings ----
+  // Resident ceiling: linear in n — the coordinate tier plus all hierarchy
+  // state (membership lists, border/external maps). The dense pairwise
+  // matrix this pipeline used to imply is shown for contrast. Peak RSS is
+  // additionally bounded at large n (skipped on reduced runs, where
+  // sanitizer shadow memory dominates).
   const double ceiling_bytes =
-      32.0 * 1024.0 * 1024.0 + 256.0 * static_cast<double>(n);
+      64.0 * 1024.0 * 1024.0 + 512.0 * static_cast<double>(n);
+  const double rss_ceiling_bytes = 1.5 * 1024.0 * 1024.0 * 1024.0;
   const double dense_bytes = 0.5 * static_cast<double>(n) *
                              static_cast<double>(n + 1) * sizeof(double);
-  std::cout << "\nSpatial build + route at n=" << n
+  std::cout << "\nMultilevel build + route at n=" << n
             << " (resident ceiling "
             << benchutil::fmt(ceiling_bytes / (1024.0 * 1024.0), 1)
             << " MiB; dense matrix would be "
             << benchutil::fmt(dense_bytes / (1024.0 * 1024.0 * 1024.0), 1)
             << " GiB)\n";
-  const std::vector<Point> coords = clustered_coords(n, dim, 4072);
+  std::vector<Point> coords = clustered_coords(n, dim, 4072);
+  const std::size_t fanout = benchutil::env_size("HFC_ML_FANOUT", 32);
   const auto b0 = std::chrono::steady_clock::now();
   const CoordDistanceService dist(coords);
-  const Clustering clustering = cluster_nodes(dist);
-  const HfcTopology topo(clustering, dist);
+  const MultiLevelHierarchy hierarchy(
+      coords, MultiLevelParams::bounded(fanout, 8 * fanout));
   const double build_ms = std::chrono::duration<double, std::milli>(
                               std::chrono::steady_clock::now() - b0)
                               .count();
   const auto check_ceiling = [&](const char* stage) {
-    const double resident =
-        static_cast<double>(dist.resident_bytes()) +
-        static_cast<double>(topo.spatial_resident_bytes());
+    const double resident = static_cast<double>(dist.resident_bytes()) +
+                            static_cast<double>(hierarchy.resident_bytes());
     if (resident > ceiling_bytes) {
-      std::cerr << "FATAL: " << stage << ": coord + spatial resident state "
+      std::cerr << "FATAL: " << stage << ": coord + hierarchy resident state "
                 << resident << " B exceeds ceiling " << ceiling_bytes
                 << " B\n";
+      std::exit(1);
+    }
+    if (n >= 500000 &&
+        static_cast<double>(benchutil::peak_rss_bytes()) > rss_ceiling_bytes) {
+      std::cerr << "FATAL: " << stage << ": peak RSS "
+                << benchutil::peak_rss_bytes() << " B exceeds ceiling "
+                << rss_ceiling_bytes << " B\n";
       std::exit(1);
     }
   };
   check_ceiling("post-build");
   std::cout << "  build: " << benchutil::fmt(build_ms, 0) << " ms, "
-            << topo.live_cluster_count() << " clusters, spatial "
-            << (topo.spatial_active() ? "active" : "off") << ", resident "
-            << benchutil::fmt(
-                   static_cast<double>(dist.resident_bytes() +
-                                       topo.spatial_resident_bytes()) /
-                       (1024.0 * 1024.0),
-                   1)
+            << hierarchy.levels() << " levels, " << hierarchy.group_count()
+            << " groups, resident "
+            << benchutil::fmt(static_cast<double>(dist.resident_bytes() +
+                                                  hierarchy.resident_bytes()) /
+                                  (1024.0 * 1024.0),
+                              1)
+            << " MiB, peak RSS "
+            << benchutil::fmt(static_cast<double>(benchutil::peak_rss_bytes()) /
+                                  (1024.0 * 1024.0),
+                              1)
             << " MiB\n";
 
-  // Service routing over the topology: a small catalog, one service per
+  // Service routing over the hierarchy: a small catalog, one service per
   // proxy, linear two-service request chains between random endpoints.
+  // The overlay takes ownership of the coordinate cloud (the hierarchy
+  // and distance tier keep their own state) instead of a third copy.
   constexpr std::size_t kCatalog = 64;
   ServicePlacement placement(n);
   for (std::size_t v = 0; v < n; ++v) {
     placement[v] = {ServiceId(static_cast<std::int32_t>(v % kCatalog))};
   }
-  const OverlayNetwork net(coords, std::move(placement));
-  const HierarchicalServiceRouter router(net, topo, dist);
+  const OverlayNetwork net(std::move(coords), std::move(placement));
+  const MultiLevelRouter router(net, hierarchy, dist);
   Rng rng(4073);
   const auto r0 = std::chrono::steady_clock::now();
   std::size_t found = 0;
@@ -234,8 +336,9 @@ int main() {
   std::cout << "  routed " << found << "/" << requests << " requests in "
             << benchutil::fmt(route_ms, 0) << " ms\n";
 
-  json.add_trials(3);
+  json.add_trials(5);
   json.note("cmp_n", static_cast<double>(cmp_n));
+  json.note("mst_n", static_cast<double>(mst_n));
   json.note("n", static_cast<double>(n));
   json.note("dim", static_cast<double>(dim));
   json.note("brute_build_ms", brute.wall_ms);
@@ -243,12 +346,25 @@ int main() {
   json.note("construction_speedup", speedup);
   json.note("border_candidate_reduction", border_reduction);
   json.note("mst_candidate_reduction", mst_reduction);
+  json.note("mst_rounds_ms", rounds.wall_ms);
+  json.note("mst_pruned_ms", pruned.wall_ms);
+  json.note("mst_rounds_candidates", static_cast<double>(rounds.candidates));
+  json.note("mst_pruned_candidates", static_cast<double>(pruned.candidates));
+  json.note("mst_rounds_node_visits",
+            static_cast<double>(rounds.nodes_visited));
+  json.note("mst_pruned_node_visits",
+            static_cast<double>(pruned.nodes_visited));
+  json.note("mst_prune_speedup", mst_speedup);
+  json.note("mst_prune_candidate_reduction", cand_reduction);
+  json.note("mst_prune_visit_reduction", visit_reduction);
   json.note("build_ms_full", build_ms);
+  json.note("hierarchy_levels", static_cast<double>(hierarchy.levels()));
+  json.note("hierarchy_groups", static_cast<double>(hierarchy.group_count()));
   json.note("route_ms", route_ms);
   json.note("requests_routed", static_cast<double>(found));
   json.note("ceiling_bytes", ceiling_bytes);
   json.note("resident_bytes",
             static_cast<double>(dist.resident_bytes() +
-                                topo.spatial_resident_bytes()));
+                                hierarchy.resident_bytes()));
   return 0;
 }

@@ -19,6 +19,8 @@
 // same machine-readable place.
 #pragma once
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
@@ -58,6 +60,17 @@ inline std::string fmt(double value, int decimals = 2) {
 
 /// Effective parallelism of this process (HFC_THREADS / hardware).
 inline std::size_t threads_used() { return global_pool().thread_count(); }
+
+/// High-water resident set of this process so far, in bytes (0 if the
+/// platform refuses to say). Linux reports ru_maxrss in KiB. Every
+/// BENCH_<name>.json carries this as `peak_rss_bytes`, so memory-ceiling
+/// regressions show up in the same trend file as wall-clock ones; benches
+/// with a hard ceiling can also assert on it directly.
+inline std::size_t peak_rss_bytes() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;
+}
 
 /// Run `trials` independent trials of fn(t) on the global pool and return
 /// the results in trial order. fn must derive all randomness from t (every
@@ -110,7 +123,8 @@ class BenchJson {
         << "  \"name\": \"" << obs::json_escape(name_) << "\",\n"
         << "  \"trials\": " << trials_ << ",\n"
         << "  \"wall_ms\": " << obs::json_number(wall_ms) << ",\n"
-        << "  \"threads\": " << threads_used();
+        << "  \"threads\": " << threads_used() << ",\n"
+        << "  \"peak_rss_bytes\": " << peak_rss_bytes();
     for (const auto& [key, value] : extras) {
       out << ",\n  \"" << obs::json_escape(key)
           << "\": " << obs::json_number(value);

@@ -14,9 +14,10 @@
 #      suites) with a 4-thread pool, so data races in the registry, the
 #      pool, the sharded LRU or the batched border repair fail loudly;
 #      then reduced bench_churn_dynamic, bench_topology_scaling (spatial
-#      index forced on) and bench_serving_throughput runs under the same
-#      build — the serving bench hammers snapshot publication + the
-#      sharded cache with a 4-thread pool.
+#      index forced on, pruned MST sweep forced so the parallel per-
+#      component scans run under TSan) and bench_serving_throughput runs
+#      under the same build — the serving bench hammers snapshot
+#      publication + the sharded cache with a 4-thread pool.
 #   4. Build with -DHFC_SANITIZE=address (Debug, so the NDEBUG-gated
 #      lifetime asserts are live) into build-asan/, run the memory-heavy
 #      suites plus the dynamic/churn suites, and run the distance-scaling
@@ -25,8 +26,8 @@
 #      repair — is exercised under ASan.
 #   5. Build with -DHFC_COVERAGE=ON into build-cov/, run the full suite,
 #      and enforce the line-coverage floor (90%) for src/fault/,
-#      src/serve/, src/sim/ and src/spatial/ via scripts/coverage_gate.py
-#      (gcov JSON, no gcovr).
+#      src/serve/, src/sim/, src/spatial/, src/cluster/mst.* and
+#      src/multilevel/ via scripts/coverage_gate.py (gcov JSON, no gcovr).
 #
 # The sanitizer and coverage stages are the expensive ones; --fast skips
 # all three.
@@ -64,8 +65,9 @@ HFC_THREADS=4 ctest --test-dir build-tsan -j"$JOBS" --output-on-failure \
   -R 'Obs|Metrics|Trace|ThreadPool|Parallel|StateProtocol|Simulator|Distance|RowCache|Dynamic|Churn|Fault|Chaos|Spatial|TopologyScaling|Serve'
 HFC_THREADS=4 HFC_CHURN_N=500 HFC_CHURN_EVENTS=96 HFC_REQUESTS=40 \
   HFC_WAVES=2 HFC_BENCH_JSON=0 ./build-tsan/bench/bench_churn_dynamic
-HFC_THREADS=4 HFC_TOPO_N=1500 HFC_TOPO_CMP_N=400 HFC_TOPO_REQUESTS=40 \
-  HFC_SPATIAL_MIN_N=2 HFC_BENCH_JSON=0 ./build-tsan/bench/bench_topology_scaling
+HFC_THREADS=4 HFC_TOPO_N=1500 HFC_TOPO_MST_N=600 HFC_TOPO_CMP_N=400 \
+  HFC_TOPO_REQUESTS=40 HFC_SPATIAL_MIN_N=2 HFC_MST_ALGO=pruned \
+  HFC_BENCH_JSON=0 ./build-tsan/bench/bench_topology_scaling
 HFC_THREADS=4 HFC_SERVE_N=500 HFC_SERVE_WAVES=8 HFC_SERVE_WAVE_REQUESTS=48 \
   HFC_BENCH_JSON=0 ./build-tsan/bench/bench_serving_throughput
 
@@ -78,8 +80,9 @@ HFC_DIST_N=400 HFC_DIST_REQUESTS=200 HFC_BENCH_JSON=0 \
   ./build-asan/bench/bench_distance_scaling
 HFC_CHURN_N=500 HFC_CHURN_EVENTS=96 HFC_REQUESTS=40 HFC_WAVES=2 \
   HFC_BENCH_JSON=0 ./build-asan/bench/bench_churn_dynamic
-HFC_TOPO_N=1500 HFC_TOPO_CMP_N=400 HFC_TOPO_REQUESTS=40 \
-  HFC_SPATIAL_MIN_N=2 HFC_BENCH_JSON=0 ./build-asan/bench/bench_topology_scaling
+HFC_TOPO_N=1500 HFC_TOPO_MST_N=600 HFC_TOPO_CMP_N=400 HFC_TOPO_REQUESTS=40 \
+  HFC_SPATIAL_MIN_N=2 HFC_MST_ALGO=pruned HFC_BENCH_JSON=0 \
+  ./build-asan/bench/bench_topology_scaling
 HFC_SERVE_N=500 HFC_SERVE_WAVES=8 HFC_SERVE_WAVE_REQUESTS=48 \
   HFC_BENCH_JSON=0 ./build-asan/bench/bench_serving_throughput
 

@@ -16,7 +16,8 @@ import os
 import subprocess
 import sys
 
-MONITORED = ("src/fault", "src/serve", "src/sim", "src/spatial")
+MONITORED = ("src/cluster/mst", "src/fault", "src/multilevel", "src/serve",
+             "src/sim", "src/spatial")
 DEFAULT_FLOOR = 90.0
 
 

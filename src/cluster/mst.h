@@ -12,13 +12,34 @@
 //     truth tier's bounded row cache is read sequentially instead of
 //     thrashed.
 //   * Borůvka over a spatial index (`euclidean_mst_spatial`) — each round
-//     tags the index with the current components and asks, per point in
-//     parallel, for its nearest foreign point; components shrink
-//     geometrically, so the whole build is O(n log n) nearest-neighbour
-//     work. This is what `euclidean_mst` and the coordinate-tier
-//     `mst_dense` dispatch to once `spatial_enabled(n)` holds (default:
-//     n >= 256 with HFC_SPATIAL != off), and it is the tier that carries
-//     Zahn clustering to the 100k-proxy scale (bench_topology_scaling).
+//     tags the index with the current components and finds, per component,
+//     its cheapest outgoing edge; components shrink geometrically, so the
+//     whole build is O(n log n) nearest-neighbour work. This is what
+//     `euclidean_mst` and the coordinate-tier `mst_dense` dispatch to once
+//     `spatial_enabled(n)` holds (default: n >= 256 with HFC_SPATIAL !=
+//     off), and it is the tier that carries Zahn clustering to the
+//     1M-proxy scale (bench_topology_scaling).
+//
+// The Borůvka tier has two sweep strategies behind HFC_MST_ALGO
+// (DESIGN.md §13):
+//
+//   rounds — every point independently asks for its nearest foreign
+//     point with an infinite bound, and a serial pass reduces the n hits
+//     to one candidate per component. Simple, embarrassingly parallel,
+//     but each query pays the full k-d descent even when its component
+//     already holds a much closer outgoing edge.
+//   pruned — points are grouped by component and scanned sequentially
+//     within it, passing the component's best candidate distance so far
+//     as the (inclusive) query bound. The bound shrinks as candidates
+//     improve, so most member queries cut off after a few node visits;
+//     components scan in parallel, writing disjoint candidate slots.
+//
+// Both strategies produce bit-identical trees: the inclusive-bound
+// contract (spatial_index.h) returns candidates at exactly the bound, so
+// every hit that could win the per-component (d, a, b) minimisation is
+// still seen, and hits the bound excludes are exactly those the rounds
+// reduction would discard. `pruned` is the default; `rounds` remains as
+// the A/B baseline the bench and equivalence tests pin.
 //
 // Equivalence across tiers: all evaluate the same `euclidean()` doubles,
 // and with distinct pairwise distances the MST is unique, so Prim and
@@ -69,11 +90,26 @@ using DistanceFn = std::function<double(std::size_t, std::size_t)>;
 [[nodiscard]] std::vector<MstEdge> euclidean_mst(
     const std::vector<Point>& points);
 
+/// Which Borůvka sweep strategy the spatial MST path uses (HFC_MST_ALGO
+/// knob). Both produce bit-identical trees; see the header comment.
+enum class MstAlgo { kRounds, kPruned };
+
+/// Resolve the HFC_MST_ALGO environment knob (re-read on each call).
+/// Invalid values warn once and fall back to kPruned.
+[[nodiscard]] MstAlgo mst_algo();
+
+[[nodiscard]] const char* mst_algo_name(MstAlgo algo);
+
 /// The Borůvka-over-spatial-index path, exposed directly so equivalence
 /// tests and ablations can pin the structure regardless of environment.
-/// Edges come back canonical: a < b, sorted ascending by (a, b).
+/// Edges come back canonical: a < b, sorted ascending by (a, b). The
+/// two-argument form resolves the sweep strategy from HFC_MST_ALGO; the
+/// three-argument form pins it for A/B runs.
 [[nodiscard]] std::vector<MstEdge> euclidean_mst_spatial(
     const std::vector<Point>& points, SpatialMode mode);
+
+[[nodiscard]] std::vector<MstEdge> euclidean_mst_spatial(
+    const std::vector<Point>& points, SpatialMode mode, MstAlgo algo);
 
 /// Total length of an edge set.
 [[nodiscard]] double total_length(const std::vector<MstEdge>& edges);

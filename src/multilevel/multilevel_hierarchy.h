@@ -43,7 +43,8 @@ struct HierarchyGroup {
 struct MultiLevelParams {
   /// Number of clustering levels requested (1 = flat clusters under a
   /// root, i.e. the paper's bi-level topology). Construction stops early
-  /// at the level where a single group remains.
+  /// at the level where a single group remains. Ignored in bounded-fanout
+  /// mode (group_fanout > 0), where depth is derived instead.
   std::size_t levels = 2;
   /// Leaf clustering defaults to the median neighbourhood statistic:
   /// hierarchically laid-out points are multi-scale, and a mean is masked
@@ -56,6 +57,29 @@ struct MultiLevelParams {
   /// The Zahn inconsistency factor is multiplied by this per level above
   /// the leaves (coarser grouping higher up).
   double factor_growth = 1.3;
+
+  /// Bounded-fanout mode (DESIGN.md §13). 0 keeps the legacy fixed-
+  /// `levels` construction above. When > 0, no group — including the
+  /// virtual root — holds more than this many children: oversized Zahn
+  /// leaves are split by recursive widest-axis median partition down to
+  /// `leaf_limit` nodes, and levels of median-partitioned centroid
+  /// groups are added until one root can hold the top level, so the
+  /// depth is ceil(log_fanout(#leaves)) instead of a caller guess. Per-
+  /// parent sibling counts stay O(fanout) as n grows, which keeps the
+  /// pairwise border-selection work and per-node visible state bounded
+  /// — the property the 1M-proxy build rests on.
+  std::size_t group_fanout = 0;
+  /// Max nodes per leaf cluster in bounded-fanout mode (>= 1).
+  std::size_t leaf_limit = 256;
+
+  /// Convenience: bounded-fanout params with the default leaf Zahn.
+  [[nodiscard]] static MultiLevelParams bounded(std::size_t fanout,
+                                                std::size_t leaf_limit) {
+    MultiLevelParams p;
+    p.group_fanout = fanout;
+    p.leaf_limit = leaf_limit;
+    return p;
+  }
 };
 
 class MultiLevelHierarchy {
@@ -97,7 +121,18 @@ class MultiLevelHierarchy {
   [[nodiscard]] std::size_t coordinate_state_count(NodeId node) const;
   [[nodiscard]] std::size_t service_state_count(NodeId node) const;
 
+  /// Bytes of hierarchy state resident (group membership lists plus the
+  /// border/external maps) — the bench memory-ceiling assertions bound
+  /// this alongside the coordinate tier.
+  [[nodiscard]] std::size_t resident_bytes() const;
+
  private:
+  void build_fixed_levels(const std::vector<Point>& coords,
+                          const MultiLevelParams& params);
+  void build_bounded_fanout(const std::vector<Point>& coords,
+                            const MultiLevelParams& params);
+  /// Append the virtual root over level_groups_.back().
+  void finish_root();
   void select_borders(const std::vector<Point>& coords);
   [[nodiscard]] static std::uint64_t pair_key(std::size_t a, std::size_t b) {
     return (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint32_t>(b);

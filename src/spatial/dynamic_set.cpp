@@ -90,9 +90,33 @@ void DynamicSpatialSet::maybe_rebuild() {
     if (live_.size() >= kBruteThreshold) rebuild();
     return;
   }
-  if (pending_.size() + dead_.size() > rebuild_budget(indexed_count_)) {
-    rebuild();
+  if (pending_.size() + dead_.size() <= rebuild_budget(indexed_count_)) return;
+  // Incremental path (HFC_SPATIAL_INCREMENTAL, default on): fold the
+  // overlay into the index in place, rebuilding only the subtrees the
+  // batch unbalances. Falls back to the full bulk reload when the index
+  // kind does not support folding or the set shrank below the index
+  // threshold. Either way the overlay empties, so queries afterwards are
+  // pure index hits; both paths count as a spatial.set_rebuilds event
+  // (the budget schedule is identical), folds additionally count
+  // spatial.set_folds.
+  if (env_size_t("HFC_SPATIAL_INCREMENTAL", 1, 0) != 0 &&
+      live_.size() >= kBruteThreshold) {
+    std::vector<std::int32_t> removes(dead_.begin(), dead_.end());
+    std::sort(removes.begin(), removes.end());
+    if (index_->fold_updates(pending_, removes)) {
+      static obs::Counter& rebuilds =
+          obs::MetricsRegistry::global().counter("spatial.set_rebuilds");
+      static obs::Counter& folds =
+          obs::MetricsRegistry::global().counter("spatial.set_folds");
+      rebuilds.add(1);
+      folds.add(1);
+      indexed_count_ = live_.size();
+      pending_.clear();
+      dead_.clear();
+      return;
+    }
   }
+  rebuild();
 }
 
 SpatialHit DynamicSpatialSet::nearest(const Point& q, double bound,

@@ -5,11 +5,15 @@
 // keeps one over the active set. Mutations (insert/erase) are O(log n)
 // buffer updates; queries answer over (indexed − tombstoned) ∪ pending,
 // so they are exact at every instant without rebuilding. `maybe_rebuild`
-// folds the buffers back into a fresh bulk load once they exceed the
-// rebuild budget — max(32, indexed/4), or the HFC_SPATIAL_REBUILD_BUDGET
-// knob when set — callers invoke it only from serial mutation points,
-// never concurrently with queries, so the parallel repair sweeps can fan
-// out over `nearest` safely.
+// folds the buffers back into the index once they exceed the rebuild
+// budget — max(32, indexed/4), or the HFC_SPATIAL_REBUILD_BUDGET knob
+// when set — callers invoke it only from serial mutation points, never
+// concurrently with queries, so the parallel repair sweeps can fan out
+// over `nearest` safely. With HFC_SPATIAL_INCREMENTAL (default on) the
+// fold goes through SpatialIndex::fold_updates — scapegoat-style subtree
+// rebuilds that touch only the unbalanced parts of the tree (DESIGN.md
+// §13) — and falls back to the full bulk reload when the index kind does
+// not support folding.
 //
 // Sets smaller than 32 points skip the index entirely: a brute scan of
 // the sorted live list is both exact and faster than tree traversal.

@@ -12,6 +12,17 @@
 // point — is strictly greater than the current best distance. Boxes at
 // exactly the best distance are still visited, which is what preserves
 // the smallest-id tie-break.
+//
+// `fold_updates` (DESIGN.md §13) merges a mutation batch without a full
+// rebuild: removed ids are located in one scan, added points are routed
+// down the existing split planes, and an emit pass copies the tree into
+// fresh arrays — untouched subtrees verbatim, touched subtrees kept when
+// the change count stays within a scapegoat budget (max(16, size/4)) and
+// rebuilt from their surviving points otherwise. Kept nodes keep their
+// split planes and take the union of their children's boxes, so boxes
+// always *contain* their subtree's points; containment (not tightness)
+// is all the search correctness argument above needs — a loose box only
+// costs pruning efficiency until a later rebuild tightens it.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +51,9 @@ class KdTree final : public SpatialIndex {
   [[nodiscard]] SpatialHit nearest_foreign(const Point& q, std::int32_t label,
                                            double bound,
                                            QueryStats& stats) const override;
+  [[nodiscard]] bool fold_updates(
+      const std::vector<std::int32_t>& adds,
+      const std::vector<std::int32_t>& removes) override;
   [[nodiscard]] std::size_t resident_bytes() const override;
 
  private:
@@ -61,7 +75,36 @@ class KdTree final : public SpatialIndex {
   [[nodiscard]] const Point& point(std::uint32_t pos) const {
     return (*coords_)[static_cast<std::size_t>(ids_[pos])];
   }
-  [[nodiscard]] std::int32_t build(std::uint32_t begin, std::uint32_t end);
+  /// Build a subtree over ids[begin, end) into the given arrays (which
+  /// may be the members or the fold-emit scratch); returns the new node
+  /// index. Only coords_/dim_ of *this are read.
+  [[nodiscard]] std::int32_t build_range(std::vector<std::int32_t>& ids,
+                                         std::vector<Node>& nodes,
+                                         std::vector<double>& boxes,
+                                         std::uint32_t begin,
+                                         std::uint32_t end) const;
+  /// fold_updates emit pass (see the header comment). `dead_prefix` is
+  /// the prefix-count of tombstoned positions, `add_count`/`leaf_adds`
+  /// the per-node routing of added ids.
+  struct FoldScratch {
+    const std::vector<std::uint32_t>* dead_prefix;
+    const std::vector<std::uint32_t>* add_count;
+    const std::vector<std::vector<std::int32_t>>* leaf_adds;
+    std::vector<std::int32_t> ids;
+    std::vector<Node> nodes;
+    std::vector<double> boxes;
+    std::uint64_t points_rebuilt = 0;
+  };
+  [[nodiscard]] std::int32_t fold_emit(std::int32_t old_node,
+                                       FoldScratch& s) const;
+  /// Copy an untouched subtree verbatim, shifting id positions by the
+  /// subtree's new location.
+  [[nodiscard]] std::int32_t fold_copy(std::int32_t old_node,
+                                       std::int64_t pos_delta,
+                                       FoldScratch& s) const;
+  /// Append the ids of every add routed into `old_node`'s subtree.
+  void gather_adds(std::int32_t old_node, FoldScratch& s,
+                   std::vector<std::int32_t>& out) const;
   /// Exact distance from q to node's bounding box (0 when inside).
   [[nodiscard]] double box_distance(std::int32_t node, const Point& q) const;
   void search(std::int32_t node, const Point& q, std::int32_t foreign_label,

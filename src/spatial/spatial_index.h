@@ -133,6 +133,24 @@ class SpatialIndex {
       const Point& q, std::int32_t label, double bound,
       QueryStats& stats) const = 0;
 
+  /// Fold a batch of mutations into the index in place: `adds` become
+  /// indexed points, `removes` (which must all be indexed) stop existing.
+  /// Implementations that support it rebuild only the subtrees the batch
+  /// actually unbalances (scapegoat-style; see kd_tree.h) and return
+  /// true; the default returns false and the caller falls back to a full
+  /// bulk reload. After a successful fold the index answers queries over
+  /// exactly (indexed − removes) ∪ adds with the same exactness contract
+  /// as a fresh build; any `retag` state is discarded and must be
+  /// re-established before the next `nearest_foreign`. Not thread-safe
+  /// with concurrent queries.
+  [[nodiscard]] virtual bool fold_updates(
+      const std::vector<std::int32_t>& adds,
+      const std::vector<std::int32_t>& removes) {
+    (void)adds;
+    (void)removes;
+    return false;
+  }
+
   /// Bytes of index state currently resident (the bench memory-ceiling
   /// assertions bound this alongside the coordinate tier).
   [[nodiscard]] virtual std::size_t resident_bytes() const = 0;

@@ -117,6 +117,15 @@ const std::vector<EnvKnob>& registered_knobs() {
       {"HFC_FULL", "0",
        "1 = paper-scale benchmark configurations instead of reduced ones",
        "bench"},
+      {"HFC_ML_AUTO_N", "100000",
+       "proxy count at which kAuto framework builds switch to the "
+       "bounded-fanout multilevel stack", "core"},
+      {"HFC_ML_FANOUT", "32",
+       "children per group in bounded-fanout multilevel builds "
+       "(leaf clusters hold 8x this many nodes)", "core"},
+      {"HFC_MST_ALGO", "pruned",
+       "Borůvka sweep strategy over the spatial index: rounds | pruned",
+       "core"},
       {"HFC_REQUESTS", "per-bench",
        "request-batch size used by several benches", "bench"},
       {"HFC_RUNS", "2 (5 full)",
@@ -142,6 +151,9 @@ const std::vector<EnvKnob>& registered_knobs() {
        "session count in bench_ablation_qos_aggregation", "bench"},
       {"HFC_SPATIAL", "kdtree",
        "spatial index backend: off | kdtree | grid", "core"},
+      {"HFC_SPATIAL_INCREMENTAL", "1",
+       "DynamicSpatialSet budget folds: 0 = full bulk reload baseline, "
+       "else in-place subtree rebuilds", "core"},
       {"HFC_SPATIAL_MIN_N", "256",
        "smallest point count that turns the spatial index on", "core"},
       {"HFC_SPATIAL_REBUILD_BUDGET", "0",
@@ -158,7 +170,10 @@ const std::vector<EnvKnob>& registered_knobs() {
        "bench"},
       {"HFC_TOPO_DIM", "5",
        "coordinate dimension in bench_topology_scaling", "bench"},
-      {"HFC_TOPO_N", "100000",
+      {"HFC_TOPO_MST_N", "100000",
+       "size of the MST rounds-vs-pruned A/B stage in bench_topology_scaling",
+       "bench"},
+      {"HFC_TOPO_N", "1000000",
        "size of the big build-and-route stage in bench_topology_scaling",
        "bench"},
       {"HFC_TOPO_REQUESTS", "200",

@@ -1,7 +1,9 @@
 // End-to-end tests of the HfcFramework façade and the experiment harness.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
+#include <string>
 
 #include "core/experiment.h"
 #include "core/framework.h"
@@ -173,6 +175,65 @@ TEST(Experiment, ConstructionCostAccounting) {
 TEST(Experiment, FormatRowPadsCells) {
   const std::string row = format_row({"ab", "c"}, 4);
   EXPECT_EQ(row, "ab   c    ");
+}
+
+TEST(FrameworkScheme, AutoStaysFlatAtSmallN) {
+  const auto fw = HfcFramework::build(small_config(25));
+  EXPECT_FALSE(fw->is_multilevel());
+  EXPECT_EQ(fw->topology().node_count(), 80u);
+  EXPECT_THROW((void)fw->hierarchy(), std::invalid_argument);
+  EXPECT_THROW((void)fw->multilevel_router(), std::invalid_argument);
+}
+
+TEST(FrameworkScheme, ExplicitMultiLevelBuildsAndRoutes) {
+  FrameworkConfig config = small_config(27);
+  config.scheme = TopologyScheme::kMultiLevel;
+  const auto fw = HfcFramework::build(config);
+  EXPECT_TRUE(fw->is_multilevel());
+  EXPECT_EQ(fw->hierarchy().node_count(), 80u);
+  EXPECT_THROW((void)fw->topology(), std::invalid_argument);
+  EXPECT_THROW((void)fw->router(), std::invalid_argument);
+
+  Rng rng(29);
+  std::size_t found = 0;
+  for (const ServiceRequest& request : fw->generate_requests(10, rng)) {
+    const ServicePath path = fw->route(request);
+    if (path.found) ++found;
+  }
+  EXPECT_GT(found, 0u);
+}
+
+TEST(FrameworkScheme, AutoThresholdKnobSwitchesStacks) {
+  // Same config, threshold above vs below the proxy count.
+  const char* knob = "HFC_ML_AUTO_N";
+  const char* old = ::getenv(knob);
+  const std::string saved = old != nullptr ? old : "";
+  ::setenv(knob, "40", 1);
+  const auto multilevel = HfcFramework::build(small_config(31));
+  ::setenv(knob, "200", 1);
+  const auto flat = HfcFramework::build(small_config(31));
+  if (old != nullptr) {
+    ::setenv(knob, saved.c_str(), 1);
+  } else {
+    ::unsetenv(knob);
+  }
+  EXPECT_TRUE(multilevel->is_multilevel());
+  EXPECT_FALSE(flat->is_multilevel());
+}
+
+TEST(FrameworkScheme, MultiLevelBuildIsDeterministic) {
+  FrameworkConfig config = small_config(33);
+  config.scheme = TopologyScheme::kMultiLevel;
+  const auto a = HfcFramework::build(config);
+  const auto b = HfcFramework::build(config);
+  EXPECT_EQ(a->hierarchy().group_count(), b->hierarchy().group_count());
+  Rng rng_a(35);
+  Rng rng_b(35);
+  const auto req_a = a->generate_requests(5, rng_a);
+  const auto req_b = b->generate_requests(5, rng_b);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(a->route(req_a[i]).to_string(), b->route(req_b[i]).to_string());
+  }
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "routing/brute_force.h"
 #include "services/workload.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace hfc {
 namespace {
@@ -317,6 +318,135 @@ TEST_P(MultiLevelPropertyTest, ValidAndAboveFlatOptimum) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MultiLevelPropertyTest,
                          ::testing::Values(401, 402, 403, 404, 405, 406));
+
+std::vector<Point> random_cloud(std::size_t n, std::size_t dim,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Point p(dim, 0.0);
+    for (double& c : p) c = rng.uniform_real(0.0, 100.0);
+    pts.push_back(std::move(p));
+  }
+  return pts;
+}
+
+// Bounded-fanout mode (DESIGN.md §13): no group — the virtual root
+// included — may exceed the fanout, no leaf may exceed leaf_limit, and
+// the leaves must partition the node set.
+TEST(BoundedFanout, FanoutAndLeafBoundsHold) {
+  const std::vector<Point> pts = random_cloud(500, 3, 771);
+  const MultiLevelHierarchy h(pts, MultiLevelParams::bounded(4, 8));
+  EXPECT_GE(h.levels(), 2u);
+  std::set<NodeId> seen;
+  for (std::size_t g = 0; g < h.group_count(); ++g) {
+    const HierarchyGroup& group = h.group(g);
+    EXPECT_LE(group.children.size(), 4u) << "group " << g;
+    if (group.level == 1) {
+      EXPECT_LE(group.nodes.size(), 8u) << "leaf " << g;
+      for (NodeId v : group.nodes) {
+        EXPECT_TRUE(seen.insert(v).second) << "node in two leaves";
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 500u);
+  // Ancestry stays consistent across the derived depth.
+  for (int v = 0; v < 500; v += 37) {
+    std::size_t g = h.leaf_of(NodeId(v));
+    for (std::size_t level = 2; level <= h.levels() + 1; ++level) {
+      g = h.group(g).parent;
+      EXPECT_EQ(h.ancestor_of(NodeId(v), level), g);
+    }
+    EXPECT_EQ(g, h.root());
+  }
+}
+
+TEST(BoundedFanout, BordersAreClosestPairsPerLevel) {
+  const std::vector<Point> pts = random_cloud(120, 2, 772);
+  const MultiLevelHierarchy h(pts, MultiLevelParams::bounded(3, 6));
+  for (std::size_t g = 0; g < h.group_count(); ++g) {
+    const HierarchyGroup& parent = h.group(g);
+    for (std::size_t i = 0; i + 1 < parent.children.size(); ++i) {
+      for (std::size_t j = i + 1; j < parent.children.size(); ++j) {
+        const std::size_t a = parent.children[i];
+        const std::size_t b = parent.children[j];
+        const NodeId ba = h.border(a, b);
+        const NodeId bb = h.border(b, a);
+        const double chosen = euclidean(pts[ba.idx()], pts[bb.idx()]);
+        EXPECT_DOUBLE_EQ(chosen, h.external_length(a, b));
+        for (NodeId x : h.group(a).nodes) {
+          for (NodeId y : h.group(b).nodes) {
+            EXPECT_GE(euclidean(pts[x.idx()], pts[y.idx()]),
+                      chosen - 1e-12);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BoundedFanout, HopPathsConnectAndRouterRoutes) {
+  const std::vector<Point> pts = random_cloud(300, 2, 773);
+  const MultiLevelHierarchy h(pts, MultiLevelParams::bounded(5, 12));
+  Rng rng(774);
+  for (std::size_t t = 0; t < 50; ++t) {
+    const NodeId a(rng.uniform_int(0, 299));
+    const NodeId b(rng.uniform_int(0, 299));
+    const auto path = h.hop_path(a, b);
+    EXPECT_EQ(path.front(), a);
+    EXPECT_EQ(path.back(), b);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_NE(path[i], path[i + 1]);
+    }
+  }
+
+  const OverlayNetwork net(pts, spread_placement(pts.size(), 6));
+  const MultiLevelRouter router(net, h, net.coord_distance_fn());
+  Rng rrng(775);
+  for (std::size_t t = 0; t < 25; ++t) {
+    ServiceRequest request;
+    request.source = NodeId(rrng.uniform_int(0, 299));
+    request.destination = NodeId(rrng.uniform_int(0, 299));
+    request.graph =
+        ServiceGraph::linear({ServiceId(rrng.uniform_int(0, 5))});
+    const ServicePath path = router.route(request);
+    ASSERT_TRUE(path.found);
+    EXPECT_TRUE(satisfies(path, request, net));
+  }
+}
+
+TEST(BoundedFanout, DeterministicAcrossThreadCounts) {
+  const std::vector<Point> pts = random_cloud(260, 3, 776);
+  const MultiLevelParams params = MultiLevelParams::bounded(4, 10);
+  const MultiLevelHierarchy serial(pts, params);
+  set_global_threads(4);
+  const MultiLevelHierarchy threaded(pts, params);
+  set_global_threads(0);
+
+  ASSERT_EQ(serial.group_count(), threaded.group_count());
+  for (std::size_t g = 0; g < serial.group_count(); ++g) {
+    EXPECT_EQ(serial.group(g).children, threaded.group(g).children);
+    EXPECT_EQ(serial.group(g).nodes, threaded.group(g).nodes);
+    const HierarchyGroup& parent = serial.group(g);
+    for (std::size_t i = 0; i + 1 < parent.children.size(); ++i) {
+      for (std::size_t j = i + 1; j < parent.children.size(); ++j) {
+        const std::size_t a = parent.children[i];
+        const std::size_t b = parent.children[j];
+        EXPECT_EQ(serial.border(a, b), threaded.border(a, b));
+        EXPECT_EQ(serial.external_length(a, b), threaded.external_length(a, b));
+      }
+    }
+  }
+}
+
+TEST(BoundedFanout, ValidatesParams) {
+  const std::vector<Point> pts = random_cloud(40, 2, 777);
+  EXPECT_THROW(MultiLevelHierarchy(pts, MultiLevelParams::bounded(1, 8)),
+               std::invalid_argument);
+  EXPECT_THROW(MultiLevelHierarchy(pts, MultiLevelParams::bounded(4, 0)),
+               std::invalid_argument);
+}
 
 }  // namespace
 }  // namespace hfc

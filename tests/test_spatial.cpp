@@ -727,5 +727,204 @@ TEST(SpatialRebuildBudget, TinyBudgetIsExactAndRebuildsOften) {
   EXPECT_GT(rebuilds.value() - before, 50u);
 }
 
+void expect_same_edges(const std::vector<MstEdge>& a,
+                       const std::vector<MstEdge>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].a, b[i].a) << "edge " << i;
+    EXPECT_EQ(a[i].b, b[i].b) << "edge " << i;
+    EXPECT_EQ(a[i].length, b[i].length) << "edge " << i;
+  }
+}
+
+// The pruned Borůvka sweep must be bit-identical to the per-point rounds
+// sweep — same edges in the same order, not just the same edge set — for
+// any thread count, on both index kinds (DESIGN.md §13).
+TEST(MstAlgo, PrunedMatchesRoundsBitwise) {
+  Rng rng(961);
+  const std::vector<Point> pts = random_points(600, 3, rng);
+  EnvGuard min_n("HFC_SPATIAL_MIN_N", "2");
+  const std::vector<MstEdge> rounds =
+      euclidean_mst_spatial(pts, SpatialMode::kKdTree, MstAlgo::kRounds);
+  const std::vector<MstEdge> pruned =
+      euclidean_mst_spatial(pts, SpatialMode::kKdTree, MstAlgo::kPruned);
+  expect_same_edges(rounds, pruned);
+  const std::vector<MstEdge> grid_pruned =
+      euclidean_mst_spatial(pts, SpatialMode::kGrid, MstAlgo::kPruned);
+  expect_same_edges(rounds, grid_pruned);
+
+  set_global_threads(4);
+  const std::vector<MstEdge> pruned4 =
+      euclidean_mst_spatial(pts, SpatialMode::kKdTree, MstAlgo::kPruned);
+  set_global_threads(0);
+  expect_same_edges(rounds, pruned4);
+}
+
+TEST(MstAlgo, KnobParsing) {
+  {
+    EnvGuard g("HFC_MST_ALGO", "rounds");
+    EXPECT_EQ(mst_algo(), MstAlgo::kRounds);
+  }
+  {
+    EnvGuard g("HFC_MST_ALGO", "pruned");
+    EXPECT_EQ(mst_algo(), MstAlgo::kPruned);
+  }
+  {
+    // Unknown values warn (once) and fall back to the pruned default.
+    EnvGuard g("HFC_MST_ALGO", "kruskal");
+    EXPECT_EQ(mst_algo(), MstAlgo::kPruned);
+  }
+  EXPECT_STREQ(mst_algo_name(MstAlgo::kRounds), "rounds");
+  EXPECT_STREQ(mst_algo_name(MstAlgo::kPruned), "pruned");
+}
+
+// Tombstone-heavy churn: erase 3/4 of the set through repeated budget
+// folds. Subtree rebuilds must keep answering exactly, including where
+// whole subtrees die.
+TEST(SpatialDynamicSet, TombstoneHeavyFoldsStayExact) {
+  Rng rng(971);
+  const std::size_t n = 400;
+  const std::vector<Point> pts = random_points(n, 3, rng);
+  DynamicSpatialSet set;
+  set.bulk_load(SpatialMode::kKdTree, pts, all_ids(n));
+  std::vector<std::int32_t> live = all_ids(n);
+
+  obs::Counter& folds =
+      obs::MetricsRegistry::global().counter("spatial.set_folds");
+  const std::uint64_t folds0 = folds.value();
+
+  while (live.size() > n / 4) {
+    const std::size_t victim_pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(live.size()) - 1));
+    set.erase(live[victim_pos]);
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim_pos));
+    set.maybe_rebuild();
+
+    Point q(3, 0.0);
+    for (double& c : q) c = rng.uniform_real(0.0, 100.0);
+    QueryStats stats;
+    expect_hit_eq(
+        set.nearest(q, std::numeric_limits<double>::infinity(), stats),
+        brute_nearest(pts, live, q));
+  }
+  EXPECT_EQ(set.live_ids(), live);
+  // The default budget path must actually have gone through folds, not
+  // silently fallen back to full reloads.
+  EXPECT_GT(folds.value() - folds0, 0u);
+}
+
+TEST(SpatialDynamicSet, EraseAllThenReinsertStaysExact) {
+  Rng rng(972);
+  const std::size_t n = 96;
+  const std::vector<Point> pts = random_points(n, 2, rng);
+  DynamicSpatialSet set;
+  set.bulk_load(SpatialMode::kKdTree, pts, all_ids(n));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    set.erase(static_cast<std::int32_t>(i));
+    if (i % 7 == 0) set.maybe_rebuild();
+  }
+  EXPECT_EQ(set.live_size(), 0u);
+  QueryStats stats;
+  Point q(2, 50.0);
+  EXPECT_FALSE(
+      set.nearest(q, std::numeric_limits<double>::infinity(), stats).found());
+
+  for (std::size_t i = 0; i < n; ++i) {
+    set.insert(static_cast<std::int32_t>(i));
+    if (i % 5 == 0) set.maybe_rebuild();
+  }
+  set.maybe_rebuild();
+  EXPECT_EQ(set.live_ids(), all_ids(n));
+  for (std::size_t t = 0; t < 20; ++t) {
+    Point probe(2, 0.0);
+    for (double& c : probe) c = rng.uniform_real(0.0, 100.0);
+    expect_hit_eq(
+        set.nearest(probe, std::numeric_limits<double>::infinity(), stats),
+        brute_nearest(pts, all_ids(n), probe));
+  }
+}
+
+// The adaptive budget is max(32, indexed/4), and maybe_rebuild folds only
+// when the buffered mutation count *exceeds* it: exactly-at-budget is a
+// no-op, budget+1 folds.
+TEST(SpatialRebuildBudget, BoundaryIsExclusiveAtExactBudget) {
+  EnvGuard unset("HFC_SPATIAL_REBUILD_BUDGET", "0");
+  Rng rng(973);
+  const std::size_t n = 200;
+  const std::vector<Point> pts = random_points(n, 2, rng);
+  const std::size_t budget = DynamicSpatialSet::rebuild_budget(n);
+  ASSERT_EQ(budget, std::max<std::size_t>(32, n / 4));
+
+  obs::Counter& rebuilds =
+      obs::MetricsRegistry::global().counter("spatial.set_rebuilds");
+  DynamicSpatialSet set;
+  set.bulk_load(SpatialMode::kKdTree, pts, all_ids(n));
+
+  const std::uint64_t before = rebuilds.value();
+  for (std::size_t i = 0; i < budget; ++i) {
+    set.erase(static_cast<std::int32_t>(i));
+    set.maybe_rebuild();
+  }
+  EXPECT_EQ(rebuilds.value(), before) << "fold at <= budget mutations";
+  set.erase(static_cast<std::int32_t>(budget));
+  set.maybe_rebuild();
+  EXPECT_EQ(rebuilds.value(), before + 1) << "no fold at budget + 1";
+}
+
+// Randomized churn, one arm folding incrementally (subtree rebuilds) and
+// one arm forced to full bulk reloads: every query answer, and the final
+// live set, must be identical.
+TEST(SpatialDynamicSet, FoldMatchesFullRebuildUnderChurn) {
+  const auto run_arm = [](const char* incremental) {
+    EnvGuard g("HFC_SPATIAL_INCREMENTAL", incremental);
+    Rng rng(974);
+    const std::size_t n = 350;
+    const std::vector<Point> pts = random_points(n, 3, rng);
+    DynamicSpatialSet set;
+    set.bulk_load(SpatialMode::kKdTree, pts, all_ids(n));
+    std::vector<bool> live(n, true);
+
+    std::vector<SpatialHit> answers;
+    for (std::size_t round = 0; round < 60; ++round) {
+      for (std::size_t m = 0; m < 12; ++m) {
+        const auto id =
+            static_cast<std::int32_t>(rng.uniform_int(0, static_cast<int>(n) - 1));
+        if (live[static_cast<std::size_t>(id)]) {
+          set.erase(id);
+        } else {
+          set.insert(id);
+        }
+        live[static_cast<std::size_t>(id)] = !live[static_cast<std::size_t>(id)];
+      }
+      set.maybe_rebuild();
+      for (std::size_t t = 0; t < 4; ++t) {
+        Point q(3, 0.0);
+        for (double& c : q) c = rng.uniform_real(0.0, 100.0);
+        QueryStats stats;
+        answers.push_back(
+            set.nearest(q, std::numeric_limits<double>::infinity(), stats));
+      }
+    }
+    return std::make_pair(answers, set.live_ids());
+  };
+
+  obs::Counter& folds =
+      obs::MetricsRegistry::global().counter("spatial.set_folds");
+  const std::uint64_t f0 = folds.value();
+  const auto full = run_arm("0");
+  const std::uint64_t f1 = folds.value();
+  EXPECT_EQ(f1, f0) << "HFC_SPATIAL_INCREMENTAL=0 must not fold";
+  const auto incremental = run_arm("1");
+  EXPECT_GT(folds.value(), f1) << "incremental arm never folded";
+
+  EXPECT_EQ(full.second, incremental.second);
+  ASSERT_EQ(full.first.size(), incremental.first.size());
+  for (std::size_t i = 0; i < full.first.size(); ++i) {
+    EXPECT_EQ(full.first[i].id, incremental.first[i].id) << "query " << i;
+    EXPECT_EQ(full.first[i].dist, incremental.first[i].dist) << "query " << i;
+  }
+}
+
 }  // namespace
 }  // namespace hfc

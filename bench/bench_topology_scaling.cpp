@@ -33,7 +33,10 @@
 // sizes with both HFC_MST_ALGO settings.
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <iterator>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -243,6 +246,40 @@ int main() {
     return 1;
   }
 
+  // ---- Phase 2b: group-local pipeline vs global sweep at mst_n ---------
+  // The DESIGN.md §14 pipeline must return the bit-identical tree; the
+  // wall-clock delta here is the per-sweep win the 1M build banks on.
+  obs::Counter& lb_skips =
+      obs::MetricsRegistry::global().counter("cluster.mst_lb_skips");
+  const std::uint64_t skips0 = lb_skips.value();
+  const auto g0 = std::chrono::steady_clock::now();
+  const std::vector<MstEdge> grouped =
+      euclidean_mst_grouped(mst_coords, SpatialMode::kKdTree);
+  const double grouped_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - g0)
+                                .count();
+  const std::uint64_t grouped_skips = lb_skips.value() - skips0;
+  if (grouped.size() != pruned.edges.size()) {
+    std::cerr << "FATAL: grouped and global MSTs differ in size ("
+              << grouped.size() << " vs " << pruned.edges.size() << ")\n";
+    return 1;
+  }
+  for (std::size_t i = 0; i < grouped.size(); ++i) {
+    if (grouped[i].a != pruned.edges[i].a ||
+        grouped[i].b != pruned.edges[i].b ||
+        grouped[i].length != pruned.edges[i].length) {
+      std::cerr << "FATAL: MST edge " << i << " differs between grouped ("
+                << grouped[i].a << "," << grouped[i].b << ") and global ("
+                << pruned.edges[i].a << "," << pruned.edges[i].b << ")\n";
+      return 1;
+    }
+  }
+  const double grouped_speedup = pruned.wall_ms / std::max(grouped_ms, 1e-9);
+  std::cout << "  grouped: " << benchutil::fmt(grouped_ms, 0) << " ms ("
+            << benchutil::fmt(grouped_speedup, 2)
+            << "x vs global pruned, bit-identical), " << grouped_skips
+            << " lb-cache skips\n";
+
   // ---- Phase 3: multilevel build + route at n under memory ceilings ----
   // Resident ceiling: linear in n — the coordinate tier plus all hierarchy
   // state (membership lists, border/external maps). The dense pairwise
@@ -262,6 +299,22 @@ int main() {
             << " GiB)\n";
   std::vector<Point> coords = clustered_coords(n, dim, 4072);
   const std::size_t fanout = benchutil::env_size("HFC_ML_FANOUT", 32);
+  // Per-phase wall-clock attribution: the construction stack accumulates
+  // microsecond counters per phase (partition, local MST, finish sweep,
+  // Zahn cut, leaf clustering total, upper levels, border selection,
+  // router capability sync); deltas around the build break the headline
+  // number down.
+  constexpr const char* kPhases[] = {
+      "construct.partition_us", "construct.local_mst_us",
+      "construct.finish_mst_us", "construct.zahn_cut_us",
+      "construct.leaf_cluster_us", "construct.levels_us",
+      "construct.borders_us", "construct.router_sync_us",
+  };
+  constexpr std::size_t kPhaseCount = std::size(kPhases);
+  std::uint64_t phase0[kPhaseCount];
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    phase0[i] = obs::MetricsRegistry::global().counter(kPhases[i]).value();
+  }
   const auto b0 = std::chrono::steady_clock::now();
   const CoordDistanceService dist(coords);
   const MultiLevelHierarchy hierarchy(
@@ -311,6 +364,18 @@ int main() {
   }
   const OverlayNetwork net(std::move(coords), std::move(placement));
   const MultiLevelRouter router(net, hierarchy, dist);
+  double phase_ms[kPhaseCount];
+  std::cout << "  phases:";
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const std::uint64_t delta =
+        obs::MetricsRegistry::global().counter(kPhases[i]).value() - phase0[i];
+    phase_ms[i] = static_cast<double>(delta) / 1000.0;
+    // "construct.partition_us" -> "partition"
+    std::string label(kPhases[i] + std::strlen("construct."));
+    label.resize(label.size() - std::strlen("_us"));
+    std::cout << " " << label << "=" << benchutil::fmt(phase_ms[i], 0) << "ms";
+  }
+  std::cout << "\n";
   Rng rng(4073);
   const auto r0 = std::chrono::steady_clock::now();
   std::size_t found = 0;
@@ -357,7 +422,18 @@ int main() {
   json.note("mst_prune_speedup", mst_speedup);
   json.note("mst_prune_candidate_reduction", cand_reduction);
   json.note("mst_prune_visit_reduction", visit_reduction);
+  json.note("mst_grouped_ms", grouped_ms);
+  json.note("mst_grouped_speedup", grouped_speedup);
+  json.note("mst_grouped_lb_skips", static_cast<double>(grouped_skips));
   json.note("build_ms_full", build_ms);
+  json.note("phase_partition_ms", phase_ms[0]);
+  json.note("phase_local_mst_ms", phase_ms[1]);
+  json.note("phase_finish_mst_ms", phase_ms[2]);
+  json.note("phase_zahn_cut_ms", phase_ms[3]);
+  json.note("phase_leaf_cluster_ms", phase_ms[4]);
+  json.note("phase_levels_ms", phase_ms[5]);
+  json.note("phase_borders_ms", phase_ms[6]);
+  json.note("phase_router_sync_ms", phase_ms[7]);
   json.note("hierarchy_levels", static_cast<double>(hierarchy.levels()));
   json.note("hierarchy_groups", static_cast<double>(hierarchy.group_count()));
   json.note("route_ms", route_ms);

@@ -26,7 +26,8 @@
 #      repair — is exercised under ASan.
 #   5. Build with -DHFC_COVERAGE=ON into build-cov/, run the full suite,
 #      and enforce the line-coverage floor (90%) for src/fault/,
-#      src/serve/, src/sim/, src/spatial/, src/cluster/mst.* and
+#      src/serve/, src/sim/, src/spatial/, src/cluster/mst.*,
+#      src/cluster/zahn.*, src/cluster/group_pipeline.* and
 #      src/multilevel/ via scripts/coverage_gate.py (gcov JSON, no gcovr).
 #
 # The sanitizer and coverage stages are the expensive ones; --fast skips
@@ -62,11 +63,15 @@ echo "== [3/5] TSan gate =="
 cmake -B build-tsan -S . -DHFC_SANITIZE=thread
 cmake --build build-tsan -j"$JOBS"
 HFC_THREADS=4 ctest --test-dir build-tsan -j"$JOBS" --output-on-failure \
-  -R 'Obs|Metrics|Trace|ThreadPool|Parallel|StateProtocol|Simulator|Distance|RowCache|Dynamic|Churn|Fault|Chaos|Spatial|TopologyScaling|Serve'
+  -R 'Obs|Metrics|Trace|ThreadPool|Parallel|StateProtocol|Simulator|Distance|RowCache|Dynamic|Churn|Fault|Chaos|Spatial|TopologyScaling|Serve|GroupPipeline'
 HFC_THREADS=4 HFC_CHURN_N=500 HFC_CHURN_EVENTS=96 HFC_REQUESTS=40 \
   HFC_WAVES=2 HFC_BENCH_JSON=0 ./build-tsan/bench/bench_churn_dynamic
+# Group-local pipeline forced on at reduced n (floor 2, small cells), so
+# the per-cell parallel local phase + block-parallel Zahn cut run under
+# TSan with a 4-thread pool.
 HFC_THREADS=4 HFC_TOPO_N=1500 HFC_TOPO_MST_N=600 HFC_TOPO_CMP_N=400 \
   HFC_TOPO_REQUESTS=40 HFC_SPATIAL_MIN_N=2 HFC_MST_ALGO=pruned \
+  HFC_ML_PAR=1 HFC_ML_PAR_MIN_N=2 HFC_ML_PAR_GROUP=96 \
   HFC_BENCH_JSON=0 ./build-tsan/bench/bench_topology_scaling
 HFC_THREADS=4 HFC_SERVE_N=500 HFC_SERVE_WAVES=8 HFC_SERVE_WAVE_REQUESTS=48 \
   HFC_BENCH_JSON=0 ./build-tsan/bench/bench_serving_throughput
@@ -75,13 +80,14 @@ echo "== [4/5] ASan gate =="
 cmake -B build-asan -S . -DHFC_SANITIZE=address -DCMAKE_BUILD_TYPE=Debug
 cmake --build build-asan -j"$JOBS"
 ctest --test-dir build-asan -j"$JOBS" --output-on-failure \
-  -R 'Distance|RowCache|SymMatrix|Oracle|Mesh|Overlay|CoordDistance|Probe|Dynamic|Churn|Fault|Chaos|Spatial|TopologyScaling|Serve'
+  -R 'Distance|RowCache|SymMatrix|Oracle|Mesh|Overlay|CoordDistance|Probe|Dynamic|Churn|Fault|Chaos|Spatial|TopologyScaling|Serve|GroupPipeline'
 HFC_DIST_N=400 HFC_DIST_REQUESTS=200 HFC_BENCH_JSON=0 \
   ./build-asan/bench/bench_distance_scaling
 HFC_CHURN_N=500 HFC_CHURN_EVENTS=96 HFC_REQUESTS=40 HFC_WAVES=2 \
   HFC_BENCH_JSON=0 ./build-asan/bench/bench_churn_dynamic
 HFC_TOPO_N=1500 HFC_TOPO_MST_N=600 HFC_TOPO_CMP_N=400 HFC_TOPO_REQUESTS=40 \
-  HFC_SPATIAL_MIN_N=2 HFC_MST_ALGO=pruned HFC_BENCH_JSON=0 \
+  HFC_SPATIAL_MIN_N=2 HFC_MST_ALGO=pruned \
+  HFC_ML_PAR=1 HFC_ML_PAR_MIN_N=2 HFC_ML_PAR_GROUP=96 HFC_BENCH_JSON=0 \
   ./build-asan/bench/bench_topology_scaling
 HFC_SERVE_N=500 HFC_SERVE_WAVES=8 HFC_SERVE_WAVE_REQUESTS=48 \
   HFC_BENCH_JSON=0 ./build-asan/bench/bench_serving_throughput

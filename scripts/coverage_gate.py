@@ -16,7 +16,8 @@ import os
 import subprocess
 import sys
 
-MONITORED = ("src/cluster/mst", "src/fault", "src/multilevel", "src/serve",
+MONITORED = ("src/cluster/group_pipeline", "src/cluster/mst",
+             "src/cluster/zahn", "src/fault", "src/multilevel", "src/serve",
              "src/sim", "src/spatial")
 DEFAULT_FLOOR = 90.0
 

@@ -139,6 +139,9 @@ std::vector<MstEdge> mst_dense(std::size_t n, const DistanceFn& distance) {
 std::vector<MstEdge> mst_dense(const DistanceService& distance) {
   const std::vector<Point>* coords = distance.coord_view();
   if (coords != nullptr && spatial_enabled(coords->size())) {
+    if (group_pipeline_enabled(coords->size())) {
+      return euclidean_mst_grouped(*coords, spatial_mode());
+    }
     return euclidean_mst_spatial(*coords, spatial_mode());
   }
 
@@ -199,6 +202,9 @@ std::vector<MstEdge> mst_dense(const DistanceService& distance) {
 
 std::vector<MstEdge> euclidean_mst(const std::vector<Point>& points) {
   if (spatial_enabled(points.size())) {
+    if (group_pipeline_enabled(points.size())) {
+      return euclidean_mst_grouped(points, spatial_mode());
+    }
     return euclidean_mst_spatial(points, spatial_mode());
   }
   return mst_dense(points.size(), [&points](std::size_t i, std::size_t j) {

@@ -111,6 +111,34 @@ enum class MstAlgo { kRounds, kPruned };
 [[nodiscard]] std::vector<MstEdge> euclidean_mst_spatial(
     const std::vector<Point>& points, SpatialMode mode, MstAlgo algo);
 
+/// Group-local construction pipeline selection (DESIGN.md §14). kAuto
+/// resolves the HFC_ML_PAR / HFC_ML_PAR_MIN_N knobs; kOn / kOff pin the
+/// pipeline for A/B runs and per-build params regardless of environment.
+enum class GroupPipelineMode { kAuto, kOn, kOff };
+
+/// The kAuto gate: HFC_ML_PAR != 0 (default on) and n >= HFC_ML_PAR_MIN_N
+/// (default 8192 — below that the single global sweep is already cheap).
+[[nodiscard]] bool group_pipeline_enabled(std::size_t n);
+
+/// Resolve an explicit mode against the kAuto gate.
+[[nodiscard]] bool group_pipeline_selected(GroupPipelineMode mode,
+                                           std::size_t n);
+
+/// Partition-cell size cap for the pipeline's local phase
+/// (HFC_ML_PAR_GROUP, default 4096).
+[[nodiscard]] std::size_t group_pipeline_group_limit();
+
+/// The group-local Borůvka pipeline: median partition with cell bounds,
+/// margin-safe per-cell contraction over DynamicSpatialSet-backed local
+/// indexes (cells run via parallel_for into disjoint slots), then a
+/// lower-bound-pruned global finish sweep. Bit-identical to
+/// `euclidean_mst_spatial` for any HFC_THREADS — see the cut-property and
+/// floating-point-margin argument in DESIGN.md §14. `group_limit` 0 reads
+/// HFC_ML_PAR_GROUP.
+[[nodiscard]] std::vector<MstEdge> euclidean_mst_grouped(
+    const std::vector<Point>& points, SpatialMode mode,
+    std::size_t group_limit = 0);
+
 /// Total length of an edge set.
 [[nodiscard]] double total_length(const std::vector<MstEdge>& edges);
 

@@ -1,13 +1,16 @@
 #include "cluster/zahn.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <numeric>
 #include <queue>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/require.h"
+#include "util/thread_pool.h"
 
 namespace hfc {
 
@@ -150,38 +153,135 @@ Clustering merge_small_clusters(Clustering clustering, std::size_t min_size,
   return clustering;
 }
 
+/// Block-parallel variant of the sweep below. Every edge's verdict is a
+/// pure function of the MST adjacency, so edges evaluate independently;
+/// fixed-size blocks (independent of thread count) carry their own
+/// epoch-stamped visited array and FIFO, and reproduce collect_nearby's
+/// BFS arc order — and with it the kMean summation order — exactly. The
+/// per-edge flags are collected serially ascending, so the result is
+/// byte-identical to the serial sweep for any HFC_THREADS.
+std::vector<std::size_t> find_inconsistent_edges_parallel(
+    std::size_t n, const std::vector<MstEdge>& mst, const ZahnParams& params) {
+  // CSR adjacency with arcs in the same per-node order as
+  // build_adjacency's push_backs (a stable counting sort over edges).
+  const std::size_t m = mst.size();
+  std::vector<std::size_t> offsets(n + 1, 0);
+  for (const MstEdge& e : mst) {
+    require(e.a < n && e.b < n, "zahn: edge endpoint out of range");
+    ++offsets[e.a + 1];
+    ++offsets[e.b + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  std::vector<Adjacency::Arc> arcs(2 * m);
+  {
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t e = 0; e < m; ++e) {
+      arcs[cursor[mst[e].a]++] = {e, mst[e].b};
+      arcs[cursor[mst[e].b]++] = {e, mst[e].a};
+    }
+  }
+
+  std::vector<std::uint8_t> flagged(m, 0);
+  constexpr std::size_t kBlock = 2048;
+  const std::size_t blocks = (m + kBlock - 1) / kBlock;
+  parallel_for(blocks, 1, [&](std::size_t blk) {
+    std::vector<std::uint32_t> stamp(n, 0);
+    std::uint32_t epoch = 0;
+    std::vector<std::pair<std::size_t, std::size_t>> fifo;  // (node, depth)
+    std::vector<double> lengths;
+    const std::size_t lo = blk * kBlock;
+    const std::size_t hi = std::min(m, lo + kBlock);
+    for (std::size_t e = lo; e < hi; ++e) {
+      lengths.clear();
+      for (const std::size_t start : {mst[e].a, mst[e].b}) {
+        ++epoch;  // fresh visited set per endpoint, like collect_nearby
+        fifo.clear();
+        fifo.emplace_back(start, 0);
+        stamp[start] = epoch;
+        for (std::size_t head = 0; head < fifo.size(); ++head) {
+          const auto [u, d] = fifo[head];
+          if (d >= params.neighborhood_depth) continue;
+          for (std::size_t k = offsets[u]; k < offsets[u + 1]; ++k) {
+            const Adjacency::Arc& arc = arcs[k];
+            if (arc.edge == e || stamp[arc.to] == epoch) continue;
+            stamp[arc.to] = epoch;
+            lengths.push_back(mst[arc.edge].length);
+            fifo.emplace_back(arc.to, d + 1);
+          }
+        }
+      }
+      if (lengths.empty()) continue;
+      const double typical = typical_length(lengths, params.statistic);
+      if (typical <= 0.0) continue;
+      if (mst[e].length / typical > params.inconsistency_factor) {
+        flagged[e] = 1;
+      }
+    }
+  });
+
+  std::vector<std::size_t> inconsistent;
+  for (std::size_t e = 0; e < m; ++e) {
+    if (flagged[e] != 0) inconsistent.push_back(e);
+  }
+  return inconsistent;
+}
+
 }  // namespace
 
 std::vector<std::size_t> find_inconsistent_edges(
     std::size_t n, const std::vector<MstEdge>& mst, const ZahnParams& params) {
+  return find_inconsistent_edges(n, mst, params, GroupPipelineMode::kAuto);
+}
+
+std::vector<std::size_t> find_inconsistent_edges(
+    std::size_t n, const std::vector<MstEdge>& mst, const ZahnParams& params,
+    GroupPipelineMode pipeline) {
   require(params.inconsistency_factor > 0.0,
           "zahn: inconsistency factor must be positive");
   require(params.neighborhood_depth >= 1, "zahn: neighborhood depth >= 1");
-  const Adjacency adj = build_adjacency(n, mst);
-
+  const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::size_t> inconsistent;
-  std::vector<double> lengths;
-  for (std::size_t e = 0; e < mst.size(); ++e) {
-    lengths.clear();
-    collect_nearby(adj, mst, mst[e].a, e, params.neighborhood_depth, lengths);
-    collect_nearby(adj, mst, mst[e].b, e, params.neighborhood_depth, lengths);
-    if (lengths.empty()) continue;  // nothing to compare against: keep
-    const double typical = typical_length(lengths, params.statistic);
-    if (typical <= 0.0) continue;  // degenerate (co-located neighbourhood)
-    if (mst[e].length / typical > params.inconsistency_factor) {
-      inconsistent.push_back(e);
+  if (group_pipeline_selected(pipeline, n)) {
+    inconsistent = find_inconsistent_edges_parallel(n, mst, params);
+  } else {
+    const Adjacency adj = build_adjacency(n, mst);
+    std::vector<double> lengths;
+    for (std::size_t e = 0; e < mst.size(); ++e) {
+      lengths.clear();
+      collect_nearby(adj, mst, mst[e].a, e, params.neighborhood_depth,
+                     lengths);
+      collect_nearby(adj, mst, mst[e].b, e, params.neighborhood_depth,
+                     lengths);
+      if (lengths.empty()) continue;  // nothing to compare against: keep
+      const double typical = typical_length(lengths, params.statistic);
+      if (typical <= 0.0) continue;  // degenerate (co-located neighbourhood)
+      if (mst[e].length / typical > params.inconsistency_factor) {
+        inconsistent.push_back(e);
+      }
     }
   }
+  obs::MetricsRegistry::global()
+      .counter("construct.zahn_cut_us")
+      .add(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
   return inconsistent;
 }
 
 Clustering zahn_cluster(std::size_t n, const std::vector<MstEdge>& mst,
                         const ZahnParams& params, const DistanceFn& distance) {
+  return zahn_cluster(n, mst, params, distance, GroupPipelineMode::kAuto);
+}
+
+Clustering zahn_cluster(std::size_t n, const std::vector<MstEdge>& mst,
+                        const ZahnParams& params, const DistanceFn& distance,
+                        GroupPipelineMode pipeline) {
   HFC_TRACE_SPAN("cluster.zahn");
   require(mst.size() + 1 == n || (n <= 1 && mst.empty()),
           "zahn: edge list is not a spanning tree of n nodes");
   const std::vector<std::size_t> inconsistent =
-      find_inconsistent_edges(n, mst, params);
+      find_inconsistent_edges(n, mst, params, pipeline);
 
   std::vector<bool> removed(mst.size(), false);
   for (std::size_t e : inconsistent) removed[e] = true;
@@ -207,10 +307,25 @@ Clustering zahn_cluster(std::size_t n, const std::vector<MstEdge>& mst,
 
 Clustering cluster_points(const std::vector<Point>& points,
                           const ZahnParams& params) {
+  return cluster_points(points, params, GroupPipelineMode::kAuto);
+}
+
+Clustering cluster_points(const std::vector<Point>& points,
+                          const ZahnParams& params,
+                          GroupPipelineMode pipeline) {
   const DistanceFn distance = [&points](std::size_t i, std::size_t j) {
     return euclidean(points[i], points[j]);
   };
-  return zahn_cluster(points.size(), euclidean_mst(points), params, distance);
+  const std::size_t n = points.size();
+  std::vector<MstEdge> mst;
+  if (!spatial_enabled(n)) {
+    mst = euclidean_mst(points);  // Prim tier; no pipeline below the floor
+  } else if (group_pipeline_selected(pipeline, n)) {
+    mst = euclidean_mst_grouped(points, spatial_mode());
+  } else {
+    mst = euclidean_mst_spatial(points, spatial_mode());
+  }
+  return zahn_cluster(n, mst, params, distance, pipeline);
 }
 
 Clustering cluster_nodes(const DistanceService& distance,

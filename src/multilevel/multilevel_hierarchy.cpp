@@ -1,6 +1,7 @@
 #include "multilevel/multilevel_hierarchy.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <numeric>
 #include <utility>
@@ -13,6 +14,18 @@
 namespace hfc {
 
 namespace {
+
+/// Accumulate elapsed wall-clock into a construct.* phase counter, so
+/// bench_topology_scaling can attribute the build (counters are
+/// cumulative; benches read deltas around the build).
+void add_phase_us(const char* counter,
+                  std::chrono::steady_clock::time_point since) {
+  obs::MetricsRegistry::global().counter(counter).add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - since)
+              .count()));
+}
 
 /// Recursive widest-axis median split of ids[begin, end) — indices into
 /// `pts` — under the (coordinate, id) total order, the same
@@ -86,13 +99,19 @@ MultiLevelHierarchy::MultiLevelHierarchy(const std::vector<Point>& coords,
     build_fixed_levels(coords, params);
   }
   finish_root();
+  const auto t_borders = std::chrono::steady_clock::now();
   select_borders(coords);
+  add_phase_us("construct.borders_us", t_borders);
 }
 
 void MultiLevelHierarchy::build_fixed_levels(const std::vector<Point>& coords,
                                              const MultiLevelParams& params) {
   // Level 1: Zahn clusters of the proxies.
-  const Clustering leaves = cluster_points(coords, params.leaf_zahn);
+  const auto t_leaf = std::chrono::steady_clock::now();
+  const Clustering leaves =
+      cluster_points(coords, params.leaf_zahn, params.pipeline);
+  add_phase_us("construct.leaf_cluster_us", t_leaf);
+  const auto t_levels = std::chrono::steady_clock::now();
   level_groups_.emplace_back();
   for (std::size_t c = 0; c < leaves.cluster_count(); ++c) {
     HierarchyGroup g;
@@ -117,7 +136,7 @@ void MultiLevelHierarchy::build_fixed_levels(const std::vector<Point>& coords,
     for (std::size_t gid : below) {
       centroids.push_back(centroid_of(coords, groups_[gid].nodes));
     }
-    const Clustering grouped = cluster_points(centroids, zahn);
+    const Clustering grouped = cluster_points(centroids, zahn, params.pipeline);
     if (grouped.cluster_count() == below.size()) {
       // No coarsening happened; a further level would be pure overhead.
       break;
@@ -139,6 +158,7 @@ void MultiLevelHierarchy::build_fixed_levels(const std::vector<Point>& coords,
     }
     levels_ = level;
   }
+  add_phase_us("construct.levels_us", t_levels);
 }
 
 void MultiLevelHierarchy::build_bounded_fanout(
@@ -148,7 +168,11 @@ void MultiLevelHierarchy::build_bounded_fanout(
   // geometric (widest axis, deterministic (coordinate, id) median), so
   // the pieces stay spatially coherent — the property border selection
   // and routing locality rest on.
-  const Clustering leaves = cluster_points(coords, params.leaf_zahn);
+  const auto t_leaf = std::chrono::steady_clock::now();
+  const Clustering leaves =
+      cluster_points(coords, params.leaf_zahn, params.pipeline);
+  add_phase_us("construct.leaf_cluster_us", t_leaf);
+  const auto t_levels = std::chrono::steady_clock::now();
   level_groups_.emplace_back();
   std::vector<std::pair<std::size_t, std::size_t>> parts;
   for (std::size_t c = 0; c < leaves.cluster_count(); ++c) {
@@ -219,6 +243,7 @@ void MultiLevelHierarchy::build_bounded_fanout(
     }
     levels_ = level;
   }
+  add_phase_us("construct.levels_us", t_levels);
 }
 
 void MultiLevelHierarchy::finish_root() {

@@ -1,11 +1,13 @@
 #include "multilevel/multilevel_router.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <unordered_map>
 #include <utility>
 
 #include "distance/distance_service.h"
+#include "obs/metrics.h"
 #include "util/require.h"
 
 namespace hfc {
@@ -41,6 +43,7 @@ MultiLevelRouter::MultiLevelRouter(const OverlayNetwork& net,
   require(static_cast<bool>(distance_), "MultiLevelRouter: null distance");
   require(hierarchy_.node_count() == net_.size(),
           "MultiLevelRouter: hierarchy/network size mismatch");
+  const auto t_sync = std::chrono::steady_clock::now();
   capability_.resize(hierarchy_.group_count());
   for (std::size_t g = 0; g < hierarchy_.group_count(); ++g) {
     std::vector<ServiceId>& agg = capability_[g];
@@ -51,6 +54,12 @@ MultiLevelRouter::MultiLevelRouter(const OverlayNetwork& net,
     std::sort(agg.begin(), agg.end());
     agg.erase(std::unique(agg.begin(), agg.end()), agg.end());
   }
+  obs::MetricsRegistry::global()
+      .counter("construct.router_sync_us")
+      .add(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t_sync)
+              .count()));
 }
 
 MultiLevelRouter::MultiLevelRouter(const OverlayNetwork& net,

@@ -57,6 +57,7 @@ void HfcTopology::build_borders() {
   live_.assign(c, true);
   live_count_ = c;
   generation_.assign(c, 0);
+  border_epoch_.assign(c, 0);
 
   // For kSingleHub, each cluster designates one representative (its lowest
   // node id) for all external links — the classic "one logical node"
@@ -258,6 +259,12 @@ std::uint64_t HfcTopology::generation(ClusterId cluster) const {
   return generation_[cluster.idx()];
 }
 
+std::uint64_t HfcTopology::border_epoch(ClusterId cluster) const {
+  require(cluster.valid() && cluster.idx() < border_epoch_.size(),
+          "HfcTopology::border_epoch: bad cluster");
+  return border_epoch_[cluster.idx()];
+}
+
 double HfcTopology::path_distance(NodeId u, NodeId v,
                                   const OverlayDistance& distance) const {
   const ClusterId cu = cluster_of(u);
@@ -341,6 +348,7 @@ std::unique_ptr<HfcTopology> HfcTopology::clone_frozen(
   copy->live_count_ = live_count_;
   copy->generation_ = generation_;
   copy->structure_generation_ = structure_generation_;
+  copy->border_epoch_ = border_epoch_;
   return copy;
 }
 
@@ -376,6 +384,11 @@ void HfcTopology::set_border(std::size_t slot, NodeId node) {
   if (node.valid()) ++border_refs_[node.idx()];
   border_[slot] = node;
   borders_dirty_ = true;
+  // The pair's external view changed for both sides: entering through
+  // either cluster now crosses a different node / link length.
+  const std::size_t c = clustering_.cluster_count();
+  ++border_epoch_[slot / c];
+  ++border_epoch_[slot % c];
 }
 
 void HfcTopology::kill_cluster(std::size_t cluster) {

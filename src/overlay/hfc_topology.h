@@ -111,6 +111,13 @@ class HfcTopology {
     return structure_generation_;
   }
 
+  /// Per-cluster border epoch, bumped (on both clusters of the pair) only
+  /// when a stored border slot involving the cluster actually changes.
+  /// Strictly coarser than `generation`: membership churn that does not
+  /// move any border pair leaves it untouched, which is what lets route
+  /// fingerprints (src/serve) survive non-border, non-host churn.
+  [[nodiscard]] std::uint64_t border_epoch(ClusterId cluster) const;
+
   /// Grow the node space by one (the new node belongs to no cluster yet);
   /// follow with on_member_added to place it.
   void append_node();
@@ -262,6 +269,8 @@ class HfcTopology {
   std::size_t live_count_ = 0;
   std::vector<std::uint64_t> generation_;
   std::uint64_t structure_generation_ = 0;
+  /// Per cluster: bumped by set_border when a slot involving it changes.
+  std::vector<std::uint64_t> border_epoch_;
 
   /// Mutation staging (between begin/end_mutation_batch, or for the
   /// single-event immediate-repair path).

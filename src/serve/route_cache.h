@@ -10,9 +10,14 @@
 //     clusters plus every hop's cluster) — any membership change of a
 //     traversed cluster bumps its stamp and kills the entry;
 //   - the candidate-set fingerprint of each service the SG mentions —
-//     a hosting cluster appearing, disappearing, or changing membership
-//     changes the fingerprint, so CSP candidate drift invalidates the
-//     entry even when the cached path never touched the drifted cluster;
+//     a hosting cluster appearing or disappearing, a host joining or
+//     leaving one, or a candidate cluster's border pair moving all
+//     change the fingerprint, so CSP candidate drift invalidates the
+//     entry even when the cached path never touched the drifted cluster.
+//     Fingerprints are keyed on per-cluster host sets and border epochs
+//     (not whole-cluster generations), so non-host churn inside a
+//     hosting cluster leaves entries alive — only routes whose
+//     cluster_tags actually traverse the churned cluster re-solve;
 //   - the crash epoch — any crash/recover transition bumps it, which
 //     soundly (if conservatively) flushes everything, since crash state
 //     changes routing without advancing topology generations.

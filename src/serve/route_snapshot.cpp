@@ -19,6 +19,24 @@ constexpr std::uint64_t kFingerprintSeed = 0x53657276ull;
   return splitmix64(kFingerprintSeed ^ service);
 }
 
+/// Chain over the ascending member ids of one cluster that host `sid`.
+/// Hosts joining, leaving, or swapping identity all change the hash;
+/// churn among the cluster's non-host members does not — that is the
+/// point (DESIGN.md §12): a cached route's CSP verdict reads only which
+/// hosts a candidate cluster offers, not who else lives there.
+[[nodiscard]] std::uint64_t host_set_hash(const OverlayNetwork& net,
+                                          const std::vector<NodeId>& members,
+                                          ServiceId sid) {
+  std::uint64_t h = kFingerprintSeed;
+  for (const NodeId m : members) {
+    const auto& services = net.services_at(m);
+    if (std::binary_search(services.begin(), services.end(), sid)) {
+      h = splitmix64(h ^ static_cast<std::uint64_t>(m.value()));
+    }
+  }
+  return h;
+}
+
 }  // namespace
 
 std::shared_ptr<const RouteSnapshot> RouteSnapshot::capture(
@@ -97,8 +115,18 @@ std::shared_ptr<const RouteSnapshot> RouteSnapshot::capture(
     const ServiceId sid(static_cast<std::int32_t>(s));
     std::uint64_t h = empty_fingerprint(s);
     for (ClusterId c : snap->router_->clusters_hosting(sid)) {
+      // Per hosting cluster: identity, the exact host set it offers, and
+      // its border epoch. Everything the CSP reads about a *candidate*
+      // cluster is covered (host ids -> host coordinates are immutable
+      // per id; border epoch -> entry/exit nodes and external lengths);
+      // clusters a path *traverses* are pinned separately by the cache's
+      // generation tags. Non-host membership churn in a hosting cluster
+      // deliberately leaves the chain unchanged so cached routes survive
+      // it.
       h = splitmix64(h ^ static_cast<std::uint64_t>(c.idx()));
-      h = splitmix64(h ^ snap->topo_->generation(c));
+      h = splitmix64(h ^ host_set_hash(*snap->net_, snap->topo_->members(c),
+                                       sid));
+      h = splitmix64(h ^ snap->topo_->border_epoch(c));
     }
     snap->fingerprints_[s] = h;
   }

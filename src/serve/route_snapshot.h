@@ -24,10 +24,15 @@
 // same membership and crash set.
 //
 // Cache invalidation inputs: the snapshot precomputes, per service, a
-// fingerprint over the (hosting cluster, generation) set. A cached route
-// is exact iff its endpoint clusters' generations, its traversed
-// clusters' generations, every fingerprint of a service its SG mentions,
-// and the crash epoch all still match — see ShardedRouteCache.
+// fingerprint over the (hosting cluster, host set, border epoch) chain.
+// A cached route is exact iff its endpoint clusters' generations, its
+// traversed clusters' generations, every fingerprint of a service its SG
+// mentions, and the crash epoch all still match — see ShardedRouteCache.
+// Keying the per-service chain on host sets (which member ids host the
+// service) plus border epochs, instead of whole-cluster generations,
+// means churn among a hosting cluster's *non-host* members no longer
+// perturbs the fingerprint: only the cluster_tags of routes that
+// actually traverse the churned cluster go stale.
 #pragma once
 
 #include <cstdint>
@@ -87,11 +92,14 @@ class RouteSnapshot {
   }
 
   /// Fingerprint of `service`'s candidate set: a splitmix64 chain over
-  /// the ascending (hosting cluster, generation) pairs, seeded by the
-  /// service id. Equal fingerprints imply the service's CSP candidate
-  /// clusters and their memberships are unchanged; services no cluster
-  /// hosts (including ids beyond the snapshot's catalog) fingerprint to
-  /// the seeded empty chain, so "still unhosted" also matches exactly.
+  /// the ascending (hosting cluster, host-set hash, border epoch)
+  /// triples, seeded by the service id. Equal fingerprints imply the
+  /// service's CSP candidate clusters, the exact hosts each offers, and
+  /// each candidate's border configuration are unchanged — non-host
+  /// membership churn inside a hosting cluster does not alter the chain.
+  /// Services no cluster hosts (including ids beyond the snapshot's
+  /// catalog) fingerprint to the seeded empty chain, so "still unhosted"
+  /// also matches exactly.
   [[nodiscard]] std::uint64_t service_fingerprint(ServiceId service) const;
 
   /// Route against the frozen view: the plain hierarchical pipeline when

@@ -22,6 +22,7 @@ void DynamicSpatialSet::bulk_load(SpatialMode mode,
                                   const std::vector<Point>& coords,
                                   std::vector<std::int32_t> ids) {
   coords_ = &coords;
+  labels_ = nullptr;
   mode_ = mode;
   std::sort(ids.begin(), ids.end());
   require(std::adjacent_find(ids.begin(), ids.end()) == ids.end(),
@@ -145,6 +146,36 @@ SpatialHit DynamicSpatialSet::nearest(const Point& q, double bound,
         best.dist = d;
         best.id = id;
       }
+    }
+  }
+  if (best.id == std::numeric_limits<std::int32_t>::max()) return SpatialHit{};
+  return best;
+}
+
+void DynamicSpatialSet::retag(const std::vector<std::int32_t>& labels) {
+  require(pending_.empty() && dead_.empty(),
+          "DynamicSpatialSet::retag: fold mutation buffers first");
+  labels_ = &labels;
+  if (index_ != nullptr) index_->retag(labels);
+}
+
+SpatialHit DynamicSpatialSet::nearest_foreign(const Point& q,
+                                              std::int32_t label, double bound,
+                                              QueryStats& stats) const {
+  require(pending_.empty() && dead_.empty(),
+          "DynamicSpatialSet::nearest_foreign: fold mutation buffers first");
+  require(labels_ != nullptr, "DynamicSpatialSet::nearest_foreign: retag first");
+  if (index_ != nullptr) return index_->nearest_foreign(q, label, bound, stats);
+  SpatialHit best;
+  best.dist = bound;
+  best.id = std::numeric_limits<std::int32_t>::max();
+  for (const std::int32_t id : live_) {
+    if ((*labels_)[static_cast<std::size_t>(id)] == label) continue;
+    ++stats.point_evals;
+    const double d = euclidean(q, (*coords_)[static_cast<std::size_t>(id)]);
+    if (d < best.dist || (d == best.dist && id < best.id)) {
+      best.dist = d;
+      best.id = id;
     }
   }
   if (best.id == std::numeric_limits<std::int32_t>::max()) return SpatialHit{};

@@ -68,12 +68,28 @@ class DynamicSpatialSet {
   [[nodiscard]] SpatialHit nearest(const Point& q, double bound,
                                    QueryStats& stats) const;
 
+  /// Attach component labels (indexed by point id, like
+  /// SpatialIndex::retag) for `nearest_foreign` queries. Folded sets
+  /// only — call from serial points with empty mutation buffers; the
+  /// labels vector must outlive the queries it serves.
+  void retag(const std::vector<std::int32_t>& labels);
+
+  /// Nearest live point whose label differs from `label`, within `bound`
+  /// (inclusive), smallest id on ties. Requires a preceding `retag` and a
+  /// folded set. Below the brute threshold this is an exact ascending
+  /// scan — the tier the group-local construction pipeline leans on for
+  /// small partition cells (DESIGN.md §14).
+  [[nodiscard]] SpatialHit nearest_foreign(const Point& q, std::int32_t label,
+                                           double bound,
+                                           QueryStats& stats) const;
+
   [[nodiscard]] std::size_t resident_bytes() const;
 
  private:
   void rebuild();
 
   const std::vector<Point>* coords_ = nullptr;
+  const std::vector<std::int32_t>* labels_ = nullptr;  ///< retag() target
   SpatialMode mode_ = SpatialMode::kOff;
   std::vector<std::int32_t> live_;     ///< sorted source of truth
   std::unique_ptr<SpatialIndex> index_;

@@ -123,6 +123,21 @@ const std::vector<EnvKnob>& registered_knobs() {
       {"HFC_ML_FANOUT", "32",
        "children per group in bounded-fanout multilevel builds "
        "(leaf clusters hold 8x this many nodes)", "core"},
+      {"HFC_ML_PAR", "1",
+       "0 disables the group-local construction pipeline "
+       "(margin-safe per-cell Borůvka + parallel Zahn cut)", "core"},
+      {"HFC_ML_PAR_GROUP", "4096",
+       "partition-cell size cap for the group-local pipeline's local "
+       "phase", "core"},
+      {"HFC_ML_PAR_MIN_N", "8192",
+       "point count at which the group-local pipeline takes over from "
+       "the single global sweep", "core"},
+      {"HFC_ML_STRETCH_N", "100000",
+       "proxy count of the multilevel-vs-flat-oracle stretch stage in "
+       "bench_multilevel_scaling", "bench"},
+      {"HFC_ML_STRETCH_REQUESTS", "500",
+       "routed requests in the stretch stage of bench_multilevel_scaling",
+       "bench"},
       {"HFC_MST_ALGO", "pruned",
        "Borůvka sweep strategy over the spatial index: rounds | pruned",
        "core"},

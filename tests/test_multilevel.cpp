@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
+#include <string>
 
 #include "multilevel/multilevel_hierarchy.h"
 #include "multilevel/multilevel_router.h"
@@ -447,6 +449,120 @@ TEST(BoundedFanout, ValidatesParams) {
   EXPECT_THROW(MultiLevelHierarchy(pts, MultiLevelParams::bounded(4, 0)),
                std::invalid_argument);
 }
+
+// ------------------------------------------- group-local pipeline ----
+// DESIGN.md §14: building with the group-local construction pipeline
+// must yield a hierarchy byte-identical to the single global sweep —
+// same groups, same borders, same external-length doubles — for any
+// thread count, on both index kinds, in both construction modes.
+
+/// RAII environment override that restores the previous value on exit.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    const char* old = ::getenv(name);
+    if (old != nullptr) {
+      had_ = true;
+      old_ = old;
+    }
+    ::setenv(name, value, 1);
+  }
+  ~EnvGuard() {
+    if (had_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  const char* name_;
+  bool had_ = false;
+  std::string old_;
+};
+
+void expect_same_hierarchy(const MultiLevelHierarchy& a,
+                           const MultiLevelHierarchy& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.levels(), b.levels());
+  ASSERT_EQ(a.group_count(), b.group_count());
+  EXPECT_EQ(a.root(), b.root());
+  for (std::size_t g = 0; g < a.group_count(); ++g) {
+    EXPECT_EQ(a.group(g).level, b.group(g).level) << "group " << g;
+    EXPECT_EQ(a.group(g).parent, b.group(g).parent) << "group " << g;
+    EXPECT_EQ(a.group(g).children, b.group(g).children) << "group " << g;
+    EXPECT_EQ(a.group(g).nodes, b.group(g).nodes) << "group " << g;
+    const HierarchyGroup& parent = a.group(g);
+    for (std::size_t i = 0; i + 1 < parent.children.size(); ++i) {
+      for (std::size_t j = i + 1; j < parent.children.size(); ++j) {
+        const std::size_t x = parent.children[i];
+        const std::size_t y = parent.children[j];
+        EXPECT_EQ(a.border(x, y), b.border(x, y));
+        EXPECT_EQ(a.border(y, x), b.border(y, x));
+        // Exact double equality: same BCP, same euclidean() rounding.
+        EXPECT_EQ(a.external_length(x, y), b.external_length(x, y));
+      }
+    }
+  }
+  for (std::size_t v = 0; v < a.node_count(); ++v) {
+    EXPECT_EQ(a.leaf_of(NodeId(static_cast<int>(v))),
+              b.leaf_of(NodeId(static_cast<int>(v))));
+  }
+}
+
+class GroupPipelineHierarchyTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GroupPipelineHierarchyTest, BoundedFanoutMatchesGlobalSweep) {
+  EnvGuard index("HFC_SPATIAL", GetParam());
+  EnvGuard spatial_floor("HFC_SPATIAL_MIN_N", "2");
+  EnvGuard par_floor("HFC_ML_PAR_MIN_N", "2");
+  EnvGuard group("HFC_ML_PAR_GROUP", "64");
+  const std::vector<Point> pts = random_cloud(620, 3, 901);
+
+  MultiLevelParams baseline = MultiLevelParams::bounded(4, 48);
+  baseline.pipeline = GroupPipelineMode::kOff;
+  const MultiLevelHierarchy global(pts, baseline);
+
+  MultiLevelParams piped = MultiLevelParams::bounded(4, 48);
+  piped.pipeline = GroupPipelineMode::kOn;
+  set_global_threads(1);
+  const MultiLevelHierarchy serial(pts, piped);
+  set_global_threads(4);
+  const MultiLevelHierarchy threaded(pts, piped);
+  set_global_threads(0);
+
+  expect_same_hierarchy(global, serial);
+  expect_same_hierarchy(global, threaded);
+}
+
+TEST_P(GroupPipelineHierarchyTest, FlatLevelsMatchGlobalSweep) {
+  EnvGuard index("HFC_SPATIAL", GetParam());
+  EnvGuard spatial_floor("HFC_SPATIAL_MIN_N", "2");
+  EnvGuard par_floor("HFC_ML_PAR_MIN_N", "2");
+  EnvGuard group("HFC_ML_PAR_GROUP", "64");
+  const std::vector<Point> pts = random_cloud(400, 2, 902);
+
+  MultiLevelParams baseline;  // legacy fixed-levels construction
+  baseline.pipeline = GroupPipelineMode::kOff;
+  const MultiLevelHierarchy global(pts, baseline);
+
+  MultiLevelParams piped;
+  piped.pipeline = GroupPipelineMode::kOn;
+  set_global_threads(1);
+  const MultiLevelHierarchy serial(pts, piped);
+  set_global_threads(4);
+  const MultiLevelHierarchy threaded(pts, piped);
+  set_global_threads(0);
+
+  expect_same_hierarchy(global, serial);
+  expect_same_hierarchy(global, threaded);
+}
+
+INSTANTIATE_TEST_SUITE_P(IndexKinds, GroupPipelineHierarchyTest,
+                         ::testing::Values("kdtree", "grid"));
 
 }  // namespace
 }  // namespace hfc

@@ -360,6 +360,66 @@ TEST(ServeCache, ServiceFingerprintDriftInvalidates) {
   EXPECT_FALSE(serve::route_current(entry, *snap2));
 }
 
+// The PR-9 fingerprint regression: service fingerprints are keyed on
+// per-cluster host sets + border epochs, not whole-cluster generations.
+// Removing a member that (a) hosts none of the SG's services, (b) is not
+// a stored border node, and (c) sits in a cluster the cached path never
+// traverses must leave the entry replayable — under generation-keyed
+// fingerprints any churn in a hosting cluster flushed it.
+TEST(ServeCache, NonHostChurnKeepsEntriesLive) {
+  CacheFixture fx(910);
+  const auto snap = fx.capture();
+  const std::vector<NodeId> endpoints = active_nodes(fx.overlay);
+  Rng req_rng = fx.rng.fork(11);
+  const ServiceRequest req = random_request(req_rng, endpoints);
+  const CachedRoute entry =
+      serve::make_cached_route(snap->route(req), req, *snap);
+  ASSERT_TRUE(serve::route_current(entry, *snap));
+
+  std::set<std::int32_t> traversed;
+  for (const auto& [cluster, gen] : entry.cluster_tags) {
+    traversed.insert(cluster.value());
+  }
+  const std::vector<ServiceId> services = req.graph.distinct_services();
+  const HfcTopology& live = fx.overlay.universe_topology();
+  NodeId victim;
+  for (const NodeId node : active_nodes(fx.overlay)) {
+    const ClusterId c = snap->cluster_of(node);
+    if (!c.valid() || traversed.count(c.value()) != 0) continue;
+    if (live.is_border(node)) continue;
+    bool hosts_any = false;
+    for (const ServiceId s : services) {
+      if (fx.overlay.universe_network().hosts(node, s)) hosts_any = true;
+    }
+    if (hosts_any) continue;
+    // Meaningful regression only when the cluster hosts an SG service
+    // (so the old generation-keyed chain would have drifted).
+    bool cluster_hosts = false;
+    for (const NodeId member : snap->topology().members(c)) {
+      for (const ServiceId s : services) {
+        if (fx.overlay.universe_network().hosts(member, s)) {
+          cluster_hosts = true;
+        }
+      }
+    }
+    if (!cluster_hosts) continue;
+    victim = node;
+    break;
+  }
+  if (!victim.valid()) {
+    GTEST_SKIP() << "no off-path non-host non-border node for this seed";
+  }
+  fx.overlay.deactivate(victim);
+
+  const auto snap2 = fx.capture();
+  for (const ServiceId s : services) {
+    EXPECT_EQ(snap->service_fingerprint(s), snap2->service_fingerprint(s));
+  }
+  EXPECT_TRUE(serve::route_current(entry, *snap2));
+  // And the surviving entry replays exactly what a fresh solve returns.
+  EXPECT_TRUE(same_path(entry.path, snap2->route(req)));
+}
+
 TEST(ServeCache, CrashEpochInvalidates) {
   CacheFixture fx(908);
   const auto snap = fx.capture({}, 3);

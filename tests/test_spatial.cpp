@@ -7,10 +7,13 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
+#include <numeric>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "cluster/group_pipeline.h"
 #include "cluster/mst.h"
 #include "cluster/zahn.h"
 #include "distance/coord_distance.h"
@@ -923,6 +926,220 @@ TEST(SpatialDynamicSet, FoldMatchesFullRebuildUnderChurn) {
   for (std::size_t i = 0; i < full.first.size(); ++i) {
     EXPECT_EQ(full.first[i].id, incremental.first[i].id) << "query " << i;
     EXPECT_EQ(full.first[i].dist, incremental.first[i].dist) << "query " << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Group-local construction pipeline (DESIGN.md §14): the partitioned,
+// margin-safe sweep must be bit-identical to the single global sweep —
+// same edges, same order, same doubles — for any thread count, on both
+// index kinds, and regardless of the partition-cell size.
+
+std::vector<Point> blob_points(std::size_t blobs, std::size_t per_blob,
+                               std::size_t dim, Rng& rng) {
+  // Well-separated blobs: intra-blob spans ~2, inter-blob gaps >= ~20.
+  // This is the geometry the local phase contracts almost entirely on
+  // its own (margins exceed intra-blob edges), so it exercises the
+  // margin-safe path rather than degenerating to the global sweep.
+  std::vector<Point> pts;
+  pts.reserve(blobs * per_blob);
+  for (std::size_t b = 0; b < blobs; ++b) {
+    Point center(dim, 0.0);
+    for (double& c : center) {
+      c = 25.0 * static_cast<double>(rng.uniform_int(0, 8));
+    }
+    for (std::size_t p = 0; p < per_blob; ++p) {
+      Point q = center;
+      for (double& c : q) c += rng.uniform_real(-1.0, 1.0);
+      pts.push_back(std::move(q));
+    }
+  }
+  return pts;
+}
+
+TEST(GroupPipeline, GroupedMatchesGlobalSweepBitwise) {
+  Rng rng(4242);
+  const std::vector<Point> pts = random_points(700, 3, rng);
+  const std::vector<MstEdge> global =
+      euclidean_mst_spatial(pts, SpatialMode::kKdTree, MstAlgo::kPruned);
+  for (const std::size_t limit : {48UL, 256UL, 4096UL}) {
+    expect_same_edges(
+        global, euclidean_mst_grouped(pts, SpatialMode::kKdTree, limit));
+  }
+  expect_same_edges(global,
+                    euclidean_mst_grouped(pts, SpatialMode::kGrid, 64));
+
+  set_global_threads(1);
+  const std::vector<MstEdge> serial =
+      euclidean_mst_grouped(pts, SpatialMode::kKdTree, 48);
+  set_global_threads(4);
+  const std::vector<MstEdge> threaded =
+      euclidean_mst_grouped(pts, SpatialMode::kKdTree, 48);
+  set_global_threads(0);
+  expect_same_edges(global, serial);
+  expect_same_edges(serial, threaded);
+}
+
+TEST(GroupPipeline, ClusteredGeometryMatchesBitwise) {
+  Rng rng(777);
+  const std::vector<Point> pts = blob_points(24, 40, 3, rng);
+  const std::vector<MstEdge> global =
+      euclidean_mst_spatial(pts, SpatialMode::kKdTree, MstAlgo::kPruned);
+  set_global_threads(1);
+  const std::vector<MstEdge> grouped1 =
+      euclidean_mst_grouped(pts, SpatialMode::kKdTree, 96);
+  set_global_threads(4);
+  const std::vector<MstEdge> grouped4 =
+      euclidean_mst_grouped(pts, SpatialMode::kKdTree, 96);
+  const std::vector<MstEdge> grid4 =
+      euclidean_mst_grouped(pts, SpatialMode::kGrid, 96);
+  set_global_threads(0);
+  expect_same_edges(global, grouped1);
+  expect_same_edges(global, grouped4);
+  expect_same_edges(global, grid4);
+}
+
+TEST(GroupPipeline, DispatchHonorsKnobs) {
+  Rng rng(31337);
+  const std::vector<Point> pts = random_points(400, 2, rng);
+  EnvGuard spatial_floor("HFC_SPATIAL_MIN_N", "2");
+  const std::vector<MstEdge> global =
+      euclidean_mst_spatial(pts, spatial_mode(), MstAlgo::kPruned);
+  {
+    // Forced on below the default floor: the auto dispatch must route
+    // euclidean_mst through the pipeline and still match bitwise.
+    EnvGuard par_floor("HFC_ML_PAR_MIN_N", "2");
+    EnvGuard group("HFC_ML_PAR_GROUP", "64");
+    EXPECT_TRUE(group_pipeline_enabled(pts.size()));
+    expect_same_edges(global, euclidean_mst(pts));
+  }
+  {
+    EnvGuard off("HFC_ML_PAR", "0");
+    EXPECT_FALSE(group_pipeline_enabled(pts.size()));
+    expect_same_edges(global, euclidean_mst(pts));
+  }
+  // Default floor: small inputs stay on the global sweep.
+  EXPECT_FALSE(group_pipeline_enabled(400));
+  EXPECT_TRUE(group_pipeline_selected(GroupPipelineMode::kOn, 400));
+  EXPECT_FALSE(group_pipeline_selected(GroupPipelineMode::kOff, 1 << 20));
+}
+
+TEST(GroupPipeline, ParallelZahnCutMatchesSerial) {
+  Rng rng(909);
+  const std::vector<Point> pts = blob_points(12, 30, 2, rng);
+  const std::vector<MstEdge> mst =
+      euclidean_mst_spatial(pts, SpatialMode::kKdTree, MstAlgo::kPruned);
+  for (const ZahnStatistic stat :
+       {ZahnStatistic::kMean, ZahnStatistic::kMedian}) {
+    ZahnParams params;
+    params.statistic = stat;
+    const std::vector<std::size_t> serial = find_inconsistent_edges(
+        pts.size(), mst, params, GroupPipelineMode::kOff);
+    EXPECT_FALSE(serial.empty());  // blob geometry has bridge edges
+    set_global_threads(4);
+    const std::vector<std::size_t> parallel = find_inconsistent_edges(
+        pts.size(), mst, params, GroupPipelineMode::kOn);
+    set_global_threads(0);
+    EXPECT_EQ(serial, parallel);
+  }
+}
+
+// The group-scoped entry points must answer over a churned, tombstone-
+// heavy set exactly as over the same subset presented alone — the seam
+// multilevel per-group repair flows through.
+TEST(GroupPipeline, SetScopedEntriesExactUnderTombstoneHeavyChurn) {
+  Rng rng(5150);
+  const std::vector<Point> pts = blob_points(10, 48, 3, rng);
+  std::vector<std::int32_t> ids(pts.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  DynamicSpatialSet set;
+  set.bulk_load(SpatialMode::kKdTree, pts, ids);
+  // Erase over half the set and resurrect a slice, never folding: the
+  // mutation buffers stay tombstone-heavy relative to the index.
+  for (std::size_t i = 0; i < pts.size(); i += 2) {
+    set.erase(static_cast<std::int32_t>(i));
+  }
+  for (std::size_t i = 0; i < pts.size(); i += 8) {
+    set.insert(static_cast<std::int32_t>(i));
+  }
+  const std::vector<std::int32_t> live = set.live_ids();
+  std::vector<Point> sub;
+  sub.reserve(live.size());
+  for (const std::int32_t id : live) {
+    sub.push_back(pts[static_cast<std::size_t>(id)]);
+  }
+
+  EnvGuard spatial_floor("HFC_SPATIAL_MIN_N", "2");
+  EnvGuard par_floor("HFC_ML_PAR_MIN_N", "2");
+  EnvGuard group("HFC_ML_PAR_GROUP", "48");
+
+  set_global_threads(1);
+  const std::vector<MstEdge> mst1 = euclidean_mst_of_set(set, pts);
+  const Clustering clusters1 = cluster_set(set, pts);
+  set_global_threads(4);
+  const std::vector<MstEdge> mst4 = euclidean_mst_of_set(set, pts);
+  const Clustering clusters4 = cluster_set(set, pts);
+  set_global_threads(0);
+
+  // Oracle: the same subset solved standalone, remapped through the
+  // (ascending, order-preserving) live-id list.
+  std::vector<MstEdge> expected = euclidean_mst(sub);
+  for (MstEdge& e : expected) {
+    e.a = static_cast<std::size_t>(live[e.a]);
+    e.b = static_cast<std::size_t>(live[e.b]);
+  }
+  expect_same_edges(expected, mst1);
+  expect_same_edges(mst1, mst4);
+
+  const Clustering local = cluster_points(sub);
+  ASSERT_EQ(clusters1.cluster_count(), local.cluster_count());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(clusters1.assignment[static_cast<std::size_t>(live[i])],
+              local.assignment[i]);
+  }
+  for (std::size_t v = 0; v < pts.size(); ++v) {
+    if (!set.contains(static_cast<std::int32_t>(v))) {
+      EXPECT_FALSE(clusters1.assignment[v].valid());
+    }
+  }
+  ASSERT_EQ(clusters1.cluster_count(), clusters4.cluster_count());
+  for (std::size_t v = 0; v < pts.size(); ++v) {
+    EXPECT_EQ(clusters1.assignment[v], clusters4.assignment[v]);
+  }
+  EXPECT_EQ(clusters1.members, clusters4.members);
+}
+
+TEST(SpatialDynamicSet, NearestForeignMatchesManualScan) {
+  Rng rng(6021);
+  for (const std::size_t n : {20UL, 90UL}) {  // brute tier and index tier
+    const std::vector<Point> pts = random_points(n, 2, rng);
+    std::vector<std::int32_t> ids(n);
+    std::iota(ids.begin(), ids.end(), 0);
+    DynamicSpatialSet set;
+    set.bulk_load(SpatialMode::kKdTree, pts, ids);
+    std::vector<std::int32_t> labels(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      labels[v] = static_cast<std::int32_t>(v % 5);
+    }
+    set.retag(labels);
+    QueryStats stats;
+    for (std::size_t v = 0; v < n; ++v) {
+      const SpatialHit hit =
+          set.nearest_foreign(pts[v], labels[v], 1e18, stats);
+      std::int32_t want = -1;
+      double want_d = std::numeric_limits<double>::infinity();
+      for (std::size_t u = 0; u < n; ++u) {
+        if (labels[u] == labels[v]) continue;
+        const double d = euclidean(pts[v], pts[u]);
+        if (d < want_d) {
+          want_d = d;
+          want = static_cast<std::int32_t>(u);
+        }
+      }
+      ASSERT_TRUE(hit.found());
+      EXPECT_EQ(hit.id, want);
+      EXPECT_EQ(hit.dist, want_d);
+    }
   }
 }
 

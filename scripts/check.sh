@@ -15,9 +15,11 @@
 #      pool, the sharded LRU or the batched border repair fail loudly;
 #      then reduced bench_churn_dynamic, bench_topology_scaling (spatial
 #      index forced on, pruned MST sweep forced so the parallel per-
-#      component scans run under TSan) and bench_serving_throughput runs
-#      under the same build — the serving bench hammers snapshot
-#      publication + the sharded cache with a 4-thread pool.
+#      component scans run under TSan), bench_serving_throughput (the
+#      serving bench hammers snapshot publication + the sharded cache
+#      with a 4-thread pool) and a reduced bench_chaos_streaming (the
+#      repair pass fans candidate routing over the pool) under the same
+#      build.
 #   4. Build with -DHFC_SANITIZE=address (Debug, so the NDEBUG-gated
 #      lifetime asserts are live) into build-asan/, run the memory-heavy
 #      suites plus the dynamic/churn suites, and run the distance-scaling
@@ -26,9 +28,10 @@
 #      repair — is exercised under ASan.
 #   5. Build with -DHFC_COVERAGE=ON into build-cov/, run the full suite,
 #      and enforce the line-coverage floor (90%) for src/fault/,
-#      src/serve/, src/sim/, src/spatial/, src/cluster/mst.*,
-#      src/cluster/zahn.*, src/cluster/group_pipeline.* and
-#      src/multilevel/ via scripts/coverage_gate.py (gcov JSON, no gcovr).
+#      src/serve/, src/sim/, src/spatial/, src/streaming/,
+#      src/cluster/mst.*, src/cluster/zahn.*, src/cluster/group_pipeline.*
+#      and src/multilevel/ via scripts/coverage_gate.py (gcov JSON, no
+#      gcovr).
 #
 # The sanitizer and coverage stages are the expensive ones; --fast skips
 # all three.
@@ -63,7 +66,7 @@ echo "== [3/5] TSan gate =="
 cmake -B build-tsan -S . -DHFC_SANITIZE=thread
 cmake --build build-tsan -j"$JOBS"
 HFC_THREADS=4 ctest --test-dir build-tsan -j"$JOBS" --output-on-failure \
-  -R 'Obs|Metrics|Trace|ThreadPool|Parallel|StateProtocol|Simulator|Distance|RowCache|Dynamic|Churn|Fault|Chaos|Spatial|TopologyScaling|Serve|GroupPipeline'
+  -R 'Obs|Metrics|Trace|ThreadPool|Parallel|StateProtocol|Simulator|Distance|RowCache|Dynamic|Churn|Fault|Chaos|Spatial|TopologyScaling|Serve|GroupPipeline|Streaming'
 HFC_THREADS=4 HFC_CHURN_N=500 HFC_CHURN_EVENTS=96 HFC_REQUESTS=40 \
   HFC_WAVES=2 HFC_BENCH_JSON=0 ./build-tsan/bench/bench_churn_dynamic
 # Group-local pipeline forced on at reduced n (floor 2, small cells), so
@@ -75,12 +78,18 @@ HFC_THREADS=4 HFC_TOPO_N=1500 HFC_TOPO_MST_N=600 HFC_TOPO_CMP_N=400 \
   HFC_BENCH_JSON=0 ./build-tsan/bench/bench_topology_scaling
 HFC_THREADS=4 HFC_SERVE_N=500 HFC_SERVE_WAVES=8 HFC_SERVE_WAVE_REQUESTS=48 \
   HFC_BENCH_JSON=0 ./build-tsan/bench/bench_serving_throughput
+# Streaming sessions at reduced receiver count: the repair pass's
+# parallel candidate routing (serial collect -> parallel route -> serial
+# apply) runs under TSan with a 4-thread pool, plus the serial-vs-4-thread
+# digest equality check inside the bench itself.
+HFC_THREADS=4 HFC_STREAM_N=300 HFC_BENCH_JSON=0 \
+  ./build-tsan/bench/bench_chaos_streaming
 
 echo "== [4/5] ASan gate =="
 cmake -B build-asan -S . -DHFC_SANITIZE=address -DCMAKE_BUILD_TYPE=Debug
 cmake --build build-asan -j"$JOBS"
 ctest --test-dir build-asan -j"$JOBS" --output-on-failure \
-  -R 'Distance|RowCache|SymMatrix|Oracle|Mesh|Overlay|CoordDistance|Probe|Dynamic|Churn|Fault|Chaos|Spatial|TopologyScaling|Serve|GroupPipeline'
+  -R 'Distance|RowCache|SymMatrix|Oracle|Mesh|Overlay|CoordDistance|Probe|Dynamic|Churn|Fault|Chaos|Spatial|TopologyScaling|Serve|GroupPipeline|Streaming'
 HFC_DIST_N=400 HFC_DIST_REQUESTS=200 HFC_BENCH_JSON=0 \
   ./build-asan/bench/bench_distance_scaling
 HFC_CHURN_N=500 HFC_CHURN_EVENTS=96 HFC_REQUESTS=40 HFC_WAVES=2 \
@@ -91,6 +100,9 @@ HFC_TOPO_N=1500 HFC_TOPO_MST_N=600 HFC_TOPO_CMP_N=400 HFC_TOPO_REQUESTS=40 \
   ./build-asan/bench/bench_topology_scaling
 HFC_SERVE_N=500 HFC_SERVE_WAVES=8 HFC_SERVE_WAVE_REQUESTS=48 \
   HFC_BENCH_JSON=0 ./build-asan/bench/bench_serving_throughput
+# Streaming under ASan: session construction, churn-driven join/leave
+# withdrawal and the regraft machinery at reduced receiver count.
+HFC_STREAM_N=300 HFC_BENCH_JSON=0 ./build-asan/bench/bench_chaos_streaming
 
 echo "== [5/5] coverage gate =="
 cmake -B build-cov -S . -DHFC_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug

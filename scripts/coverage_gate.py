@@ -18,7 +18,7 @@ import sys
 
 MONITORED = ("src/cluster/group_pipeline", "src/cluster/mst",
              "src/cluster/zahn", "src/fault", "src/multilevel", "src/serve",
-             "src/sim", "src/spatial")
+             "src/sim", "src/spatial", "src/streaming")
 DEFAULT_FLOOR = 90.0
 
 

@@ -84,11 +84,13 @@ void FaultInjector::apply(Simulator&, const FaultEvent& event) {
     case FaultKind::kPartition:
       if (partitions_.insert(pair_key(event.a, event.b)).second) {
         m.partitions.add(1);
+        if (on_partition_) on_partition_(event.a, event.b);
       }
       break;
     case FaultKind::kHeal:
       if (partitions_.erase(pair_key(event.a, event.b)) > 0) {
         m.heals.add(1);
+        if (on_heal_) on_heal_(event.a, event.b);
       }
       break;
     case FaultKind::kBurstStart:

@@ -78,6 +78,16 @@ class FaultInjector {
   void set_on_recover(std::function<void(NodeId)> fn) {
     on_recover_ = std::move(fn);
   }
+  /// Hooks fired when a partition opens / heals between two clusters
+  /// (e.g. a streaming session marks tree edges crossing the pair as
+  /// interrupted). Fired only on state changes — a duplicate partition
+  /// event for an already-partitioned pair stays silent, like crashes.
+  void set_on_partition(std::function<void(ClusterId, ClusterId)> fn) {
+    on_partition_ = std::move(fn);
+  }
+  void set_on_heal(std::function<void(ClusterId, ClusterId)> fn) {
+    on_heal_ = std::move(fn);
+  }
 
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
 
@@ -95,6 +105,8 @@ class FaultInjector {
   std::deque<double> open_burst_losses_;
   std::function<void(NodeId)> on_crash_;
   std::function<void(NodeId)> on_recover_;
+  std::function<void(ClusterId, ClusterId)> on_partition_;
+  std::function<void(ClusterId, ClusterId)> on_heal_;
 };
 
 }  // namespace hfc

@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "routing/hierarchical_router.h"
 #include "util/require.h"
 
 namespace hfc {
@@ -42,10 +43,22 @@ std::vector<ServiceId> linear_chain(const ServiceGraph& graph) {
 
 MulticastTree ServiceMulticastBuilder::build(
     const MulticastRequest& request) const {
+  return build(request, nullptr);
+}
+
+MulticastTree ServiceMulticastBuilder::build(
+    const MulticastRequest& request,
+    const std::function<bool(NodeId)>& up) const {
   require(request.source.valid(), "multicast: invalid source");
   require(!request.destinations.empty(), "multicast: no destinations");
   require(request.graph.is_linear(),
           "multicast: service graph must be linear (one configuration)");
+  require(!up || up(request.source), "multicast: source is down");
+  if (up) {
+    for (NodeId destination : request.destinations) {
+      if (!up(destination)) return MulticastTree{};
+    }
+  }
   const std::vector<ServiceId> chain = linear_chain(request.graph);
 
   MulticastTree tree;
@@ -75,6 +88,7 @@ MulticastTree ServiceMulticastBuilder::build(
     ServicePath best_path;
     std::vector<std::pair<NodeId, std::size_t>> seen;
     for (std::size_t t = 0; t < tree.nodes.size(); ++t) {
+      if (up && !up(tree.nodes[t].proxy)) continue;  // down attach point
       const std::pair<NodeId, std::size_t> key{tree.nodes[t].proxy,
                                                applied[t]};
       if (std::find(seen.begin(), seen.end(), key) != seen.end()) continue;
@@ -85,6 +99,12 @@ MulticastTree ServiceMulticastBuilder::build(
       const ServicePath completion =
           route_(tree.nodes[t].proxy, destination, remaining);
       if (!completion.found) continue;
+      if (up && std::any_of(completion.hops.begin(), completion.hops.end(),
+                            [&](const ServiceHop& hop) {
+                              return !up(hop.proxy);
+                            })) {
+        continue;  // liveness-oblivious route fn offered a dead relay
+      }
       const double cost = path_length(completion, distance_);
       if (cost < best_cost) {
         best_cost = cost;
@@ -131,6 +151,27 @@ double ServiceMulticastBuilder::unicast_total(
     total += path_length(path, distance_);
   }
   return total;
+}
+
+MulticastTree build_multicast_tree(const HierarchicalServiceRouter& router,
+                                   OverlayDistance distance,
+                                   const MulticastRequest& request,
+                                   std::function<bool(NodeId)> up) {
+  UnicastRouteFn route;
+  if (up) {
+    route = [&router, up](NodeId src, NodeId dst,
+                          const std::vector<ServiceId>& chain) {
+      const ServiceRequest leg{src, dst, ServiceGraph::linear(chain)};
+      return router.route_degraded(leg, up).path;
+    };
+  } else {
+    route = [&router](NodeId src, NodeId dst,
+                      const std::vector<ServiceId>& chain) {
+      return router.route(ServiceRequest{src, dst, ServiceGraph::linear(chain)});
+    };
+  }
+  const ServiceMulticastBuilder builder(std::move(route), std::move(distance));
+  return builder.build(request, up);
 }
 
 bool tree_satisfies(const MulticastTree& tree, const MulticastRequest& request,

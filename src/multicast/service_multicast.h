@@ -73,6 +73,18 @@ class ServiceMulticastBuilder {
   /// satisfied for some destination.
   [[nodiscard]] MulticastTree build(const MulticastRequest& request) const;
 
+  /// Liveness-aware build: proxies rejected by `up` can neither attach
+  /// nor appear on any branch. Attach candidates at down tree nodes are
+  /// skipped, and a completion whose hops include a down proxy is
+  /// discarded even if the route callback offered it — so a liveness-
+  /// oblivious route fn degrades to found=false instead of silently
+  /// producing a tree that relays through crashed proxies. Throws if the
+  /// source is down; returns found=false when any destination is down.
+  /// A null `up` is the plain build().
+  [[nodiscard]] MulticastTree build(const MulticastRequest& request,
+                                    const std::function<bool(NodeId)>& up)
+      const;
+
   /// Sum of independent unicast path costs for the same request — the
   /// no-sharing baseline the tree is compared against.
   [[nodiscard]] double unicast_total(const MulticastRequest& request) const;
@@ -87,5 +99,18 @@ class ServiceMulticastBuilder {
 [[nodiscard]] bool tree_satisfies(const MulticastTree& tree,
                                   const MulticastRequest& request,
                                   const OverlayNetwork& net);
+
+class HierarchicalServiceRouter;
+
+/// One-shot tree over the hierarchical router. With a liveness predicate
+/// the unicast legs go through route_degraded — crashed proxies neither
+/// serve nor relay and border pairs fall back to surviving ones — and the
+/// builder additionally refuses down attach points (see the build()
+/// overload above). A null `up` routes over the full proxy set. The
+/// router must outlive the call; `distance` is the decision metric.
+[[nodiscard]] MulticastTree build_multicast_tree(
+    const HierarchicalServiceRouter& router, OverlayDistance distance,
+    const MulticastRequest& request,
+    std::function<bool(NodeId)> up = nullptr);
 
 }  // namespace hfc

@@ -104,6 +104,50 @@ void QosManager::release(const ServicePath& path, double demand) {
   }
 }
 
+namespace {
+
+std::vector<NodeId> distinct_nodes(const std::vector<NodeId>& nodes) {
+  std::vector<NodeId> out(nodes);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+bool QosManager::feasible_nodes(const std::vector<NodeId>& nodes,
+                                double demand) const {
+  require(demand >= 0.0, "QosManager::feasible_nodes: negative demand");
+  for (NodeId proxy : distinct_nodes(nodes)) {
+    require(proxy.valid() && proxy.idx() < capacities_.size(),
+            "QosManager::feasible_nodes: bad node");
+    if (capacities_[proxy.idx()] < demand) return false;
+  }
+  return true;
+}
+
+void QosManager::reserve_nodes(const std::vector<NodeId>& nodes,
+                               double demand) {
+  require(demand >= 0.0, "QosManager::reserve_nodes: negative demand");
+  for (NodeId proxy : distinct_nodes(nodes)) {
+    require(proxy.valid() && proxy.idx() < capacities_.size(),
+            "QosManager::reserve_nodes: bad node");
+    capacities_[proxy.idx()] -= demand;
+    ensure(capacities_[proxy.idx()] >= -1e-9,
+           "QosManager::reserve_nodes: reservation drove capacity negative");
+  }
+}
+
+void QosManager::release_nodes(const std::vector<NodeId>& nodes,
+                               double demand) {
+  require(demand >= 0.0, "QosManager::release_nodes: negative demand");
+  for (NodeId proxy : distinct_nodes(nodes)) {
+    require(proxy.valid() && proxy.idx() < capacities_.size(),
+            "QosManager::release_nodes: bad node");
+    capacities_[proxy.idx()] += demand;
+  }
+}
+
 double QosManager::reserved_total() const {
   double residual_sum = 0.0;
   for (double c : capacities_) residual_sum += c;

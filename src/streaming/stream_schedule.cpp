@@ -1,0 +1,114 @@
+#include "streaming/stream_schedule.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "util/require.h"
+#include "util/rng.h"
+
+namespace hfc {
+
+StreamSchedule StreamSchedule::random(const std::vector<NodeId>& pool,
+                                      const StreamScheduleParams& params,
+                                      std::uint64_t seed) {
+  require(params.horizon_ms > 0.0, "StreamSchedule: horizon must be > 0");
+  require(params.initial_count + params.join_count <= pool.size(),
+          "StreamSchedule: pool too small for the requested joins");
+  require(params.leave_count <= params.initial_count + params.join_count,
+          "StreamSchedule: more leaves than members");
+  for (NodeId node : pool) {
+    require(node.valid(), "StreamSchedule: invalid node in pool");
+  }
+
+  Rng rng = Rng(seed).fork(0x5c4ed01eu);
+  std::vector<std::size_t> picks = rng.sample_indices(
+      pool.size(), params.initial_count + params.join_count);
+
+  std::vector<StreamEvent> events;
+  events.reserve(params.initial_count + params.join_count +
+                 params.leave_count);
+  // joined_at[node] = join time, for placing its leave strictly after.
+  std::vector<std::pair<NodeId, double>> joined;
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    const NodeId node = pool[picks[i]];
+    const double at = i < params.initial_count
+                          ? 0.0
+                          : rng.uniform_real(0.0, params.horizon_ms);
+    events.push_back(StreamEvent{at, /*join=*/true, node});
+    joined.emplace_back(node, at);
+  }
+  const std::vector<std::size_t> leavers =
+      rng.sample_indices(joined.size(), params.leave_count);
+  for (std::size_t index : leavers) {
+    const auto& [node, at] = joined[index];
+    const double leave_at =
+        at + rng.uniform_real(0.0, params.horizon_ms - at);
+    events.push_back(StreamEvent{leave_at, /*join=*/false, node});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const StreamEvent& a, const StreamEvent& b) {
+              if (a.time_ms != b.time_ms) return a.time_ms < b.time_ms;
+              if (a.join != b.join) return a.join;  // join before leave
+              return a.node < b.node;
+            });
+  return StreamSchedule(std::move(events));
+}
+
+StreamSchedule::StreamSchedule(std::vector<StreamEvent> events)
+    : events_(std::move(events)) {
+  std::set<NodeId> in, seen;
+  for (const StreamEvent& event : events_) {
+    require(event.node.valid(), "StreamSchedule: invalid node");
+    require(event.time_ms >= 0.0, "StreamSchedule: negative time");
+    if (event.join) {
+      require(seen.insert(event.node).second,
+              "StreamSchedule: node joins twice");
+      in.insert(event.node);
+    } else {
+      require(in.erase(event.node) == 1,
+              "StreamSchedule: leave without a prior join");
+    }
+  }
+  require(std::is_sorted(events_.begin(), events_.end(),
+                         [](const StreamEvent& a, const StreamEvent& b) {
+                           return a.time_ms < b.time_ms;
+                         }),
+          "StreamSchedule: events out of order");
+}
+
+std::vector<NodeId> StreamSchedule::late_joiners() const {
+  std::vector<NodeId> out;
+  for (const StreamEvent& event : events_) {
+    if (event.join && event.time_ms > 0.0) out.push_back(event.node);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void StreamSchedule::arm(Simulator& sim, DynamicHfcOverlay& overlay,
+                         StreamingSession& session) const {
+  for (const StreamEvent& event : events_) {
+    if (event.join) {
+      sim.schedule_at(event.time_ms,
+                      [&overlay, &session, node = event.node](Simulator& s) {
+                        if (!overlay.is_active(node)) {
+                          const ChurnEvent activate =
+                              ChurnEvent::make_activate(node);
+                          overlay.apply({&activate, 1});
+                        }
+                        session.subscribe(s, node);
+                      });
+    } else {
+      sim.schedule_at(event.time_ms,
+                      [&overlay, &session, node = event.node](Simulator& s) {
+                        session.unsubscribe(s, node);
+                        const ChurnEvent deactivate =
+                            ChurnEvent::make_deactivate(node);
+                        overlay.apply({&deactivate, 1});
+                      });
+    }
+  }
+}
+
+}  // namespace hfc

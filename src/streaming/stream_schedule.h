@@ -1,0 +1,66 @@
+// Deterministic join/leave schedules for streaming sessions.
+//
+// A `StreamSchedule` is the membership-side counterpart of a `FaultPlan`:
+// a seeded, serializable-in-spirit list of timed join and leave events
+// drawn once up front, so chaos tests and benches can replay the exact
+// same member timeline across serial, replay and multi-threaded runs.
+// `arm()` wires each event through both the PR 4 incremental churn path
+// (activate before join, deactivate after leave) and the session.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dynamic/dynamic_overlay.h"
+#include "sim/event_queue.h"
+#include "streaming/streaming_session.h"
+#include "util/ids.h"
+
+namespace hfc {
+
+struct StreamEvent {
+  double time_ms = 0.0;
+  bool join = true;  ///< false = leave
+  NodeId node;
+};
+
+struct StreamScheduleParams {
+  std::size_t initial_count = 0;  ///< members joining at t=0
+  std::size_t join_count = 0;     ///< later joins, uniform over the horizon
+  std::size_t leave_count = 0;    ///< leaves of current members
+  double horizon_ms = 1000.0;
+};
+
+class StreamSchedule {
+ public:
+  /// Draw a random schedule over `pool` (candidate member nodes; sources
+  /// must not be in it). Initial members join at t=0; later joins pick
+  /// nodes from the unused pool and leaves pick current members, both at
+  /// uniform times in (0, horizon). Events are sorted by (time, join,
+  /// node); a node leaves at most once and never before it joined.
+  [[nodiscard]] static StreamSchedule random(const std::vector<NodeId>& pool,
+                                             const StreamScheduleParams& params,
+                                             std::uint64_t seed);
+
+  explicit StreamSchedule(std::vector<StreamEvent> events);
+
+  [[nodiscard]] const std::vector<StreamEvent>& events() const {
+    return events_;
+  }
+
+  /// Nodes that join at some point but are not initial members — the
+  /// driver deactivates them up front so joins exercise the churn path.
+  [[nodiscard]] std::vector<NodeId> late_joiners() const;
+
+  /// Schedule every event onto `sim`: a join activates the node in the
+  /// overlay (if needed) and subscribes it; a leave unsubscribes it and
+  /// then deactivates it. Call once, before sim.run(); the overlay and
+  /// session must outlive the run.
+  void arm(Simulator& sim, DynamicHfcOverlay& overlay,
+           StreamingSession& session) const;
+
+ private:
+  std::vector<StreamEvent> events_;
+};
+
+}  // namespace hfc

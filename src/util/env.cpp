@@ -29,6 +29,15 @@ void warn_once(const char* name, const char* raw, const char* why,
 
 }  // namespace
 
+void warn_env_once(const char* name, const char* raw, const char* why,
+                   const char* fallback) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  if (!g_warned.insert(name).second) return;
+  ++g_warning_count;
+  std::cerr << "[hfc] warning: ignoring " << name << "=\"" << raw << "\" ("
+            << why << "); using default " << fallback << "\n";
+}
+
 bool parse_u64(const char* raw, std::uint64_t& out, const char*& why) {
   std::string s(raw);
   const std::size_t begin = s.find_first_not_of(" \t");
@@ -176,6 +185,19 @@ const std::vector<EnvKnob>& registered_knobs() {
        "(0 = auto max(32, indexed/4))", "core"},
       {"HFC_SPEEDUP_N", "512",
        "problem size for bench_parallel_speedup", "bench"},
+      {"HFC_STREAM_MODE", "locating",
+       "streaming regraft strategy: locating | clique (DESIGN.md §15)",
+       "core"},
+      {"HFC_STREAM_N", "10000",
+       "receiver count driven by bench_chaos_streaming", "bench"},
+      {"HFC_STREAM_REPAIR_BUDGET", "8",
+       "attach candidates a streaming regraft refines through the unicast "
+       "router", "core"},
+      {"HFC_STREAM_SEED", "1",
+       "seed for bench_chaos_streaming's churn and fault schedules",
+       "bench"},
+      {"HFC_STREAM_SOURCES", "2",
+       "concurrent stream sources in bench_chaos_streaming", "bench"},
       {"HFC_THREADS", "hardware",
        "worker-thread count of the global pool", "core"},
       {"HFC_TOPOLOGIES", "3 (10 full)",

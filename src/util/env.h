@@ -58,6 +58,14 @@ struct EnvKnob {
 /// Registry lookup; nullptr when `name` is not a registered knob.
 [[nodiscard]] const EnvKnob* find_knob(std::string_view name);
 
+/// Warn-once hook for string-valued knobs (e.g. HFC_STREAM_MODE) whose
+/// parsing lives at the call site: emits the same one-line stderr warning
+/// format as env_size_t, counts toward env_warning_count(), and stays
+/// quiet on repeated reads of the same variable until
+/// reset_env_warnings().
+void warn_env_once(const char* name, const char* raw, const char* why,
+                   const char* fallback);
+
 /// Test hook: forget which variables have already warned, so negative-path
 /// tests can assert "exactly one warning" deterministically.
 void reset_env_warnings();

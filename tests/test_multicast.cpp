@@ -227,5 +227,82 @@ INSTANTIATE_TEST_SUITE_P(Seeds, MulticastPropertyTest,
                          ::testing::Values(501, 502, 503, 504, 505, 506, 507,
                                            508));
 
+// Regression (ISSUE 10 satellite 3): the one-shot builder used to be
+// liveness-oblivious — handed a plain route fn it would happily graft
+// branches through crashed border proxies, because nothing in the build
+// consulted the crash set. Pin the fixed behaviour: build_multicast_tree
+// with an `up` predicate routes every leg degraded AND rejects dead
+// attach points/relays, so the tree it returns never touches a crashed
+// proxy even when that proxy anchors the preferred border pair.
+TEST(Multicast, CrashedBorderTopologyAvoidsDeadProxies) {
+  McWorld w;
+  const NodeId source(0);
+  MulticastRequest request;
+  request.source = source;
+  request.destinations = {NodeId(5), NodeId(9)};
+  request.graph = ServiceGraph::linear({ServiceId(1)});
+
+  // Crash the preferred border proxies between the source's cluster and
+  // each destination cluster (closest-pair selection makes them the
+  // proxies every naive inter-cluster route rides).
+  std::vector<NodeId> crashed;
+  const ClusterId ca = w.topo.cluster_of(source);
+  for (NodeId destination : request.destinations) {
+    const ClusterId cb = w.topo.cluster_of(destination);
+    for (NodeId border : {w.topo.border(ca, cb), w.topo.border(cb, ca)}) {
+      if (border != source &&
+          std::find(request.destinations.begin(), request.destinations.end(),
+                    border) == request.destinations.end()) {
+        crashed.push_back(border);
+      }
+    }
+  }
+  ASSERT_FALSE(crashed.empty());
+  const auto up = [&crashed](NodeId node) {
+    return std::find(crashed.begin(), crashed.end(), node) == crashed.end();
+  };
+
+  // The liveness-oblivious build demonstrates the bug this pins: it
+  // still routes through the crashed border.
+  const MulticastTree naive =
+      build_multicast_tree(w.router, w.net.coord_distance_fn(), request);
+  ASSERT_TRUE(naive.found);
+  bool naive_rides_crashed = false;
+  for (const MulticastTree::TreeNode& node : naive.nodes) {
+    if (!up(node.proxy)) naive_rides_crashed = true;
+  }
+  EXPECT_TRUE(naive_rides_crashed)
+      << "crashed borders are no longer on the naive tree; pick other "
+         "victims to keep this regression meaningful";
+
+  // The fixed path: degraded legs + liveness-aware grafting.
+  const MulticastTree tree = build_multicast_tree(
+      w.router, w.net.coord_distance_fn(), request, up);
+  ASSERT_TRUE(tree.found);
+  EXPECT_TRUE(tree_satisfies(tree, request, w.net));
+  for (const MulticastTree::TreeNode& node : tree.nodes) {
+    EXPECT_TRUE(up(node.proxy))
+        << "tree relays through crashed proxy " << node.proxy.value();
+  }
+}
+
+// The liveness-aware overload refuses impossible inputs loudly.
+TEST(Multicast, LivenessAwareBuildRejectsDeadEndpoints) {
+  McWorld w;
+  MulticastRequest request;
+  request.source = NodeId(0);
+  request.destinations = {NodeId(5)};
+  request.graph = ServiceGraph::linear({ServiceId(1)});
+  const auto source_down = [](NodeId node) { return node != NodeId(0); };
+  EXPECT_THROW(
+      (void)build_multicast_tree(w.router, w.net.coord_distance_fn(),
+                                 request, source_down),
+      std::exception);
+  const auto dest_down = [](NodeId node) { return node != NodeId(5); };
+  const MulticastTree tree = build_multicast_tree(
+      w.router, w.net.coord_distance_fn(), request, dest_down);
+  EXPECT_FALSE(tree.found);
+}
+
 }  // namespace
 }  // namespace hfc

@@ -3,14 +3,21 @@
 #include <gtest/gtest.h>
 
 #include <deque>
+#include <set>
 
 #include "cluster/zahn.h"
 #include "core/framework.h"
 #include "dynamic/dynamic_overlay.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "multicast/service_multicast.h"
 #include "qos/qos_manager.h"
 #include "routing/flat_router.h"
 #include "routing/path_expansion.h"
 #include "services/workload.h"
+#include "sim/event_queue.h"
+#include "streaming/stream_schedule.h"
+#include "streaming/streaming_session.h"
 #include "util/rng.h"
 
 namespace hfc {
@@ -173,6 +180,125 @@ TEST_P(AggregationPenaltyTest, AggregatedNeverBeatsFullStateOnAverage) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AggregationPenaltyTest,
                          ::testing::Values(621, 622, 623, 624, 625));
+
+// ---------------------------------------------- streaming regrafts ----
+
+/// Incremental repair trades optimality for locality: a session tree that
+/// survived churn and faults through regrafting stays within these
+/// factors of a from-scratch rebuild over the same live membership
+/// (DESIGN.md §15). Locating-first grafts each orphan near-optimally, so
+/// its envelope is tight; clustered dissemination deliberately detours
+/// through per-cluster heads (head-to-head backbone chains), which buys
+/// fan-out locality at a documented cost premium.
+constexpr double kRegraftCostBoundLocating = 3.0;
+constexpr double kRegraftCostBoundClique = 6.0;
+
+class StreamingRegraftSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(StreamingRegraftSweep, RepairedTreeStaysNearScratchRebuild) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  std::vector<Point> pts;
+  for (int blob = 0; blob < 4; ++blob) {
+    for (int i = 0; i < 5; ++i) {
+      pts.push_back(
+          {60.0 * blob + rng.uniform_real(0, 4), rng.uniform_real(0, 4)});
+    }
+  }
+  ServicePlacement placement(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    placement[i] = {ServiceId(static_cast<std::int32_t>(i % 3))};
+  }
+  for (const StreamMode mode : {StreamMode::kLocating, StreamMode::kClique}) {
+    DynamicHfcOverlay overlay(pts, placement, {},
+                              BorderSelection::kClosestPair,
+                              ChurnMode::kIncremental);
+    const OverlayNetwork& net = overlay.universe_network();
+    const HfcTopology& topo = overlay.universe_topology();
+    QosManager qos(net, topo, std::vector<double>(net.size(), 64.0),
+                   CapacityAggregation::kOptimistic);
+
+    FaultPlanParams fp;
+    fp.horizon_ms = 500.0;
+    fp.heal_fraction = 1.0;
+    fp.crashes = 3;
+    fp.mean_downtime_ms = 120.0;
+    fp.partitions = 1;
+    fp.mean_partition_ms = 100.0;
+    fp.bursts = 0;
+    const FaultPlan plan = FaultPlan::random(fp, topo, seed);
+    std::set<NodeId> victims;
+    for (const FaultEvent& event : plan.events()) {
+      if (event.kind == FaultKind::kCrash) victims.insert(event.node);
+    }
+    NodeId source;
+    std::vector<NodeId> pool;
+    for (NodeId node : net.all_nodes()) {
+      if (!source.valid() && victims.find(node) == victims.end()) {
+        source = node;
+      } else {
+        pool.push_back(node);
+      }
+    }
+    StreamScheduleParams sp;
+    sp.initial_count = 10;
+    sp.join_count = 3;
+    sp.leave_count = 5;
+    sp.horizon_ms = 500.0;
+    const StreamSchedule schedule = StreamSchedule::random(pool, sp, seed);
+    std::vector<ChurnEvent> deactivations;
+    for (NodeId node : schedule.late_joiners()) {
+      deactivations.push_back(ChurnEvent::make_deactivate(node));
+    }
+    (void)overlay.apply(deactivations);
+
+    StreamingParams params;
+    params.chain = {ServiceId(1)};
+    params.mode = mode;
+    params.repair_budget = 4;
+    params.seed = seed;
+    StreamingSession session(overlay, qos, {source}, params);
+    FaultInjector injector(plan, topo);
+    session.attach_injector(injector);
+    Simulator sim;
+    injector.arm(sim);
+    session.start(sim, 800.0);
+    schedule.arm(sim, overlay, session);
+    sim.run();
+
+    ASSERT_GT(session.regraft_count(), 0u) << "sweep exercised no regrafts";
+    const StreamingSession::TreeExport exported =
+        session.as_multicast_tree(0);
+    ASSERT_FALSE(exported.request.destinations.empty());
+    ASSERT_TRUE(tree_satisfies(exported.tree, exported.request, net));
+
+    // branch_to stays prefix-consistent after every regraft: each node's
+    // branch is its parent's branch plus itself.
+    for (std::size_t n = 1; n < exported.tree.nodes.size(); ++n) {
+      std::vector<ServiceHop> expected =
+          exported.tree.branch_to(exported.tree.nodes[n].parent);
+      expected.push_back(ServiceHop{exported.tree.nodes[n].proxy,
+                                    exported.tree.nodes[n].service});
+      EXPECT_EQ(exported.tree.branch_to(n), expected) << "seed " << seed;
+    }
+
+    // Cost bound vs a from-scratch rebuild over the same live membership.
+    const MulticastTree scratch = build_multicast_tree(
+        overlay.universe_router(), net.coord_distance_fn(), exported.request,
+        [&overlay](NodeId node) { return overlay.is_active(node); });
+    ASSERT_TRUE(scratch.found) << "seed " << seed;
+    const double bound = mode == StreamMode::kClique
+                             ? kRegraftCostBoundClique
+                             : kRegraftCostBoundLocating;
+    EXPECT_LE(exported.tree.cost, bound * scratch.cost + 1e-6)
+        << "seed " << seed << " mode "
+        << (mode == StreamMode::kClique ? "clique" : "locating");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingRegraftSweep,
+                         ::testing::Values(701, 702, 703, 704, 705));
 
 }  // namespace
 }  // namespace hfc
